@@ -1,0 +1,132 @@
+"""Ablation -- where the covering argument needs historyless overwriting.
+
+The block-write step of the proof relies on writes *obliterating*
+whatever a hidden process left in the covered registers, without the
+block writers noticing.  The paper's conclusion points out this is
+delicate beyond plain registers: a swap sees the value it overwrites.
+
+This bench tests obliteration directly per object kind: from a
+configuration where the coverer R is poised at its state-changing
+operation, compare the executions
+
+    hidden-write-by-z . block-op-by-R    vs    block-op-by-R
+
+If R (and the memory) end up indistinguishable, the hidden write was
+obliterated (the covering argument's engine works); otherwise the
+object kind leaks the hidden step -- exactly the classification the
+paper gives: registers obliterate, swap/T&S/CAS see too much.
+
+Standalone:  python benchmarks/bench_ablation_historyless.py
+Benchmark:   pytest benchmarks/bench_ablation_historyless.py --benchmark-only
+"""
+
+from repro.analysis.report import print_table
+from repro.model.program import ProgramBuilder, ProgramProtocol
+from repro.model.registers import (
+    ObjectKind,
+    cas_object,
+    faa_object,
+    is_historyless,
+    register,
+    swap_register,
+    tas_object,
+)
+from repro.model.system import System
+
+
+def _writer_program(kind: ObjectKind):
+    # The traversal ends in a decide carrying everything the process
+    # observed -- responses are part of its state, and halting would
+    # discard exactly the information that distinguishes the runs.
+    builder = ProgramBuilder()
+    builder.assign("old", "(none)")
+    if kind is ObjectKind.REGISTER:
+        builder.write(0, lambda e: ("mark", e["me"]))
+    elif kind is ObjectKind.SWAP:
+        builder.swap(0, lambda e: ("mark", e["me"]), "old")
+    elif kind is ObjectKind.TEST_AND_SET:
+        builder.test_and_set(0, "old")
+    elif kind is ObjectKind.CAS:
+        builder.compare_and_swap(
+            0, None, lambda e: ("mark", e["me"]), "old"
+        )
+    else:
+        builder.fetch_and_add(0, 1, "old")
+    builder.read(0, "final")
+    builder.decide(lambda e: (e["old"], e["final"]))
+    return builder.build()
+
+
+SPECS = {
+    ObjectKind.REGISTER: register(None),
+    ObjectKind.SWAP: swap_register(None),
+    ObjectKind.TEST_AND_SET: tas_object(),
+    ObjectKind.CAS: cas_object(None),
+    ObjectKind.FETCH_AND_ADD: faa_object(0),
+}
+
+
+def obliterates(kind: ObjectKind) -> bool:
+    """Does R's poised operation hide z's earlier operation from R?"""
+    program = _writer_program(kind)
+    protocol = ProgramProtocol(
+        f"cover-{kind.value}",
+        2,
+        [SPECS[kind]],
+        [program, program],
+        lambda pid, value: {"me": pid},
+    )
+    system = System(protocol)
+    base = system.initial_configuration([None, None])
+    # Execution A: R = p0 performs its operation directly.
+    direct, _ = system.run(base, [0, 0])
+    # Execution B: z = p1 sneaks its operation in first.
+    hidden, _ = system.run(base, [1])
+    after, _ = system.run(hidden, [0, 0])
+    return direct.indistinguishable_to(after, [0])
+
+
+def main() -> None:
+    rows = []
+    for kind in ObjectKind:
+        rows.append(
+            [
+                kind.value,
+                "yes" if is_historyless(kind) else "no",
+                "yes" if obliterates(kind) else "NO -- leaks the hidden op",
+            ]
+        )
+    print_table(
+        "ablation C: block-write obliteration by base-object kind",
+        ["object kind", "historyless (JTT)", "obliterates hidden write?"],
+        rows,
+        note="only plain registers obliterate blindly; swap and test&set "
+        "are historyless yet see what they overwrite -- the exact "
+        "difficulty the paper's conclusion flags for extending the bound",
+    )
+
+
+def test_register_obliterates(benchmark):
+    assert benchmark(obliterates, ObjectKind.REGISTER)
+
+
+def test_swap_leaks(benchmark):
+    assert not benchmark(obliterates, ObjectKind.SWAP)
+
+
+def test_cas_leaks(benchmark):
+    def probe_all():
+        return [
+            obliterates(kind)
+            for kind in (
+                ObjectKind.CAS,
+                ObjectKind.TEST_AND_SET,
+                ObjectKind.FETCH_AND_ADD,
+            )
+        ]
+
+    assert benchmark(probe_all) == [False, False, False]
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,155 @@
+"""Ablation -- valency-oracle memoisation and the canonical abstraction.
+
+DESIGN.md calls out two oracle-side design decisions: memoising valency
+queries on (canonical key, process set), and the round-shift canonical
+abstraction that collapses drift.  This bench quantifies both on the
+construction's real workload:
+
+* Lemma 4 on the 3-process round protocol with the cache on vs off
+  (the construction re-asks the same (configuration, subset) questions
+  while scanning execution prefixes);
+* BFS node counts at fixed depth from a *mid-race* configuration, with
+  and without the abstraction (rounds only drift once a race has run).
+
+Standalone:  python benchmarks/bench_ablation_memo.py
+Benchmark:   pytest benchmarks/bench_ablation_memo.py --benchmark-only
+"""
+
+import time
+from collections import deque
+
+from repro.analysis.report import print_table
+from repro.core.construction import ConstructionStats, lemma4
+from repro.core.valency import ValencyOracle
+from repro.model.system import System
+from repro.protocols.consensus import CommitAdoptRounds
+
+
+def lemma4_work(memoize: bool, solo_probe: bool = True, n: int = 4):
+    """Run Lemma 4 end to end; return (explored configs, queries, hits)."""
+    system = System(CommitAdoptRounds(n))
+    oracle = ValencyOracle(
+        system,
+        max_configs=30_000,
+        max_depth=60,
+        strict=False,
+        memoize=memoize,
+        solo_probe=solo_probe,
+    )
+    config = system.initial_configuration([0, 1, 0, 0][:n])
+    lemma4(
+        system,
+        oracle,
+        config,
+        frozenset(range(n)),
+        stats=ConstructionStats(),
+    )
+    return (
+        oracle.stats["explored_configs"],
+        oracle.stats["queries"],
+        oracle.stats["cache_hits"],
+    )
+
+
+def raced_root(system, steps: int = 30):
+    """A configuration with round drift: two racers, step by step."""
+    config = system.initial_configuration(
+        [0, 1] + [0] * (system.protocol.n - 2)
+    )
+    for index in range(steps):
+        pid = index % 2
+        if not system.enabled(config, pid):
+            break
+        config, _ = system.step(config, pid)
+    return config
+
+
+def bfs_nodes(depth: int, canonical: bool) -> int:
+    protocol = CommitAdoptRounds(2)
+    system = System(protocol)
+    root = raced_root(system)
+    key_fn = protocol.canonical_key if canonical else (lambda c: c)
+    seen = {key_fn(root)}
+    queue = deque([(root, 0)])
+    while queue:
+        config, level = queue.popleft()
+        if level >= depth:
+            continue
+        for pid in range(protocol.n):
+            if not system.enabled(config, pid):
+                continue
+            succ, _ = system.step(config, pid)
+            key = key_fn(succ)
+            if key not in seen:
+                seen.add(key)
+                queue.append((succ, level + 1))
+    return len(seen)
+
+
+def main() -> None:
+    rows = []
+    for solo_probe in (True, False):
+        for memoize in (True, False):
+            start = time.perf_counter()
+            explored, queries, hits = lemma4_work(memoize, solo_probe)
+            elapsed = time.perf_counter() - start
+            rows.append(
+                [
+                    "on" if solo_probe else "off",
+                    "on" if memoize else "off",
+                    queries,
+                    hits,
+                    explored,
+                    f"{elapsed * 1000:.0f}ms",
+                ]
+            )
+    print_table(
+        "ablation A: oracle fast paths during Lemma 4 (n=4 rounds protocol)",
+        ["solo probe", "cache", "queries", "hits", "configs explored", "time"],
+        rows,
+        note="the solo probe answers the construction's (mostly positive) "
+        "queries in one path; the cache covers the re-asked prefixes; "
+        "together they are the n=4 -> n=6 frontier lever",
+    )
+
+    rows = []
+    for depth in (16, 24, 32):
+        raw = bfs_nodes(depth, canonical=False)
+        shifted = bfs_nodes(depth, canonical=True)
+        rows.append([depth, raw, shifted, f"{raw / shifted:.2f}x"])
+    print_table(
+        "ablation B: round-shift abstraction, BFS from a mid-race "
+        "configuration (n=2)",
+        ["depth", "raw configs", "canonical keys", "collapse"],
+        rows,
+        note="the abstraction is exact (a bisimulation) yet strictly "
+        "coarser: the oracle explores the quotient",
+    )
+
+
+def test_memo_saves_work(benchmark):
+    explored_memo, _, hits = benchmark(lemma4_work, True)
+    explored_cold, _, _ = lemma4_work(False)
+    assert hits > 0
+    assert explored_memo <= explored_cold
+
+
+def test_solo_probe_saves_exploration(benchmark):
+    explored_probe, _, _ = benchmark.pedantic(
+        lemma4_work, args=(True,), kwargs={"solo_probe": True},
+        rounds=1, iterations=1,
+    )
+    explored_plain, _, _ = lemma4_work(True, solo_probe=False)
+    assert explored_probe < explored_plain
+
+
+def test_abstraction_collapses(benchmark):
+    shifted = benchmark.pedantic(
+        bfs_nodes, args=(24, True), rounds=1, iterations=1
+    )
+    raw = bfs_nodes(24, False)
+    assert shifted < raw
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+"""Ablation -- process-symmetry reduction for anonymous protocols.
+
+The paper highlights the anonymous setting (Zhu15/Gel15 resolved it
+first); anonymous protocols are permutation-symmetric, and DESIGN.md
+commits to quantifying what quotienting by that symmetry buys the
+explorer.  Measured: full reachable-graph sizes of the (anonymous) CAS
+consensus protocol with and without :class:`SymmetricKey`, and the
+valency oracle's exploration work on a subset-classification sweep.
+
+Standalone:  python benchmarks/bench_ablation_symmetry.py
+Benchmark:   pytest benchmarks/bench_ablation_symmetry.py --benchmark-only
+"""
+
+import itertools
+
+from repro.analysis.explorer import Explorer
+from repro.analysis.report import print_table
+from repro.analysis.symmetry import SymmetricKey
+from repro.core.valency import ValencyOracle
+from repro.model.system import System
+from repro.protocols.consensus import CasConsensus
+
+
+def reachable_size(n: int, symmetric: bool) -> int:
+    protocol = SymmetricKey(CasConsensus(n)) if symmetric else CasConsensus(n)
+    system = System(protocol)
+    inputs = [i % 2 for i in range(n)]
+    root = system.initial_configuration(inputs)
+    return Explorer(system, max_configs=2_000_000).reachable_count(
+        root, frozenset(range(n))
+    )
+
+
+def oracle_work(n: int, symmetric: bool) -> int:
+    protocol = SymmetricKey(CasConsensus(n)) if symmetric else CasConsensus(n)
+    system = System(protocol)
+    oracle = ValencyOracle(system)
+    config = system.initial_configuration([i % 2 for i in range(n)])
+    for size in range(1, n + 1):
+        for subset in itertools.combinations(range(n), size):
+            oracle.decidable(config, frozenset(subset))
+    return oracle.stats["explored_configs"]
+
+
+def main() -> None:
+    rows = []
+    for n in (3, 4, 5, 6):
+        plain = reachable_size(n, symmetric=False)
+        reduced = reachable_size(n, symmetric=True)
+        rows.append([n, plain, reduced, f"{plain / reduced:.1f}x"])
+    print_table(
+        "ablation D1: reachable graph, anonymous CAS consensus",
+        ["n", "raw configs", "symmetry-reduced", "collapse"],
+        rows,
+        note="the quotient approaches the n!-fold collapse as contention "
+        "symmetrises the state",
+    )
+
+    rows = []
+    for n in (3, 4, 5):
+        plain = oracle_work(n, symmetric=False)
+        reduced = oracle_work(n, symmetric=True)
+        rows.append([n, plain, reduced, f"{plain / max(1, reduced):.1f}x"])
+    print_table(
+        "ablation D2: oracle exploration on the full subset sweep",
+        ["n", "configs explored (raw)", "(symmetry)", "saved"],
+        rows,
+        note="subset queries quotient only by permutations fixing P "
+        "setwise (canonical_query_key), which is what keeps the "
+        "reduction sound for refined valency",
+    )
+
+
+def test_symmetry_collapses_reachable(benchmark):
+    reduced = benchmark(reachable_size, 4, True)
+    assert reduced < reachable_size(4, False)
+
+
+def test_symmetric_oracle_saves_exploration(benchmark):
+    reduced = benchmark.pedantic(
+        oracle_work, args=(4, True), rounds=1, iterations=1
+    )
+    assert reduced <= oracle_work(4, False)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""E5 -- the bound landscape: Omega(sqrt n) (FHS98) vs n-1 (this paper).
+
+Paper (Section 1): the 1992 bound was Omega(sqrt n); the gap to the
+n-register upper bound stood for two decades; this paper closes it at
+n-1.  Measured: the certificate bound our adversary extracts per n,
+charted against ceil(sqrt(n)) (FHS98's curve), n-1 (Zhu) and n (the
+upper bound / conjecture).
+
+Standalone:  python benchmarks/bench_bound_growth.py [max_adversary_n]
+Benchmark:   pytest benchmarks/bench_bound_growth.py --benchmark-only
+"""
+
+import math
+import sys
+
+from repro.analysis.report import print_table
+
+try:
+    from benchmarks.bench_theorem1 import run_adversary
+except ImportError:  # standalone: python benchmarks/bench_bound_growth.py
+    from bench_theorem1 import run_adversary
+
+
+def main(max_adversary_n: int = 4) -> None:
+    rows = []
+    for n in (2, 3, 4, 5, 8, 16, 32, 64):
+        if n <= max_adversary_n:
+            certificate, _ = run_adversary(n)
+            measured = str(certificate.bound)
+        else:
+            measured = "(= n-1, proved; adversary run for small n)"
+        rows.append(
+            [n, math.ceil(math.sqrt(n)), n - 1, n, measured]
+        )
+    print_table(
+        "E5: consensus space bounds by year of technique",
+        [
+            "n",
+            "FHS98 Omega(sqrt n)",
+            "Zhu16 n-1",
+            "upper bound n",
+            "adversary-measured",
+        ],
+        rows,
+        note="the 2016 bound is within 1 of the upper bound for every n; "
+        "sqrt(n) falls behind already at n=4",
+    )
+
+
+def test_bound_growth_small(benchmark):
+    def measure():
+        return [run_adversary(n)[0].bound for n in (2, 3)]
+
+    bounds = benchmark(measure)
+    assert bounds == [1, 2]
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 4)

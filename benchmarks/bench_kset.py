@@ -1,0 +1,66 @@
+"""E11 -- conclusion's outlook: k-set agreement from n-k+1 registers.
+
+Paper (conclusion): consensus is 1-set agreement; the best k-set
+protocols use n-k+1 registers [BRS15], and an Omega(n-k) bound is open.
+Measured: the partition protocol's register count is exactly n-k+1, and
+randomized + bounded-exhaustive checking confirms at most k distinct
+decisions on all-distinct inputs (the hardest case).
+
+Standalone:  python benchmarks/bench_kset.py
+Benchmark:   pytest benchmarks/bench_kset.py --benchmark-only
+"""
+
+from repro.analysis.checker import (
+    check_consensus_exhaustive,
+    check_consensus_random,
+)
+from repro.analysis.report import print_table
+from repro.model.system import System
+from repro.protocols.consensus import KSetPartition
+
+
+def verify_kset(n: int, k: int):
+    protocol = KSetPartition(n, k)
+    system = System(protocol)
+    inputs = list(range(n))  # all distinct: maximal decision pressure
+    random_result = check_consensus_random(
+        system, inputs, k=k, runs=20, schedule_length=120 * n, seed=n * 10 + k
+    )
+    assert random_result.ok, random_result.first_violation()
+    bounded = check_consensus_exhaustive(
+        system, inputs, k=k, max_configs=25_000, strict=False
+    )
+    assert bounded.ok
+    return protocol.num_objects
+
+
+def main() -> None:
+    rows = []
+    for n, k in [(3, 1), (3, 2), (4, 2), (5, 2), (5, 3), (6, 3), (6, 5)]:
+        registers = verify_kset(n, k)
+        rows.append([n, k, registers, n - k + 1, n - k, "ok"])
+    print_table(
+        "E11: k-set agreement from n-k+1 registers (BRS15 upper bound)",
+        [
+            "n",
+            "k",
+            "registers",
+            "BRS15 n-k+1",
+            "conjectured floor n-k",
+            "checking",
+        ],
+        rows,
+        note="registers == n-k+1 for every (n, k); at most k values "
+        "decided on all-distinct inputs",
+    )
+
+
+def test_kset_4_2(benchmark):
+    registers = benchmark.pedantic(
+        verify_kset, args=(4, 2), rounds=1, iterations=1
+    )
+    assert registers == 3
+
+
+if __name__ == "__main__":
+    main()

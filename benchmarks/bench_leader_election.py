@@ -1,0 +1,91 @@
+"""E9 -- the intro's "evidence": weak leader election in o(n) registers.
+
+Paper (Section 1): weak leader election needs only O(log n) registers
+[GHHW15], which once suggested consensus might too -- Theorem 1 says no.
+Measured: register counts of the splitter election (O(log n)) vs
+consensus (n) across n, safety (never two leaders) over random runs, and
+the election success rate under contention (the liveness price of the
+simplified protocol; see DESIGN.md).
+
+Standalone:  python benchmarks/bench_leader_election.py
+Benchmark:   pytest benchmarks/bench_leader_election.py --benchmark-only
+"""
+
+import math
+import random
+
+from repro.analysis.report import print_table
+from repro.model.schedule import random_bursty_schedule
+from repro.model.system import System
+from repro.protocols.consensus import CommitAdoptRounds
+from repro.protocols.leader_election import SplitterElection, TournamentElection
+
+
+def contended_elections(n: int, trials: int, seed: int = 0):
+    protocol = SplitterElection(n)
+    system = System(protocol)
+    rng = random.Random(seed)
+    elected = 0
+    for _ in range(trials):
+        config = system.initial_configuration([None] * n)
+        schedule = random_bursty_schedule(list(range(n)), 40 * n, rng)
+        config, _ = system.run(config, schedule, skip_halted=True)
+        for pid in range(n):
+            config, _ = system.solo_run(config, pid, 1_000)
+        leaders = [
+            pid for pid in range(n) if system.decision(config, pid) is True
+        ]
+        assert len(leaders) <= 1, "two leaders: safety broken"
+        elected += len(leaders)
+    return elected
+
+
+def main() -> None:
+    rows = []
+    trials = 60
+    for n in (4, 8, 16, 64, 256):
+        splitter = SplitterElection(n)
+        elected = contended_elections(n, trials, seed=n)
+        rows.append(
+            [
+                n,
+                splitter.num_objects,
+                math.ceil(math.log2(n)) + 2,
+                TournamentElection(n).num_objects,
+                CommitAdoptRounds(n).num_objects,
+                f"{100 * elected / trials:.0f}%",
+            ]
+        )
+    print_table(
+        "E9: weak leader election vs consensus register counts",
+        [
+            "n",
+            "splitter election",
+            "ceil(log2 n)+2",
+            "tournament (T&S objs)",
+            "consensus (regs)",
+            "elected under contention",
+        ],
+        rows,
+        note="o(n) registers suffice for election (never two leaders in "
+        f"{trials} contended runs per n); consensus is stuck at n-1",
+    )
+
+
+def test_election_register_count(benchmark):
+    def count():
+        return [SplitterElection(n).num_objects for n in (4, 64, 1024)]
+
+    counts = benchmark(count)
+    assert counts[-1] <= 12
+
+
+def test_contended_elections_n16(benchmark):
+    elected = benchmark.pedantic(
+        contended_elections, args=(16, 20), rounds=1, iterations=1
+    )
+    assert 0 <= elected <= 20
+
+
+if __name__ == "__main__":
+    main()

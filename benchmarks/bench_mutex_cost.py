@@ -1,0 +1,101 @@
+"""E7 -- mutual exclusion total work: Omega(n log n), tight (Fan-Lynch).
+
+Lecture Part II: any deterministic mutex algorithm costs Omega(n log n)
+in the state-change model on some canonical execution; Yang-Anderson-
+style tournaments achieve O(n log n); Peterson's filter pays O(n^3).
+Measured: canonical-execution costs for tournament, bakery and Peterson
+across n, with per-curve growth exponents estimated from successive
+doublings.
+
+Standalone:  python benchmarks/bench_mutex_cost.py
+Benchmark:   pytest benchmarks/bench_mutex_cost.py --benchmark-only
+"""
+
+import math
+
+from repro.analysis.report import print_table
+from repro.model.system import System
+from repro.mutex import (
+    BakeryMutex,
+    PetersonFilter,
+    TournamentMutex,
+    contended_canonical_run,
+    sequential_canonical_run,
+)
+
+ALGORITHMS = (
+    ("tournament", TournamentMutex),
+    ("bakery", BakeryMutex),
+    ("peterson", PetersonFilter),
+)
+
+
+def measure(make, n: int, contended: bool = False) -> int:
+    system = System(make(n, sessions=1))
+    if contended:
+        return contended_canonical_run(system).cost
+    return sequential_canonical_run(system, list(range(n))).cost
+
+
+def main() -> None:
+    sizes = (4, 8, 16, 32)
+    costs = {name: [] for name, _ in ALGORITHMS}
+    rows = []
+    for n in sizes:
+        row = [n, round(n * math.log2(n), 0)]
+        for name, make in ALGORITHMS:
+            cost = measure(make, n)
+            costs[name].append(cost)
+            row.append(cost)
+        rows.append(row)
+    print_table(
+        "E7a: canonical execution cost, state-change model (sequential)",
+        ["n", "n*log2(n)", "tournament", "bakery", "peterson"],
+        rows,
+    )
+
+    rows = []
+    for name, _ in ALGORITHMS:
+        exponents = [
+            math.log2(costs[name][i + 1] / costs[name][i])
+            for i in range(len(sizes) - 1)
+        ]
+        rows.append(
+            [name, *(f"{e:.2f}" for e in exponents)]
+        )
+    print_table(
+        "E7b: growth exponent between successive doublings (log2 ratio)",
+        ["algorithm", "4->8", "8->16", "16->32"],
+        rows,
+        note="~1 + o(1) = n log n (tournament); ~2 = n^2 (bakery); "
+        "~3 = n^3 (peterson) -- who wins matches the lecture",
+    )
+
+    rows = []
+    for n in (4, 8, 12):
+        row = [n]
+        for name, make in ALGORITHMS:
+            row.append(measure(make, n, contended=True))
+        rows.append(row)
+    print_table(
+        "E7c: contended canonical executions (round-robin scheduler)",
+        ["n", "tournament", "bakery", "peterson"],
+        rows,
+        note="contention costs more but preserves the ordering",
+    )
+
+
+def test_tournament_cost_n16(benchmark):
+    cost = benchmark(measure, TournamentMutex, 16)
+    assert cost < measure(PetersonFilter, 16)
+
+
+def test_contended_tournament_n8(benchmark):
+    cost = benchmark.pedantic(
+        measure, args=(TournamentMutex, 8, True), rounds=1, iterations=1
+    )
+    assert cost > 0
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,98 @@
+"""E6 -- perturbable objects need n-1 registers and n-1 solo steps (JTT).
+
+Lecture Part I.1 (Jayanti-Tan-Toueg / Attiya et al.): obstruction-free
+counters (and snapshots) from historyless primitives have space and solo
+step complexity >= n-1.  Measured: the executable covering induction
+pins n-1 registers on the array counter and snapshot; the reader's solo
+operation touches all n-1 of them; under-provisioned counters yield
+linearizability-violation witnesses instead.
+
+Standalone:  python benchmarks/bench_perturbable.py
+Benchmark:   pytest benchmarks/bench_perturbable.py --benchmark-only
+"""
+
+import pytest
+
+from repro.analysis.report import print_table
+from repro.errors import ViolationError
+from repro.model.system import System
+from repro.perturbable import (
+    ArrayCounter,
+    LossySharedCounter,
+    SingleWriterSnapshot,
+    covering_induction,
+)
+
+
+def induce(protocol):
+    system = System(protocol)
+    return covering_induction(
+        system,
+        workers=protocol.workers,
+        reader=protocol.reader,
+        ops_to_perturb=protocol.ops_to_perturb,
+        completes_operation=protocol.completes_operation,
+    )
+
+
+def main() -> None:
+    rows = []
+    for make, sizes in ((ArrayCounter, (2, 3, 4, 6, 8, 12)),
+                        (SingleWriterSnapshot, (2, 3, 4, 6))):
+        for n in sizes:
+            certificate = induce(make(n))
+            rows.append(
+                [
+                    certificate.protocol_name,
+                    n,
+                    n - 1,
+                    certificate.bound,
+                    len(certificate.reader_registers),
+                    certificate.reader_steps,
+                ]
+            )
+    print_table(
+        "E6a: JTT covering induction on perturbable objects",
+        [
+            "object",
+            "n",
+            "bound n-1",
+            "registers covered",
+            "reader registers",
+            "reader solo steps",
+        ],
+        rows,
+        note="space AND solo time both reach n-1, as the lecture states",
+    )
+
+    rows = []
+    for n, k in ((4, 2), (6, 3), (8, 4)):
+        protocol = LossySharedCounter(n, k)
+        try:
+            induce(protocol)
+            verdict = "UNEXPECTEDLY SURVIVED"
+        except ViolationError as exc:
+            verdict = f"violation witness, {len(exc.witness)} steps"
+        rows.append([protocol.name, n, k, n - 1, verdict])
+    print_table(
+        "E6b: counters below n-1 registers are not linearizable",
+        ["object", "n", "registers", "needed", "adversary outcome"],
+        rows,
+    )
+
+
+def test_array_counter_n6(benchmark):
+    certificate = benchmark(induce, ArrayCounter(6))
+    assert certificate.bound == 5
+
+
+def test_lossy_counter_violates(benchmark):
+    def run():
+        with pytest.raises(ViolationError):
+            induce(LossySharedCounter(6, 3))
+
+    benchmark(run)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,109 @@
+"""E13 (extension) -- worst-case step complexity vs the JTT time floor.
+
+The lecture's Part I.1 bound is about *time and* space: deterministic
+implementations pay >= n-1 (solo) steps as well as n-1 registers.
+Measured: adversarial worst-case per-process step counts of the finite
+wait-free protocols (exact, by memoised DFS over the reachable graph),
+against the n-1 floor -- and the wait-freedom detector flagging the
+obstruction-free protocols, whose step complexity is unbounded.
+
+Standalone:  python benchmarks/bench_step_complexity.py
+Benchmark:   pytest benchmarks/bench_step_complexity.py --benchmark-only
+"""
+
+from repro.analysis.complexity import valency_by_depth, worst_case_steps
+from repro.analysis.report import print_table
+from repro.errors import AdversaryError
+from repro.model.system import System
+from repro.protocols.consensus import (
+    AdoptCommit,
+    CasConsensus,
+    CommitAdoptRounds,
+    TasConsensus,
+)
+
+
+def measure(protocol, inputs):
+    system = System(protocol)
+    try:
+        cost = max(
+            worst_case_steps(system, inputs, pid)
+            for pid in range(protocol.n)
+        )
+        return str(cost)
+    except AdversaryError:
+        return "unbounded (not wait-free)"
+
+
+def main() -> None:
+    from repro.model.registers import is_historyless
+
+    rows = []
+    cases = [
+        (CasConsensus(2), [0, 1]),
+        (CasConsensus(3), [0, 1, 0]),
+        (CasConsensus(4), [0, 1, 0, 1]),
+        (TasConsensus(), [0, 1]),
+        (AdoptCommit(2), [0, 1]),
+        (AdoptCommit(3), [0, 1, 1]),
+        (CommitAdoptRounds(2), [0, 1]),
+    ]
+    for protocol, inputs in cases:
+        historyless = all(
+            is_historyless(spec.kind) for spec in protocol.object_specs()
+        )
+        rows.append(
+            [
+                protocol.name,
+                protocol.n,
+                "yes" if historyless else "no",
+                protocol.n - 1,
+                measure(protocol, inputs),
+            ]
+        )
+    print_table(
+        "E13: adversarial worst-case steps per process vs the JTT floor",
+        ["protocol", "n", "historyless base", "floor n-1", "worst steps"],
+        rows,
+        note="the n-1 time floor binds implementations from HISTORYLESS "
+        "bases: adopt-commit (registers) and tas-consensus respect it; "
+        "CAS consensus undercuts it -- legitimately, its base object is "
+        "outside JTT's set B; the OF round protocol is correctly flagged "
+        "unbounded (a reachable racing cycle precedes its decisions)",
+    )
+
+    rows = []
+    for depth, configs, bivalent in valency_by_depth(
+        System(CasConsensus(3)), [0, 1, 0], max_depth=6
+    ):
+        rows.append([depth, configs, bivalent])
+    print_table(
+        "E13b: bivalence by depth, CAS consensus n=3",
+        ["depth", "configurations", "bivalent"],
+        rows,
+        note="one CAS step settles the object: bivalence exists only at "
+        "configurations where nobody touched it yet",
+    )
+
+
+def test_cas_one_step(benchmark):
+    system = System(CasConsensus(3))
+    cost = benchmark(worst_case_steps, system, [0, 1, 0], 0)
+    assert cost == 1
+
+
+def test_rounds_unbounded(benchmark):
+    def run():
+        try:
+            worst_case_steps(
+                System(CommitAdoptRounds(2)), [0, 1], 0, max_configs=50_000
+            )
+        except AdversaryError:
+            return True
+        return False
+
+    assert benchmark.pedantic(run, rounds=1, iterations=1)
+
+
+if __name__ == "__main__":
+    main()

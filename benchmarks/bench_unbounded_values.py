@@ -1,0 +1,117 @@
+"""E10 -- registers of unbounded size do not help (Section 1).
+
+Paper: "the bound holds even if the registers are of unbounded size ...
+having large registers cannot compensate for having too few registers."
+Measured: along the adversarial executions, the round-protocol's
+register *contents* grow (rounds are unbounded integers), yet the number
+of distinct registers the certificate pins is n-1 regardless; and
+extended adversarial stress runs grow values further without changing
+the covered-register count.
+
+Standalone:  python benchmarks/bench_unbounded_values.py
+Benchmark:   pytest benchmarks/bench_unbounded_values.py --benchmark-only
+"""
+
+from repro.analysis.report import print_table
+from repro.model.system import System
+from repro.protocols.consensus import CommitAdoptRounds
+
+try:
+    from benchmarks.bench_theorem1 import run_adversary
+except ImportError:  # standalone: python benchmarks/bench_unbounded_values.py
+    from bench_theorem1 import run_adversary
+
+
+def value_bits(value) -> int:
+    """Rough encoded size of a register value, in bits."""
+    if value is None:
+        return 1
+    round_number, proposal, vote = value
+    bits = max(1, int(round_number).bit_length()) + 2
+    if vote is not None:
+        bits += 3
+    return bits
+
+
+def max_value_bits_along(system, schedule) -> int:
+    config = system.initial_configuration(
+        [0, 1] + [0] * (system.protocol.n - 2)
+    )
+    worst = max(value_bits(v) for v in config.memory)
+    for pid in schedule:
+        config, _ = system.step(config, pid)
+        worst = max(worst, max(value_bits(v) for v in config.memory))
+    return worst
+
+
+def stress_rounds(n: int, steps: int, seed: int = 0):
+    """Let rounds race for a long time; report value growth and the
+    number of registers ever written.
+
+    Strict alternation of two racers keeps every round conflicted (each
+    collect sees the other's opposing proposal), so neither process ever
+    decides and rounds -- hence register contents -- grow forever.
+    """
+    del seed  # the adversarial schedule is deterministic
+    protocol = CommitAdoptRounds(n)
+    system = System(protocol)
+    config = system.initial_configuration([i % 2 for i in range(n)])
+    written = set()
+    worst_bits = 0
+    for index in range(steps):
+        pid = index % 2
+        if not system.enabled(config, pid):
+            break
+        config, step = system.step(config, pid)
+        if step.op.is_write:
+            written.add(step.op.obj)
+        worst_bits = max(
+            worst_bits, max(value_bits(v) for v in config.memory)
+        )
+    return worst_bits, len(written)
+
+
+def main() -> None:
+    rows = []
+    for n in (2, 3, 4):
+        certificate, _ = run_adversary(n)
+        system = System(CommitAdoptRounds(n))
+        schedule = certificate.alpha + certificate.phi + certificate.zeta
+        bits = max_value_bits_along(system, schedule)
+        rows.append([n, len(schedule), bits, certificate.bound, n - 1])
+    print_table(
+        "E10a: register value size vs registers pinned (adversarial runs)",
+        [
+            "n",
+            "steps",
+            "max value bits",
+            "registers pinned",
+            "bound n-1",
+        ],
+        rows,
+    )
+
+    rows = []
+    for steps in (200, 2_000, 20_000):
+        bits, written = stress_rounds(4, steps, seed=steps)
+        rows.append([4, steps, bits, written])
+    print_table(
+        "E10b: two racers stress rounds -- values grow, register set stays",
+        ["n", "race steps", "max value bits", "distinct registers written"],
+        rows,
+        note="register contents grow without bound (rounds), the set of "
+        "registers does not: big values never substitute for registers",
+    )
+
+
+def test_stress_values_grow(benchmark):
+    bits, written = benchmark.pedantic(
+        stress_rounds, args=(4, 5_000), rounds=1, iterations=1
+    )
+    small_bits, _ = stress_rounds(4, 100)
+    assert bits > small_bits
+    assert written <= 2
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+"""E2b -- registers exercised, not just declared.
+
+Complements E2: the theorem bounds the registers a protocol must *have*;
+this bench profiles the registers real executions *touch*.  Every
+register of the n-register protocols is both read and written in
+randomized runs -- none is decorative -- and the broken protocols'
+smaller footprints are visible at a glance.
+
+Standalone:  python benchmarks/bench_usage.py
+Benchmark:   pytest benchmarks/bench_usage.py --benchmark-only
+"""
+
+from repro.analysis.report import print_table
+from repro.analysis.usage import profile_usage
+from repro.model.system import System
+from repro.protocols.consensus import (
+    CommitAdoptRounds,
+    KSetPartition,
+    shared_register_rounds,
+)
+from repro.protocols.consensus.racing import RacingCounters
+
+
+def profile(protocol, runs=12):
+    system = System(protocol)
+    inputs = [i % 2 for i in range(protocol.n)]
+    return profile_usage(
+        system, inputs, runs=runs, schedule_length=150 * protocol.n, seed=1
+    )
+
+
+def main() -> None:
+    rows = []
+    for protocol in (
+        CommitAdoptRounds(3),
+        CommitAdoptRounds(5),
+        RacingCounters(3),
+        KSetPartition(5, 2),
+        shared_register_rounds(4, 2),
+    ):
+        result = profile(protocol)
+        rows.append(
+            [
+                protocol.name,
+                protocol.n,
+                protocol.num_objects,
+                result.registers_written,
+                result.registers_read,
+                protocol.n - 1,
+            ]
+        )
+    print_table(
+        "E2b: registers declared vs exercised (randomized executions)",
+        [
+            "protocol",
+            "n",
+            "declared",
+            "written",
+            "read",
+            "theorem floor n-1",
+        ],
+        rows,
+        note="every declared register carries real traffic; correct "
+        "protocols exercise >= n-1 of them, matching the certificates",
+    )
+
+    detail = profile(CommitAdoptRounds(3))
+    print_table(
+        "E2b detail: per-register traffic, commit-adopt-rounds n=3",
+        ["register", "reads", "writes", "writers", "distinct values"],
+        detail.rows(),
+    )
+
+
+def test_usage_covers_all_registers(benchmark):
+    result = benchmark.pedantic(
+        profile, args=(CommitAdoptRounds(4),), rounds=1, iterations=1
+    )
+    assert result.registers_written == 4
+    assert result.registers_read == 4
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Quickstart: model-check a consensus protocol, then run the paper's
+adversary against it.
+
+The library's core loop in four moves:
+
+1. build an n-process protocol (here: obstruction-free consensus from
+   n single-writer registers);
+2. model-check agreement/validity exhaustively for small n;
+3. run the Theorem 1 adversary (Zhu, STOC 2016): it constructs an
+   adversarial execution pinning n-1 distinct registers;
+4. validate the returned certificate by pure replay.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.analysis.checker import check_consensus_exhaustive
+from repro.core.theorem import space_lower_bound
+from repro.model.system import System
+from repro.protocols.consensus import CommitAdoptRounds
+
+
+def main() -> None:
+    n = 3
+    protocol = CommitAdoptRounds(n)
+    system = System(protocol)
+    print(f"protocol: {protocol.describe()}")
+
+    # 1-2. Model checking: every interleaving of a 2-process instance,
+    # a bounded prefix of the 3-process graph.
+    small = System(CommitAdoptRounds(2))
+    for inputs in [(0, 0), (0, 1), (1, 0), (1, 1)]:
+        result = check_consensus_exhaustive(small, list(inputs))
+        status = "exhaustive" if result.exhaustive else "bounded"
+        print(
+            f"  n=2 inputs={inputs}: ok={result.ok} "
+            f"({result.configs_visited} configurations, {status})"
+        )
+
+    # 3. The adversary.  The oracle runs in bounded mode because a real
+    # obstruction-free protocol has unbounded races; the certificate
+    # below is validated by replay, independent of any oracle guess.
+    certificate = space_lower_bound(
+        system, strict=False, max_configs=30_000, max_depth=60
+    )
+    print(f"\nadversary: {certificate.summary()}")
+    print(f"  schedule alpha ({len(certificate.alpha)} steps): "
+          f"{list(certificate.alpha)}")
+    print(f"  covering map: {certificate.covering}")
+    print(f"  hidden process z={certificate.z} poised to write fresh "
+          f"register r{certificate.fresh_register}")
+
+    # 4. Replay-validate (raises CertificateError on any mismatch).
+    certificate.validate(System(CommitAdoptRounds(n)))
+    print("\ncertificate replay-validated: the protocol provably uses "
+          f">= {certificate.bound} registers on {n} processes.")
+
+
+if __name__ == "__main__":
+    main()

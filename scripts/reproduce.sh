@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Reproduce everything: install, tests, benchmarks, experiment tables.
+#
+#   scripts/reproduce.sh          # full (the E1 sweep to n=6 takes minutes)
+#   scripts/reproduce.sh --quick  # E1 capped at n=4
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== install =="
+python setup.py develop >/dev/null 2>&1 \
+  || pip install -e . --no-build-isolation
+
+echo "== test suite =="
+python -m pytest tests/ -q | tee test_output.txt
+
+echo "== benchmark timings =="
+python -m pytest benchmarks/ --benchmark-only -q | tee bench_output.txt
+
+echo "== experiment tables (EXPERIMENTS.md) =="
+( cd benchmarks && python run_all.py "${1:-}" )

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The execution environment has setuptools but no ``wheel`` package and no
+network, so PEP 660 editable installs (``pip install -e .``) cannot build
+a wheel.  This shim keeps ``python setup.py develop`` working as the
+offline-friendly equivalent; all metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

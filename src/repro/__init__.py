@@ -1,0 +1,47 @@
+"""repro -- an executable "A Tight Space Bound for Consensus".
+
+The package turns Zhu's PODC/STOC 2016 lower bound -- every
+nondeterministic solo terminating binary consensus protocol for n
+processes uses at least n-1 registers -- into a running system:
+
+* :mod:`repro.model` -- the asynchronous shared-memory model;
+* :mod:`repro.core` -- the proof, executable: refined valency, covering,
+  Lemmas 1-4, Theorem 1, replayable certificates;
+* :mod:`repro.protocols` -- the upper bounds and the counterexamples;
+* :mod:`repro.perturbable` -- the Jayanti-Tan-Toueg covering induction
+  for long-lived objects;
+* :mod:`repro.mutex` -- the Fan-Lynch Omega(n log n) mutual-exclusion
+  machinery;
+* :mod:`repro.analysis` -- explorers, model checkers, FLP adversary,
+  witness shrinking, complexity instruments;
+* :mod:`repro.cli` -- the ``python -m repro`` front-end.
+
+Sixty-second tour::
+
+    from repro import System, CommitAdoptRounds, space_lower_bound
+
+    system = System(CommitAdoptRounds(4))
+    certificate = space_lower_bound(system, strict=False,
+                                    max_configs=30_000, max_depth=60)
+    print(certificate.summary())   # ... pins 3 distinct registers >= n-1
+    certificate.validate(System(CommitAdoptRounds(4)))
+"""
+
+from repro.core.certificate import SpaceBoundCertificate
+from repro.core.theorem import space_lower_bound
+from repro.core.valency import ValencyOracle, initial_bivalent_configuration
+from repro.model.system import System
+from repro.protocols.consensus import CommitAdoptRounds, RacingCounters
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CommitAdoptRounds",
+    "RacingCounters",
+    "SpaceBoundCertificate",
+    "System",
+    "ValencyOracle",
+    "__version__",
+    "initial_bivalent_configuration",
+    "space_lower_bound",
+]

@@ -1,0 +1,43 @@
+"""Exploration and verification tools built on the shared-memory model.
+
+* :mod:`repro.analysis.explorer` -- breadth-first exploration of the
+  configurations reachable by steps of a chosen process set, with
+  protocol-declared canonicalization.  This is the engine underneath the
+  valency oracle.
+* :mod:`repro.analysis.checker` -- model checking of consensus
+  specifications (agreement, validity, solo termination) on the full
+  reachable graph, plus randomized schedule testing for sizes where
+  exhaustive checking is out of reach.
+* :mod:`repro.analysis.report` -- small table-formatting helpers shared
+  by the benchmark harnesses.
+"""
+
+from repro.analysis.explorer import ExplorationResult, Explorer
+from repro.analysis.checker import (
+    CheckResult,
+    check_consensus_exhaustive,
+    check_consensus_random,
+    check_solo_termination,
+)
+from repro.analysis.flp import extend_bivalence, undecided_forever_demo
+from repro.analysis.shrink import (
+    agreement_violated,
+    replay_holds,
+    shrink_witness,
+)
+from repro.analysis.symmetry import SymmetricKey
+
+__all__ = [
+    "CheckResult",
+    "ExplorationResult",
+    "Explorer",
+    "SymmetricKey",
+    "agreement_violated",
+    "check_consensus_exhaustive",
+    "check_consensus_random",
+    "check_solo_termination",
+    "extend_bivalence",
+    "replay_holds",
+    "shrink_witness",
+    "undecided_forever_demo",
+]

@@ -1,0 +1,265 @@
+"""Model checking of consensus specifications.
+
+``check_consensus_exhaustive`` walks the *entire* reachable configuration
+graph of a protocol (all processes enabled, all interleavings) and checks
+at every configuration:
+
+* **Agreement** (or k-agreement): at most ``k`` distinct decided values;
+* **Validity**: every decided value is some process's input;
+* optionally **solo termination** from every reachable configuration:
+  each process decides if run alone (nondeterministic solo termination is
+  the liveness condition under which the paper's bound holds).
+
+When the reachable graph is finite (possibly after the protocol's
+canonical abstraction) this is a proof for the given input assignment;
+the caller typically iterates over all input assignments.
+
+``check_consensus_random`` drives randomized bursty schedules for sizes
+where exhaustive checking is out of reach.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+from repro.errors import ExplorationLimitError
+from repro.model.configuration import Configuration
+from repro.model.schedule import Schedule, random_bursty_schedule
+from repro.model.system import System
+
+
+@dataclass
+class Violation:
+    """A specification violation with a witness schedule from the start."""
+
+    kind: str
+    schedule: Schedule
+    detail: str
+
+
+@dataclass
+class CheckResult:
+    """Outcome of a consensus check."""
+
+    ok: bool
+    configs_visited: int = 0
+    violations: List[Violation] = field(default_factory=list)
+    exhaustive: bool = False
+    note: str = ""
+
+    def first_violation(self) -> Optional[Violation]:
+        return self.violations[0] if self.violations else None
+
+
+def _config_violations(
+    system: System,
+    config: Configuration,
+    inputs: Sequence[Hashable],
+    schedule: Schedule,
+    k: int,
+) -> List[Violation]:
+    """Agreement/validity violations visible in a single configuration."""
+    out: List[Violation] = []
+    decided = system.decided_values(config)
+    if len(decided) > k:
+        out.append(
+            Violation(
+                kind="agreement",
+                schedule=schedule,
+                detail=f"{len(decided)} distinct values decided: "
+                f"{sorted(decided, key=repr)} (allowed: {k})",
+            )
+        )
+    bad = decided - set(inputs)
+    if bad:
+        out.append(
+            Violation(
+                kind="validity",
+                schedule=schedule,
+                detail=f"decided values {sorted(bad, key=repr)} are not inputs "
+                f"{list(inputs)}",
+            )
+        )
+    return out
+
+
+def check_consensus_exhaustive(
+    system: System,
+    inputs: Sequence[Hashable],
+    k: int = 1,
+    max_configs: int = 500_000,
+    check_solo: bool = False,
+    solo_step_bound: int = 10_000,
+    stop_at_first: bool = True,
+    strict: bool = True,
+) -> CheckResult:
+    """Exhaustively check (k-set) agreement + validity for one input vector.
+
+    Raises :class:`ExplorationLimitError` when the reachable graph (after
+    the protocol's canonical abstraction) exceeds ``max_configs``.  With
+    ``strict=False`` the budget overrun instead ends the search: the
+    result reports no violation among the configurations visited, with
+    ``exhaustive=False`` and an explanatory note (bounded verification).
+    """
+    protocol = system.protocol
+    root = system.initial_configuration(inputs)
+    root_key = protocol.canonical_key(root)
+    parents: Dict[Hashable, Optional[Tuple[Hashable, int]]] = {root_key: None}
+    queue = deque([(root, root_key)])
+    result = CheckResult(ok=True)
+    all_pids = range(protocol.n)
+
+    def path_to(key: Hashable) -> Schedule:
+        steps: List[int] = []
+        cursor = parents[key]
+        while cursor is not None:
+            parent_key, pid = cursor
+            steps.append(pid)
+            cursor = parents[parent_key]
+        steps.reverse()
+        return tuple(steps)
+
+    while queue:
+        config, key = queue.popleft()
+        found = _config_violations(system, config, inputs, path_to(key), k)
+        if check_solo and not found:
+            found.extend(
+                _solo_violations(system, config, path_to(key), solo_step_bound)
+            )
+        if found:
+            result.violations.extend(found)
+            result.ok = False
+            if stop_at_first:
+                result.configs_visited = len(parents)
+                return result
+        for pid in all_pids:
+            if not system.enabled(config, pid):
+                continue
+            succ, _ = system.step(config, pid)
+            succ_key = protocol.canonical_key(succ)
+            if succ_key in parents:
+                continue
+            parents[succ_key] = (key, pid)
+            if len(parents) > max_configs:
+                if strict:
+                    raise ExplorationLimitError(
+                        f"reachable graph exceeds {max_configs} "
+                        "configurations",
+                        visited=len(parents),
+                    )
+                result.configs_visited = len(parents)
+                result.note = (
+                    f"bounded verification: no violation within the first "
+                    f"{max_configs} configurations (graph not exhausted)"
+                )
+                return result
+            queue.append((succ, succ_key))
+
+    result.configs_visited = len(parents)
+    result.exhaustive = True
+    return result
+
+
+def _solo_violations(
+    system: System,
+    config: Configuration,
+    prefix: Schedule,
+    solo_step_bound: int,
+) -> List[Violation]:
+    """Check solo termination of every live process from ``config``."""
+    out: List[Violation] = []
+    for pid in range(system.protocol.n):
+        if not system.enabled(config, pid):
+            continue
+        try:
+            final, trace = system.solo_run(config, pid, solo_step_bound)
+        except Exception as exc:  # noqa: BLE001 - report, don't crash the sweep
+            out.append(
+                Violation(
+                    kind="solo-termination",
+                    schedule=prefix + (pid,) * solo_step_bound,
+                    detail=f"process {pid} solo run failed: {exc}",
+                )
+            )
+            continue
+        if system.decision(final, pid) is None and system.enabled(final, pid):
+            out.append(
+                Violation(
+                    kind="solo-termination",
+                    schedule=prefix + (pid,) * len(trace),
+                    detail=f"process {pid} ran {len(trace)} solo steps "
+                    "without deciding",
+                )
+            )
+    return out
+
+
+def check_consensus_random(
+    system: System,
+    inputs: Sequence[Hashable],
+    k: int = 1,
+    runs: int = 200,
+    schedule_length: int = 2_000,
+    seed: int = 0,
+    require_all_decide: bool = True,
+) -> CheckResult:
+    """Randomized bursty-schedule testing for larger systems.
+
+    Each run applies a random bursty schedule then lets every remaining
+    process run solo to completion; agreement and validity are checked on
+    the final configuration.  Bursts both exercise contention and give
+    obstruction-free protocols room to decide.
+    """
+    protocol = system.protocol
+    rng = random.Random(seed)
+    pids = list(range(protocol.n))
+    result = CheckResult(ok=True)
+    for run_index in range(runs):
+        schedule = random_bursty_schedule(pids, schedule_length, rng)
+        config = system.initial_configuration(inputs)
+        config, _ = system.run(config, schedule, skip_halted=True)
+        tail: List[int] = []
+        for pid in pids:
+            final, trace = system.solo_run(config, pid, max_steps=100_000)
+            config = final
+            tail.extend([pid] * len(trace))
+        full = schedule + tuple(tail)
+        result.violations.extend(
+            _config_violations(system, config, inputs, full, k)
+        )
+        if require_all_decide:
+            undecided = [
+                pid for pid in pids if system.decision(config, pid) is None
+            ]
+            if undecided:
+                result.violations.append(
+                    Violation(
+                        kind="termination",
+                        schedule=full,
+                        detail=f"processes {undecided} undecided after solo "
+                        f"completion (run {run_index})",
+                    )
+                )
+        if result.violations:
+            result.ok = False
+            break
+        result.configs_visited += len(full)
+    return result
+
+
+def check_solo_termination(
+    system: System,
+    inputs: Sequence[Hashable],
+    max_steps: int = 10_000,
+) -> CheckResult:
+    """Check that every process decides when run alone from the start."""
+    result = CheckResult(ok=True)
+    base = system.initial_configuration(inputs)
+    violations = _solo_violations(system, base, (), max_steps)
+    if violations:
+        result.ok = False
+        result.violations = violations
+    return result

@@ -1,0 +1,121 @@
+"""Worst-case step complexity and valency landscapes of finite protocols.
+
+Two instruments over exhaustively-explorable protocols:
+
+* :func:`worst_case_steps` -- the adversarial per-process step
+  complexity: the maximum number of steps process p can be made to take
+  before deciding, over all schedules.  Computed by memoised DFS over
+  the reachable graph (counting only p's steps; adversary moves freely
+  in between).  Raises on cyclic graphs -- a cycle that p's decision
+  does not cut means the protocol is not wait-free for p, and the cycle
+  is reported as a witness.  This is the executable companion to the
+  Jayanti-Tan-Toueg *time* half: deterministic implementations of
+  perturbable objects need >= n-1 solo steps, and wait-free consensus
+  objects show their step bills here.
+
+* :func:`valency_by_depth` -- the bivalence landscape: how many
+  configurations at each BFS depth are bivalent for the full process
+  set.  FLP says bivalence can be driven deep; on wait-free finite
+  protocols it instead dies by a fixed depth, and the table shows
+  exactly where.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Sequence, Tuple
+
+from repro.errors import AdversaryError, ExplorationLimitError
+from repro.core.valency import ValencyOracle
+from repro.model.configuration import Configuration
+from repro.model.system import System
+
+
+def worst_case_steps(
+    system: System,
+    inputs: Sequence[Hashable],
+    pid: int,
+    max_configs: int = 200_000,
+) -> int:
+    """Max steps ``pid`` takes before deciding, over all schedules."""
+    protocol = system.protocol
+    root = system.initial_configuration(list(inputs))
+    memo: Dict[Hashable, int] = {}
+    on_stack: set = set()
+
+    def search(config: Configuration) -> int:
+        key = protocol.canonical_key(config)
+        if key in memo:
+            return memo[key]
+        if key in on_stack:
+            raise AdversaryError(
+                f"cycle reachable before process {pid} decides: the "
+                "protocol is not wait-free for it"
+            )
+        if len(memo) + len(on_stack) > max_configs:
+            raise ExplorationLimitError(
+                f"worst-case search exceeded {max_configs} configurations"
+            )
+        if not system.enabled(config, pid):
+            memo[key] = 0
+            return 0
+        on_stack.add(key)
+        best = 0
+        for actor in range(protocol.n):
+            if not system.enabled(config, actor):
+                continue
+            succ, _ = system.step(config, actor)
+            cost = (1 if actor == pid else 0) + search(succ)
+            best = max(best, cost)
+        on_stack.discard(key)
+        memo[key] = best
+        return best
+
+    return search(root)
+
+
+def valency_by_depth(
+    system: System,
+    inputs: Sequence[Hashable],
+    max_depth: int,
+    max_configs: int = 200_000,
+    values: Sequence[Hashable] = (0, 1),
+) -> List[Tuple[int, int, int]]:
+    """Rows of (depth, configurations, bivalent configurations).
+
+    Bivalence is of the full process set over the given decision value
+    domain (pass the object's actual outputs for non-binary protocols,
+    e.g. adopt-commit's (verdict, value) pairs); the oracle must be
+    exact, so the protocol's reachable graph needs to be finite (CAS,
+    adopt-commit, splitters...).
+    """
+    protocol = system.protocol
+    oracle = ValencyOracle(system, values=values, max_configs=max_configs)
+    everyone = frozenset(range(protocol.n))
+    root = system.initial_configuration(list(inputs))
+    seen = {protocol.canonical_key(root)}
+    frontier = [root]
+    rows: List[Tuple[int, int, int]] = []
+    for depth in range(max_depth + 1):
+        if not frontier:
+            break
+        bivalent = sum(
+            1 for config in frontier if oracle.is_bivalent(config, everyone)
+        )
+        rows.append((depth, len(frontier), bivalent))
+        next_frontier: List[Configuration] = []
+        for config in frontier:
+            for pid in range(protocol.n):
+                if not system.enabled(config, pid):
+                    continue
+                succ, _ = system.step(config, pid)
+                key = protocol.canonical_key(succ)
+                if key in seen:
+                    continue
+                seen.add(key)
+                if len(seen) > max_configs:
+                    raise ExplorationLimitError(
+                        f"valency map exceeded {max_configs} configurations"
+                    )
+                next_frontier.append(succ)
+        frontier = next_frontier
+    return rows

@@ -1,0 +1,182 @@
+"""Breadth-first exploration of P-only reachable configurations.
+
+The valency oracle needs to answer "can the process set P decide v from
+configuration C?", i.e. whether some P-only execution from C reaches a
+configuration where v has been decided (Definition 1 of the paper).  The
+explorer computes the reachable graph of P-only steps, deduplicating
+configurations by the protocol's :meth:`canonical_key`, and records a
+parent pointer per configuration so witness schedules can be read back.
+
+Exploration is exact: if the (canonical) reachable graph is larger than
+the configured budget, :class:`~repro.errors.ExplorationLimitError` is
+raised rather than returning a possibly-wrong answer.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Hashable, List, Optional, Tuple
+
+from repro.errors import ExplorationLimitError
+from repro.model.configuration import Configuration
+from repro.model.schedule import Schedule
+from repro.model.system import System
+
+#: Default budget on distinct canonical configurations per exploration.
+DEFAULT_MAX_CONFIGS = 200_000
+
+
+@dataclass
+class ExplorationResult:
+    """Outcome of one P-only exploration.
+
+    ``decided`` maps each value that is decidable from the root to a
+    witness schedule (a P-only schedule from the root after which some
+    process has decided that value).  ``complete`` records whether the
+    whole reachable graph was exhausted; when a ``stop_when`` target was
+    hit early, or the depth bound truncated the frontier, the graph may
+    be incomplete but ``decided`` is still sound for the values it
+    contains.
+    """
+
+    root: Configuration
+    pids: FrozenSet[int]
+    decided: Dict[Hashable, Schedule] = field(default_factory=dict)
+    visited: int = 0
+    complete: bool = False
+    truncated: bool = False
+
+    def can_decide(self, value: Hashable) -> bool:
+        return value in self.decided
+
+    def witness(self, value: Hashable) -> Schedule:
+        return self.decided[value]
+
+
+class Explorer:
+    """Explores the configurations reachable by steps of a process set."""
+
+    def __init__(
+        self,
+        system: System,
+        max_configs: int = DEFAULT_MAX_CONFIGS,
+        max_depth: Optional[int] = None,
+        strict: bool = True,
+    ):
+        """``strict`` explorers raise :class:`ExplorationLimitError` when
+        the configuration budget is exceeded; non-strict explorers return
+        a truncated (incomplete) result instead.  ``max_depth`` bounds
+        the BFS depth (schedule length); a depth-truncated search is
+        never ``complete``."""
+        self.system = system
+        self.max_configs = max_configs
+        self.max_depth = max_depth
+        self.strict = strict
+
+    def explore(
+        self,
+        root: Configuration,
+        pids: FrozenSet[int] | Tuple[int, ...],
+        stop_when: Optional[FrozenSet[Hashable]] = None,
+    ) -> ExplorationResult:
+        """BFS over P-only steps from ``root``.
+
+        ``stop_when``: if given, exploration stops as soon as every value
+        in the set has been found decidable (early exit for bivalence
+        queries).  Without it, the reachable graph is exhausted up to the
+        configured budgets.
+
+        In strict mode, raises :class:`ExplorationLimitError` if the
+        number of distinct canonical configurations exceeds the budget
+        before the search finished -- the caller must not treat a partial
+        search as evidence of univalence.  Depth truncation and
+        non-strict budget truncation are reported via ``truncated`` /
+        ``complete`` on the result.
+        """
+        system = self.system
+        protocol = system.protocol
+        pid_set = frozenset(pids)
+        result = ExplorationResult(root=root, pids=pid_set)
+
+        # Deduplicate on the *query* key: configurations interchangeable
+        # for P-only reachability (for symmetric protocols this quotients
+        # by permutations fixing P setwise).
+        def key_of(config: Configuration) -> Hashable:
+            return protocol.canonical_query_key(config, pid_set)
+
+        # parent[key] = (parent_key, pid) for witness reconstruction.
+        parents: Dict[Hashable, Optional[Tuple[Hashable, int]]] = {}
+        root_key = key_of(root)
+        parents[root_key] = None
+        queue = deque([(root, root_key, 0)])
+        found: Dict[Hashable, Hashable] = {}  # value -> deciding key
+
+        def record_decisions(config: Configuration, key: Hashable) -> None:
+            for value in system.decided_values(config):
+                if value not in found:
+                    found[value] = key
+
+        def finish(complete: bool) -> ExplorationResult:
+            result.decided = {
+                v: self._path(parents, k) for v, k in found.items()
+            }
+            result.visited = len(parents)
+            result.complete = complete and not result.truncated
+            return result
+
+        record_decisions(root, root_key)
+        if stop_when is not None and stop_when <= set(found):
+            return finish(complete=False)
+
+        sorted_pids = sorted(pid_set)
+        while queue:
+            config, key, depth = queue.popleft()
+            if self.max_depth is not None and depth >= self.max_depth:
+                result.truncated = True
+                continue
+            for pid in sorted_pids:
+                if not system.enabled(config, pid):
+                    continue
+                succ, _ = system.step(config, pid)
+                succ_key = key_of(succ)
+                if succ_key in parents:
+                    continue
+                parents[succ_key] = (key, pid)
+                if len(parents) > self.max_configs:
+                    if self.strict:
+                        raise ExplorationLimitError(
+                            f"exploration from root exceeded "
+                            f"{self.max_configs} configurations "
+                            f"(pids={sorted(pid_set)})",
+                            visited=len(parents),
+                        )
+                    result.truncated = True
+                    return finish(complete=False)
+                record_decisions(succ, succ_key)
+                if stop_when is not None and stop_when <= set(found):
+                    return finish(complete=False)
+                queue.append((succ, succ_key, depth + 1))
+
+        return finish(complete=True)
+
+    @staticmethod
+    def _path(
+        parents: Dict[Hashable, Optional[Tuple[Hashable, int]]],
+        key: Hashable,
+    ) -> Schedule:
+        """Reconstruct the schedule from the root to ``key``."""
+        steps: List[int] = []
+        cursor = parents[key]
+        while cursor is not None:
+            parent_key, pid = cursor
+            steps.append(pid)
+            cursor = parents[parent_key]
+        steps.reverse()
+        return tuple(steps)
+
+    def reachable_count(
+        self, root: Configuration, pids: FrozenSet[int] | Tuple[int, ...]
+    ) -> int:
+        """Number of distinct canonical configurations reachable P-only."""
+        return self.explore(root, pids).visited

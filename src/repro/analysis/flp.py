@@ -1,0 +1,91 @@
+"""FLP-style bivalence extension: delaying consensus forever.
+
+The paper's valency notion refines Fischer-Lynch-Paterson [FLP85], whose
+impossibility argument shows an adversary can keep a deterministic
+consensus protocol bivalent forever.  For obstruction-free protocols the
+same engine produces arbitrarily long non-deciding executions (which is
+why they are only *obstruction*-free: someone must eventually run solo).
+
+``extend_bivalence`` is that adversary, executable: starting from a
+configuration where the process set P is bivalent, it repeatedly picks a
+step by some process in P after which P is still bivalent.  The returned
+schedule is concrete evidence that no finite amount of contention forces
+a decision -- the dual of the covering adversary, built on the same
+valency oracle.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, FrozenSet, List, Tuple
+
+from repro.errors import AdversaryError
+from repro.model.configuration import Configuration
+from repro.model.schedule import Schedule
+from repro.model.system import System
+
+if TYPE_CHECKING:  # pragma: no cover - layering: core imports analysis
+    from repro.core.valency import ValencyOracle
+
+
+def extend_bivalence(
+    system: System,
+    oracle: "ValencyOracle",
+    config: Configuration,
+    pids: FrozenSet[int],
+    steps: int,
+) -> Tuple[Schedule, Configuration]:
+    """A P-only schedule of the given length after which P is bivalent.
+
+    Greedy: at each configuration, take the first enabled step (in pid
+    order) that preserves bivalence of P.  FLP's argument guarantees a
+    bivalence-preserving step exists from every bivalent configuration
+    of a correct protocol; if the greedy scan finds none (possible with
+    a bounded oracle whose witnesses ran out of budget),
+    :class:`AdversaryError` reports how far it got.
+    """
+    pid_set = frozenset(pids)
+    if not oracle.is_bivalent(config, pid_set):
+        raise AdversaryError("extend_bivalence needs a bivalent start")
+    schedule: List[int] = []
+    current = config
+    for _ in range(steps):
+        for pid in sorted(pid_set):
+            if not system.enabled(current, pid):
+                continue
+            candidate, _ = system.step(current, pid)
+            if oracle.is_bivalent(candidate, pid_set):
+                current = candidate
+                schedule.append(pid)
+                break
+        else:
+            raise AdversaryError(
+                f"no bivalence-preserving step found after {len(schedule)} "
+                "steps (oracle budget too small, or the protocol is not a "
+                "correct consensus protocol)"
+            )
+    return tuple(schedule), current
+
+
+def undecided_forever_demo(
+    system: System,
+    inputs,
+    pids: FrozenSet[int],
+    steps: int,
+    max_configs: int = 20_000,
+    max_depth: int = 50,
+) -> Schedule:
+    """Convenience wrapper: bivalence extension from the initial
+    configuration with a bounded oracle; asserts nobody decided."""
+    from repro.core.valency import ValencyOracle
+
+    oracle = ValencyOracle(
+        system, max_configs=max_configs, max_depth=max_depth, strict=False
+    )
+    config = system.initial_configuration(list(inputs))
+    schedule, final = extend_bivalence(system, oracle, config, pids, steps)
+    if system.decided_values(final):
+        raise AdversaryError(
+            "a process decided during the bivalent extension; the oracle "
+            "mislabelled a configuration as bivalent"
+        )
+    return schedule

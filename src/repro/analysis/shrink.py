@@ -1,0 +1,78 @@
+"""Delta-debugging shrinker for violation witnesses.
+
+Randomized schedule testing finds consensus violations with long, noisy
+witness schedules.  ``shrink_witness`` minimises them: it repeatedly
+removes chunks of the schedule (classic ddmin, halving chunk sizes) as
+long as the violation predicate still holds on replay.  The result is a
+locally-minimal witness -- removing any single step loses the violation
+-- which is the form worth reading and archiving.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable, List, Sequence
+
+from repro.model.schedule import Schedule
+from repro.model.system import System
+
+#: A predicate on (final configuration) deciding "still a violation".
+Predicate = Callable[[object], bool]
+
+
+def agreement_violated(system: System):
+    """Predicate factory: more than one distinct value decided."""
+
+    def check(config) -> bool:
+        return len(system.decided_values(config)) > 1
+
+    return check
+
+
+def replay_holds(
+    system: System,
+    inputs: Sequence[Hashable],
+    schedule: Sequence[int],
+    predicate: Predicate,
+) -> bool:
+    """Replay ``schedule`` from the initial configuration and test."""
+    config = system.initial_configuration(list(inputs))
+    config, _ = system.run(config, schedule, skip_halted=True)
+    return predicate(config)
+
+
+def shrink_witness(
+    system: System,
+    inputs: Sequence[Hashable],
+    schedule: Sequence[int],
+    predicate: Predicate,
+    max_passes: int = 16,
+) -> Schedule:
+    """ddmin: greedily remove chunks while the predicate keeps holding.
+
+    Requires the input schedule to satisfy the predicate; raises
+    ``ValueError`` otherwise (a witness that does not witness is a bug
+    worth surfacing at the call site, not something to shrink).
+    """
+    current: List[int] = list(schedule)
+    if not replay_holds(system, inputs, current, predicate):
+        raise ValueError("the given schedule does not satisfy the predicate")
+
+    for _ in range(max_passes):
+        changed = False
+        chunk = max(1, len(current) // 2)
+        while chunk >= 1:
+            index = 0
+            while index < len(current):
+                candidate = current[:index] + current[index + chunk :]
+                if candidate and replay_holds(
+                    system, inputs, candidate, predicate
+                ):
+                    current = candidate
+                    changed = True
+                    # Same index now points at fresh steps; retry there.
+                else:
+                    index += chunk
+            chunk //= 2
+        if not changed:
+            break
+    return tuple(current)

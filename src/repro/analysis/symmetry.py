@@ -1,0 +1,105 @@
+"""Process-symmetry reduction for anonymous protocols.
+
+An *anonymous* protocol runs the same program with the same initial
+environment shape on every process -- process identity is invisible to
+the code (the paper's Section 1 discusses the anonymous setting at
+length: Zhu15/Gel15 resolved it before the general case).  For such
+protocols, permuting process states (together with their coin positions
+and inputs) yields a bisimilar configuration: stepping process i on one
+side corresponds to stepping sigma(i) on the other.
+
+``SymmetricKey`` wraps a protocol and quotients its canonical key by
+that symmetry: the per-process (state, coins) pairs are sorted into a
+multiset.  Explorers and the valency oracle then search the quotient,
+which shrinks reachable graphs by up to n! for fully symmetric
+configurations.
+
+Caveat handled here: cached *witness schedules* name concrete pids, and
+under the quotient a cache hit may come from a permuted sibling of the
+current configuration -- so the valency oracle validates cached
+witnesses by replay before handing them out (see
+:meth:`ValencyOracle.witness`).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Optional, Tuple
+
+from repro.model.configuration import Configuration
+from repro.model.operations import Operation
+from repro.model.process import Protocol
+from repro.model.registers import ObjectSpec
+
+
+class SymmetricKey(Protocol):
+    """A protocol wrapper whose canonical key forgets process identity.
+
+    Only sound for anonymous protocols: the wrapped protocol must run
+    identical code on every process with no pid in the local state.
+    ``assert_anonymous`` performs a structural spot-check at
+    construction (same initial state for the same input on every pid).
+    """
+
+    def __init__(self, inner: Protocol, check_inputs=(0, 1)):
+        super().__init__(inner.n)
+        self.inner = inner
+        self.name = f"{inner.name}+symmetry"
+        for value in check_inputs:
+            states = {
+                inner.initial_state(pid, value) for pid in range(inner.n)
+            }
+            if len(states) != 1:
+                raise ValueError(
+                    f"{inner.name} is not anonymous: initial states differ "
+                    f"across processes for input {value!r}"
+                )
+
+    # -- delegate the automaton interface --------------------------------
+    def object_specs(self) -> Tuple[ObjectSpec, ...]:
+        return self.inner.object_specs()
+
+    def initial_state(self, pid: int, input_value: Hashable) -> Hashable:
+        return self.inner.initial_state(pid, input_value)
+
+    def poised(self, pid: int, state: Hashable) -> Optional[Operation]:
+        return self.inner.poised(pid, state)
+
+    def transition(self, pid: int, state: Hashable, response) -> Hashable:
+        return self.inner.transition(pid, state, response)
+
+    def decision(self, pid: int, state: Hashable) -> Optional[Hashable]:
+        return self.inner.decision(pid, state)
+
+    # -- the quotient ------------------------------------------------------
+    @staticmethod
+    def _multiset(pairs) -> Tuple:
+        """Order-forget a collection of (state, coins) pairs."""
+        return tuple(
+            sorted(pairs, key=lambda pair: (repr(pair[0]), pair[1]))
+        )
+
+    def canonical_key(self, config: Configuration) -> Hashable:
+        multiset = self._multiset(zip(config.states, config.coins))
+        return ("sym", multiset, config.memory)
+
+    def canonical_query_key(self, config: Configuration, pids) -> Hashable:
+        """Quotient by permutations that fix the queried set P setwise.
+
+        (C, P) and (sigma C, P) are interchangeable for P-only
+        reachability only when sigma maps P-members to P-members, so the
+        (state, coins) multisets of P and of its complement are
+        canonicalised separately.  Keying on the two multisets (rather
+        than on pid names) additionally identifies (C, P) with
+        (sigma C, sigma P) -- also sound, since "P-only" questions only
+        depend on the roles, not the names.
+        """
+        pid_set = frozenset(pids)
+        inside = self._multiset(
+            (config.states[pid], config.coins[pid]) for pid in pid_set
+        )
+        outside = self._multiset(
+            (config.states[pid], config.coins[pid])
+            for pid in range(self.n)
+            if pid not in pid_set
+        )
+        return ("sym-q", inside, outside, config.memory)

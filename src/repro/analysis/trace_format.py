@@ -1,0 +1,90 @@
+"""Human-readable rendering of executions.
+
+Turns step traces into aligned, per-process-lane ASCII timelines --
+the format the examples print and the certificates' stories are told
+in.  Pure functions over recorded steps; golden-string tested.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, List, Optional, Sequence
+
+from repro.model.operations import (
+    CoinFlip,
+    CompareAndSwap,
+    FetchAndAdd,
+    Marker,
+    Read,
+    Step,
+    Swap,
+    TestAndSet,
+    Write,
+)
+
+
+def describe_op(op) -> str:
+    """A compact one-token description of an operation."""
+    if isinstance(op, Read):
+        return f"read r{op.obj}"
+    if isinstance(op, Write):
+        return f"write r{op.obj}={op.value!r}"
+    if isinstance(op, Swap):
+        return f"swap r{op.obj}={op.value!r}"
+    if isinstance(op, TestAndSet):
+        return f"t&s r{op.obj}"
+    if isinstance(op, CompareAndSwap):
+        return f"cas r{op.obj} {op.expected!r}->{op.new!r}"
+    if isinstance(op, FetchAndAdd):
+        return f"f&a r{op.obj}+{op.delta}"
+    if isinstance(op, CoinFlip):
+        return "flip"
+    if isinstance(op, Marker):
+        return f"[{op.label}]"
+    return repr(op)
+
+
+def describe_step(step: Step) -> str:
+    """One line for one step, response included when informative."""
+    body = describe_op(step.op)
+    if isinstance(step.op, (Read, Swap, TestAndSet, CompareAndSwap,
+                            FetchAndAdd, CoinFlip)):
+        return f"p{step.pid} {body} -> {step.response!r}"
+    return f"p{step.pid} {body}"
+
+
+def format_trace(
+    trace: Sequence[Step],
+    n: int,
+    max_steps: Optional[int] = None,
+) -> str:
+    """A lane-per-process timeline.
+
+    Each row is one step; the acting process's lane holds the operation,
+    other lanes stay empty -- concurrency structure at a glance.
+    """
+    shown = list(trace if max_steps is None else trace[:max_steps])
+    cells = [describe_step(step).split(" ", 1)[1] for step in shown]
+    width = max((len(cell) for cell in cells), default=8)
+    width = max(width, 8)
+    header = "step  " + "  ".join(
+        f"p{pid}".ljust(width) for pid in range(n)
+    )
+    lines: List[str] = [header, "-" * len(header)]
+    for index, (step, cell) in enumerate(zip(shown, cells)):
+        row = ["" for _ in range(n)]
+        row[step.pid] = cell
+        lines.append(
+            f"{index:4d}  " + "  ".join(col.ljust(width) for col in row)
+        )
+    if max_steps is not None and len(trace) > max_steps:
+        lines.append(f"... ({len(trace) - max_steps} more steps)")
+    return "\n".join(lines)
+
+
+def format_decisions(decisions: Sequence[Optional[Hashable]]) -> str:
+    """One line summarising per-process decisions."""
+    parts = [
+        f"p{pid}={value!r}" if value is not None else f"p{pid}=?"
+        for pid, value in enumerate(decisions)
+    ]
+    return "decisions: " + "  ".join(parts)

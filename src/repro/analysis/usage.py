@@ -1,0 +1,117 @@
+"""Empirical register-usage profiling.
+
+The theorem speaks about the registers a protocol *has*; executions
+show which registers it *exercises*.  The profiler runs a protocol
+under randomized bursty schedules (completed by solo runs) and reports,
+per register: how often it is read, written, and how many distinct
+values it ever holds -- the observational counterpart to the
+certificates' worst-case claims, and the data behind the "registers
+exercised" columns of the usage bench.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.model.operations import Step
+from repro.model.schedule import random_bursty_schedule
+from repro.model.system import System
+
+
+@dataclass
+class RegisterUsage:
+    """Observed traffic on one register across profiled executions."""
+
+    reads: int = 0
+    writes: int = 0
+    writers: set = field(default_factory=set)
+    values: set = field(default_factory=set)
+
+
+@dataclass
+class UsageProfile:
+    """Aggregated register usage over a batch of executions."""
+
+    protocol_name: str
+    n: int
+    runs: int
+    registers: Dict[int, RegisterUsage]
+
+    @property
+    def registers_written(self) -> int:
+        return sum(1 for usage in self.registers.values() if usage.writes)
+
+    @property
+    def registers_read(self) -> int:
+        return sum(1 for usage in self.registers.values() if usage.reads)
+
+    def rows(self) -> List[List[object]]:
+        """Table rows: register, reads, writes, writers, distinct values."""
+        return [
+            [
+                reg,
+                usage.reads,
+                usage.writes,
+                len(usage.writers),
+                len(usage.values),
+            ]
+            for reg, usage in sorted(self.registers.items())
+        ]
+
+
+def profile_usage(
+    system: System,
+    inputs: Sequence,
+    runs: int = 20,
+    schedule_length: int = 500,
+    seed: int = 0,
+) -> UsageProfile:
+    """Profile register traffic over randomized completed executions."""
+    protocol = system.protocol
+    rng = random.Random(seed)
+    registers: Dict[int, RegisterUsage] = {
+        index: RegisterUsage() for index in range(protocol.num_objects)
+    }
+
+    def record(step: Step) -> None:
+        obj = step.op.obj
+        if obj is None:
+            return
+        usage = registers[obj]
+        if step.op.is_write:
+            usage.writes += 1
+            usage.writers.add(step.pid)
+        else:
+            usage.reads += 1
+
+    pids = list(range(protocol.n))
+    for _ in range(runs):
+        config = system.initial_configuration(list(inputs))
+        schedule = random_bursty_schedule(pids, schedule_length, rng)
+        for pid in schedule:
+            if not system.enabled(config, pid):
+                continue
+            config, step = system.step(config, pid)
+            record(step)
+            if step.op.obj is not None:
+                registers[step.op.obj].values.add(
+                    config.memory[step.op.obj]
+                )
+        for pid in pids:
+            for _ in range(100_000):
+                if not system.enabled(config, pid):
+                    break
+                config, step = system.step(config, pid)
+                record(step)
+                if step.op.obj is not None:
+                    registers[step.op.obj].values.add(
+                        config.memory[step.op.obj]
+                    )
+    return UsageProfile(
+        protocol_name=protocol.name,
+        n=protocol.n,
+        runs=runs,
+        registers=registers,
+    )

@@ -1,0 +1,335 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+adversary   run the Theorem 1 adversary against a named protocol and
+            print (optionally save) the certificate
+check       model-check a protocol's agreement/validity
+audit       the combined table: registers declared vs checker verdict
+            vs adversary outcome
+perturb     run the JTT covering induction on a long-lived object
+mutex       measure canonical-execution costs of the mutex algorithms
+validate    re-validate a saved certificate JSON against its protocol
+protocols   list the protocols the CLI can name
+
+The CLI names protocols as ``family:n[:extra]``, e.g. ``rounds:4``,
+``shared:5:3``, ``cas:3``, ``kset:5:2``, ``counter:6``, ``snapshot:4``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.errors import AdversaryError, CertificateError, ViolationError
+from repro.analysis.checker import (
+    check_consensus_exhaustive,
+    check_consensus_random,
+)
+from repro.analysis.report import print_table
+from repro.core.serialize import certificate_from_json, to_json
+from repro.core.theorem import space_lower_bound
+from repro.model.system import System
+from repro.perturbable import covering_induction
+from repro.perturbable.objects import (
+    ArrayCounter,
+    LossySharedCounter,
+    SingleWriterSnapshot,
+)
+from repro.protocols.consensus import (
+    CasConsensus,
+    CommitAdoptRounds,
+    KSetPartition,
+    OptimisticOneRegister,
+    RacingCounters,
+    RandomizedRounds,
+    SplitBrainConsensus,
+    TasConsensus,
+    shared_register_rounds,
+)
+
+_CONSENSUS_FAMILIES = {
+    "rounds": ("obstruction-free consensus, n registers", "rounds:n"),
+    "racing": ("OF consensus by racing counters, 2n registers", "racing:n"),
+    "randomized": ("local-coin consensus, n registers", "randomized:n"),
+    "cas": ("wait-free consensus from one CAS", "cas:n"),
+    "tas": ("2-process consensus from test&set", "tas:2"),
+    "split-brain": ("broken: one shared register", "split-brain:n"),
+    "optimistic": ("broken: claim-if-empty register", "optimistic:n"),
+    "shared": ("rounds protocol on k shared registers", "shared:n:k"),
+    "kset": ("k-set agreement, n-k+1 registers", "kset:n:k"),
+}
+_OBJECT_FAMILIES = {
+    "counter": ("wait-free counter, n-1 slots", "counter:n"),
+    "lossy-counter": ("broken counter on k slots", "lossy-counter:n:k"),
+    "snapshot": ("OF single-writer snapshot", "snapshot:n"),
+}
+
+
+def parse_protocol(spec: str):
+    """Instantiate a protocol from a ``family:n[:extra]`` spec string."""
+    parts = spec.split(":")
+    family = parts[0]
+    try:
+        numbers = [int(part) for part in parts[1:]]
+    except ValueError:
+        raise SystemExit(f"bad protocol spec {spec!r}: sizes must be integers")
+    try:
+        if family == "rounds":
+            return CommitAdoptRounds(numbers[0])
+        if family == "racing":
+            return RacingCounters(numbers[0])
+        if family == "randomized":
+            return RandomizedRounds(numbers[0])
+        if family == "cas":
+            return CasConsensus(numbers[0])
+        if family == "tas":
+            return TasConsensus(numbers[0] if numbers else 2)
+        if family == "split-brain":
+            return SplitBrainConsensus(numbers[0])
+        if family == "optimistic":
+            return OptimisticOneRegister(numbers[0])
+        if family == "shared":
+            return shared_register_rounds(numbers[0], numbers[1])
+        if family == "kset":
+            return KSetPartition(numbers[0], numbers[1])
+        if family == "counter":
+            return ArrayCounter(numbers[0])
+        if family == "lossy-counter":
+            return LossySharedCounter(numbers[0], numbers[1])
+        if family == "snapshot":
+            return SingleWriterSnapshot(numbers[0])
+    except (IndexError, ValueError) as exc:
+        raise SystemExit(f"bad protocol spec {spec!r}: {exc}")
+    raise SystemExit(
+        f"unknown protocol family {family!r}; try `python -m repro protocols`"
+    )
+
+
+def cmd_protocols(_args) -> int:
+    rows = [
+        [name, usage, description]
+        for name, (description, usage) in sorted(
+            {**_CONSENSUS_FAMILIES, **_OBJECT_FAMILIES}.items()
+        )
+    ]
+    print_table("protocol families", ["family", "spec", "description"], rows)
+    return 0
+
+
+def cmd_adversary(args) -> int:
+    from repro.core.theorem import space_lower_bound_auto
+
+    protocol = parse_protocol(args.protocol)
+    system = System(protocol)
+    try:
+        if args.auto:
+            certificate = space_lower_bound_auto(system)
+        else:
+            certificate = space_lower_bound(
+                system,
+                strict=False,
+                max_configs=args.max_configs,
+                max_depth=args.max_depth,
+            )
+    except ViolationError as exc:
+        print(f"consensus violation instead of a certificate: {exc}")
+        return 2
+    except AdversaryError as exc:
+        print(f"construction failed: {exc}")
+        print("(raise --max-configs/--max-depth, or the protocol is broken)")
+        return 2
+    print(certificate.summary())
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(to_json(certificate))
+        print(f"certificate written to {args.out}")
+    return 0
+
+
+def cmd_check(args) -> int:
+    protocol = parse_protocol(args.protocol)
+    system = System(protocol)
+    n = protocol.n
+    inputs = [0] + [1] * (n - 1)
+    k = getattr(protocol, "k", 1)
+    result = check_consensus_exhaustive(
+        system, inputs, k=k, max_configs=args.max_configs, strict=False
+    )
+    mode = "exhaustive" if result.exhaustive else "bounded"
+    if result.ok:
+        random_result = check_consensus_random(
+            system, inputs, k=k, runs=args.random_runs,
+            schedule_length=150 * n, seed=0,
+        )
+        if random_result.ok:
+            print(
+                f"ok: no violation ({mode}, {result.configs_visited} "
+                f"configurations; {args.random_runs} random runs)"
+            )
+            return 0
+        result = random_result
+    violation = result.first_violation()
+    print(f"VIOLATION ({violation.kind}): {violation.detail}")
+    print(f"witness schedule ({len(violation.schedule)} steps): "
+          f"{list(violation.schedule)}")
+    return 1
+
+
+def cmd_audit(args) -> int:
+    rows = []
+    for spec in args.protocols:
+        protocol = parse_protocol(spec)
+        system = System(protocol)
+        inputs = [0] + [1] * (protocol.n - 1)
+        check = check_consensus_exhaustive(
+            system, inputs, max_configs=args.max_configs, strict=False
+        )
+        verdict = "ok" if check.ok else check.first_violation().kind
+        try:
+            certificate = space_lower_bound(
+                system, strict=False, max_configs=args.max_configs,
+                max_depth=args.max_depth,
+            )
+            bound = f"{certificate.bound} pinned"
+        except (AdversaryError, ViolationError) as exc:
+            bound = type(exc).__name__
+        rows.append(
+            [protocol.name, protocol.n, protocol.num_objects,
+             protocol.n - 1, verdict, bound]
+        )
+    print_table(
+        "space audit",
+        ["protocol", "n", "registers", "needed", "checker", "adversary"],
+        rows,
+    )
+    return 0
+
+
+def cmd_perturb(args) -> int:
+    protocol = parse_protocol(args.object)
+    system = System(protocol)
+    try:
+        certificate = covering_induction(
+            system,
+            workers=protocol.workers,
+            reader=protocol.reader,
+            ops_to_perturb=protocol.ops_to_perturb,
+            completes_operation=protocol.completes_operation,
+        )
+    except ViolationError as exc:
+        print(f"linearizability violation: {exc}")
+        return 2
+    print(certificate.summary())
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(to_json(certificate))
+        print(f"certificate written to {args.out}")
+    return 0
+
+
+def cmd_mutex(args) -> int:
+    from repro.mutex import (
+        BakeryMutex,
+        PetersonFilter,
+        TournamentMutex,
+        sequential_canonical_run,
+    )
+
+    makers = {
+        "tournament": TournamentMutex,
+        "bakery": BakeryMutex,
+        "peterson": PetersonFilter,
+    }
+    rows = []
+    for n in args.sizes:
+        row = [n]
+        for name in ("tournament", "bakery", "peterson"):
+            run = sequential_canonical_run(
+                System(makers[name](n, sessions=1)), list(range(n))
+            )
+            row.append(run.cost)
+        rows.append(row)
+    print_table(
+        "mutex canonical-execution cost (state-change model)",
+        ["n", "tournament", "bakery", "peterson"],
+        rows,
+    )
+    return 0
+
+
+def cmd_validate(args) -> int:
+    with open(args.certificate, encoding="utf-8") as handle:
+        certificate = certificate_from_json(handle.read())
+    protocol = parse_protocol(args.protocol)
+    try:
+        certificate.validate(System(protocol))
+    except CertificateError as exc:
+        print(f"INVALID: {exc}")
+        return 1
+    print(f"valid: {certificate.summary()}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Executable 'A Tight Space Bound for Consensus'",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("protocols", help="list protocol families")
+    p.set_defaults(func=cmd_protocols)
+
+    p = sub.add_parser("adversary", help="run the Theorem 1 adversary")
+    p.add_argument("protocol", help="e.g. rounds:4")
+    p.add_argument("--max-configs", type=int, default=30_000)
+    p.add_argument("--max-depth", type=int, default=60)
+    p.add_argument(
+        "--auto", action="store_true",
+        help="escalate oracle budgets automatically on failure",
+    )
+    p.add_argument("--out", help="write the certificate JSON here")
+    p.set_defaults(func=cmd_adversary)
+
+    p = sub.add_parser("check", help="model-check agreement/validity")
+    p.add_argument("protocol")
+    p.add_argument("--max-configs", type=int, default=120_000)
+    p.add_argument("--random-runs", type=int, default=20)
+    p.set_defaults(func=cmd_check)
+
+    p = sub.add_parser("audit", help="audit several protocols at once")
+    p.add_argument("protocols", nargs="+")
+    p.add_argument("--max-configs", type=int, default=60_000)
+    p.add_argument("--max-depth", type=int, default=60)
+    p.set_defaults(func=cmd_audit)
+
+    p = sub.add_parser("perturb", help="JTT covering induction on an object")
+    p.add_argument("object", help="e.g. counter:6 or snapshot:4")
+    p.add_argument("--out", help="write the certificate JSON here")
+    p.set_defaults(func=cmd_perturb)
+
+    p = sub.add_parser("mutex", help="mutex canonical-execution costs")
+    p.add_argument(
+        "sizes", nargs="*", type=int, default=[4, 8, 16],
+        help="process counts (default: 4 8 16)",
+    )
+    p.set_defaults(func=cmd_mutex)
+
+    p = sub.add_parser("validate", help="re-validate a certificate JSON")
+    p.add_argument("certificate", help="path to the JSON file")
+    p.add_argument("protocol", help="the protocol spec it was issued for")
+    p.set_defaults(func=cmd_validate)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

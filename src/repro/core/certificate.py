@@ -1,0 +1,109 @@
+"""Replayable certificates of the space lower bound.
+
+A certificate records everything Theorem 1's construction produced: the
+adversarial schedules, the covering map, the hidden process z and its
+truncated solo run, and the witnessed registers.  ``validate`` replays
+the whole thing against a fresh system and re-checks every claim, so a
+certificate is evidence that can be audited independently of the code
+that produced it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Hashable, Tuple
+
+from repro.errors import CertificateError
+from repro.model.schedule import Schedule, concat
+from repro.model.system import System
+
+
+@dataclass(frozen=True)
+class SpaceBoundCertificate:
+    """Witness that a protocol run on n processes uses >= n-1 registers.
+
+    Fields
+    ------
+    protocol_name, n, inputs:
+        Identify the protocol instance and the initial configuration I.
+    alpha:
+        The Lemma 4 schedule from I reaching C0, where the ``pair`` is
+        bivalent and ``covering`` (minus z's entry) is well spread.
+    phi:
+        The top-level Lemma 3 schedule from C0 (empty for n = 2).
+    covering:
+        pid -> register covered at I.alpha.phi, for the n-2 processes of
+        the covering set R.
+    z, zeta, fresh_register:
+        The deciding process z, the truncated prefix of its solo run, and
+        the register outside the covered set it is then poised to write.
+    registers:
+        All witnessed registers: covered ones plus the fresh one.
+    """
+
+    protocol_name: str
+    n: int
+    inputs: Tuple[Hashable, ...]
+    alpha: Schedule
+    phi: Schedule
+    covering: Dict[int, int] = field(hash=False)
+    z: int = 0
+    zeta: Schedule = ()
+    fresh_register: int = 0
+    registers: FrozenSet[int] = frozenset()
+
+    @property
+    def bound(self) -> int:
+        """The space bound this certificate witnesses."""
+        return len(self.registers)
+
+    def validate(self, system: System) -> None:
+        """Replay the certificate against ``system``; raise on any mismatch."""
+        protocol = system.protocol
+        if protocol.n != self.n:
+            raise CertificateError(
+                f"system has n={protocol.n}, certificate is for n={self.n}"
+            )
+        if len(self.registers) < self.n - 1:
+            raise CertificateError(
+                f"certificate witnesses only {len(self.registers)} "
+                f"registers, needs {self.n - 1}"
+            )
+        expected = frozenset(self.covering.values()) | {self.fresh_register}
+        if expected != self.registers:
+            raise CertificateError(
+                "witnessed register set does not match covering + fresh"
+            )
+        if len(set(self.covering.values())) != len(self.covering):
+            raise CertificateError("covering registers are not distinct")
+        if self.fresh_register in set(self.covering.values()):
+            raise CertificateError("fresh register is covered")
+
+        config = system.initial_configuration(list(self.inputs))
+        config, _ = system.run(config, concat(self.alpha, self.phi))
+        for pid, reg in self.covering.items():
+            actual = system.covered_register(config, pid)
+            if actual != reg:
+                raise CertificateError(
+                    f"process {pid} covers {actual!r} after replay, "
+                    f"certificate says {reg}"
+                )
+        if any(pid != self.z for pid in self.zeta):
+            raise CertificateError("zeta contains steps by processes != z")
+        config, _ = system.run(config, self.zeta)
+        op = system.poised(config, self.z)
+        if op is None or not op.is_write or op.obj != self.fresh_register:
+            raise CertificateError(
+                f"after zeta, process {self.z} is poised at {op!r}, not a "
+                f"write to register {self.fresh_register}"
+            )
+
+    def summary(self) -> str:
+        """One-line human-readable description."""
+        regs = ", ".join(f"r{reg}" for reg in sorted(self.registers))
+        return (
+            f"{self.protocol_name} (n={self.n}): adversarial execution of "
+            f"{len(self.alpha) + len(self.phi) + len(self.zeta)} steps pins "
+            f"{len(self.registers)} distinct registers [{regs}] "
+            f">= n-1 = {self.n - 1}"
+        )

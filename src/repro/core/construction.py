@@ -1,0 +1,311 @@
+"""Lemma 4: reaching a nice configuration with n-2 well-spread covers.
+
+This is the main technical construction of the paper.  Starting from a
+configuration C with a bivalent process set P, it produces a P-only
+execution alpha and a *pair* of processes Q such that Q is bivalent from
+C.alpha and every process in P - Q covers a different register.
+
+The construction is the paper's, implemented literally:
+
+1. Lemma 1 peels off a process z, leaving P' = P - {z} bivalent from
+   D = C.gamma.
+2. A sequence of "nice" configurations D_0, D_1, ... is built: each D_i
+   has a pair Q_i bivalent and R_i = P' - Q_i covering distinct
+   registers; D_{i+1} is reached from D_i through Lemma 3's execution
+   phi_i, the block write beta_i by R_i, and a recursive Lemma 4 call
+   psi_i.
+3. There are finitely many registers, so two indices i < j cover the
+   same register set V (pigeonhole).
+4. z is inserted invisibly at D_i.phi_i: its solo deciding run must
+   write outside V (Lemma 2); stopping it just before that write leaves
+   z covering a fresh register while the block write beta_i obliterates
+   every trace of z for P', which then replays psi_i alpha_{i+1} ...
+   alpha_{j-1} verbatim to (a configuration indistinguishable from) D_j.
+
+The result grows the well-spread covering set by one process, which is
+exactly what the induction on |P| needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, List, Optional
+
+from repro.errors import AdversaryError
+from repro.core.covering import (
+    covered_registers,
+    is_well_spread,
+)
+from repro.core.lemmas import (
+    lemma1,
+    lemma3,
+    truncate_before_uncovered_write,
+)
+from repro.core.valency import ValencyOracle
+from repro.model.configuration import Configuration
+from repro.model.schedule import Schedule, concat
+from repro.model.system import System
+
+
+@dataclass(frozen=True)
+class Lemma4Result:
+    """Lemma 4's output.
+
+    ``alpha`` is a P-only schedule from the input configuration; ``pair``
+    is the two-process set that is bivalent from C.alpha, and every
+    process in P - pair covers a different register there.
+    """
+
+    alpha: Schedule
+    pair: FrozenSet[int]
+
+
+@dataclass
+class _NiceRecord:
+    """One configuration D_i of the constructed sequence."""
+
+    config: Configuration
+    pair: FrozenSet[int]  # Q_i
+    covering: FrozenSet[int]  # R_i
+    covered: FrozenSet[int]  # registers covered by R_i in D_i
+    phi: Schedule = ()
+    beta: Schedule = ()
+    psi: Schedule = ()
+
+    @property
+    def alpha(self) -> Schedule:
+        return concat(self.phi, self.beta, self.psi)
+
+
+@dataclass
+class ConstructionStats:
+    """Counters describing one Lemma 4 run (exposed for the benches)."""
+
+    lemma1_calls: int = 0
+    lemma3_calls: int = 0
+    lemma4_calls: int = 0
+    nice_configs: int = 0
+    max_chain: int = 0
+
+
+def lemma4(
+    system: System,
+    oracle: ValencyOracle,
+    config: Configuration,
+    processes: FrozenSet[int],
+    verify: bool = True,
+    stats: Optional[ConstructionStats] = None,
+    _depth: int = 0,
+) -> Lemma4Result:
+    """Lemma 4: from C with P (|P| >= 2) bivalent, build alpha and the pair.
+
+    With ``verify`` the postconditions (bivalence of the pair, well-spread
+    covering, indistinguishability of the final configuration from D_j)
+    are re-checked; disable only in benchmarks that time the bare
+    construction.
+    """
+    processes = frozenset(processes)
+    if len(processes) < 2:
+        raise AdversaryError("Lemma 4 needs |P| >= 2")
+    if stats is None:
+        stats = ConstructionStats()
+    stats.lemma4_calls += 1
+
+    if len(processes) == 2:
+        if verify and not oracle.is_bivalent(config, processes):
+            raise AdversaryError(
+                f"Lemma 4 precondition failed: {sorted(processes)} is not "
+                "bivalent from C"
+            )
+        return Lemma4Result(alpha=(), pair=processes)
+
+    # Step 1: peel off z (Lemma 1).
+    stats.lemma1_calls += 1
+    peel = lemma1(system, oracle, config, processes)
+    z = peel.z
+    after_peel, _ = system.run(config, peel.phi)
+    survivors = processes - {z}
+
+    # Step 2: D_0 by the induction hypothesis.
+    first = lemma4(
+        system, oracle, after_peel, survivors, verify, stats, _depth + 1
+    )
+    d0_config, _ = system.run(after_peel, first.alpha)
+    records: List[_NiceRecord] = [
+        _make_record(system, d0_config, survivors, first.pair, verify)
+    ]
+    stats.nice_configs += 1
+
+    # Degenerate branch: |P'| == 2, so R_i is always empty and the
+    # pigeonhole fires immediately with V = {}.  z's solo run is cut
+    # before its first write; the all-read prefix is invisible to P'.
+    if not records[0].covering:
+        zeta, _fresh = truncate_before_uncovered_write(
+            system, d0_config, z, frozenset()
+        )
+        alpha = concat(peel.phi, first.alpha, zeta)
+        return _finish(
+            system,
+            oracle,
+            config,
+            alpha,
+            records[0].pair,
+            survivors,
+            z,
+            records[0].config,
+            verify,
+        )
+
+    # Main loop: extend the sequence until two covered register sets match.
+    max_chain = 2 ** system.protocol.num_objects + 2
+    while True:
+        if len(records) > max_chain:
+            raise AdversaryError(
+                f"nice-configuration chain exceeded {max_chain} entries "
+                "without a pigeonhole match; this should be impossible"
+            )
+        current = records[-1]
+        stats.lemma3_calls += 1
+        step3 = lemma3(
+            system, oracle, current.config, survivors, current.covering
+        )
+        current.phi = step3.phi
+        current.beta = step3.beta
+        mid_config, _ = system.run(
+            current.config, concat(step3.phi, step3.beta)
+        )
+        # P' is bivalent from mid_config (Lemma 3 gives R + {q} bivalent,
+        # and P' is a superset: Proposition 1(ii)).
+        nxt = lemma4(
+            system, oracle, mid_config, survivors, verify, stats, _depth + 1
+        )
+        current.psi = nxt.alpha
+        next_config, _ = system.run(mid_config, nxt.alpha)
+        record = _make_record(system, next_config, survivors, nxt.pair, verify)
+        stats.nice_configs += 1
+
+        match = next(
+            (
+                index
+                for index, earlier in enumerate(records)
+                if earlier.covered == record.covered
+            ),
+            None,
+        )
+        records.append(record)
+        stats.max_chain = max(stats.max_chain, len(records))
+        if match is not None:
+            return _insert_z(
+                system,
+                oracle,
+                config,
+                peel.phi,
+                first.alpha,
+                records,
+                match,
+                len(records) - 1,
+                survivors,
+                z,
+                verify,
+            )
+
+
+def _make_record(
+    system: System,
+    config: Configuration,
+    survivors: FrozenSet[int],
+    pair: FrozenSet[int],
+    verify: bool,
+) -> _NiceRecord:
+    covering = survivors - pair
+    if verify and covering and not is_well_spread(system, config, covering):
+        raise AdversaryError(
+            f"induction postcondition failed: {sorted(covering)} do not "
+            "cover distinct registers"
+        )
+    return _NiceRecord(
+        config=config,
+        pair=pair,
+        covering=covering,
+        covered=covered_registers(system, config, covering),
+    )
+
+
+def _insert_z(
+    system: System,
+    oracle: ValencyOracle,
+    root: Configuration,
+    gamma: Schedule,
+    eta: Schedule,
+    records: List[_NiceRecord],
+    i: int,
+    j: int,
+    survivors: FrozenSet[int],
+    z: int,
+    verify: bool,
+) -> Lemma4Result:
+    """Steps 3-4: pigeonhole matched (i, j); insert z invisibly at D_i."""
+    record_i = records[i]
+    covered = record_i.covered
+
+    # z's solo deciding run from D_i.phi_i must write outside the covered
+    # set (Lemma 2; preconditions: R_i covers those registers, beta_i is
+    # their block write, and P' is bivalent from D_i.phi_i.beta_i).
+    at_phi, _ = system.run(record_i.config, record_i.phi)
+    zeta, fresh = truncate_before_uncovered_write(system, at_phi, z, covered)
+    if fresh in covered:
+        raise AdversaryError("fresh register unexpectedly covered")
+
+    alpha = concat(
+        gamma,
+        eta,
+        *(records[k].alpha for k in range(i)),
+        record_i.phi,
+        zeta,
+        record_i.beta,
+        record_i.psi,
+        *(records[k].alpha for k in range(i + 1, j)),
+    )
+    return _finish(
+        system,
+        oracle,
+        root,
+        alpha,
+        records[j].pair,
+        survivors,
+        z,
+        records[j].config,
+        verify,
+    )
+
+
+def _finish(
+    system: System,
+    oracle: ValencyOracle,
+    root: Configuration,
+    alpha: Schedule,
+    pair: FrozenSet[int],
+    survivors: FrozenSet[int],
+    z: int,
+    mirror: Configuration,
+    verify: bool,
+) -> Lemma4Result:
+    """Replay alpha, check the postconditions, and package the result."""
+    final, _ = system.run(root, alpha)
+    if verify:
+        if not final.indistinguishable_to(mirror, survivors):
+            raise AdversaryError(
+                "z-insertion visible: the final configuration is "
+                "distinguishable from D_j by the surviving processes"
+            )
+        full_cover = (survivors - pair) | {z}
+        if not is_well_spread(system, final, full_cover):
+            raise AdversaryError(
+                f"processes {sorted(full_cover)} do not cover distinct "
+                "registers in the final configuration"
+            )
+        if not oracle.is_bivalent(final, pair):
+            raise AdversaryError(
+                f"pair {sorted(pair)} is not bivalent from C.alpha"
+            )
+    return Lemma4Result(alpha=alpha, pair=pair)

@@ -1,0 +1,78 @@
+"""Covering processes and block writes (Definition 2).
+
+A process *covers* a register in C when it is poised to perform a write
+to it.  A set R of covering processes performs a *block write* by each
+executing exactly its poised write, nothing else.  When every process in
+R covers a different register the set is *well spread*; then the order
+of the block write does not matter (the resulting configurations are
+indistinguishable), and we fix the ascending-pid order to keep
+executions replayable.
+
+The empty set is a valid covering set whose block write is the empty
+execution, exactly as the paper notes "for technical reasons".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Optional
+
+from repro.errors import AdversaryError
+from repro.model.configuration import Configuration
+from repro.model.schedule import Schedule
+from repro.model.system import System
+
+
+def covering_map(
+    system: System, config: Configuration, pids: Iterable[int]
+) -> Dict[int, Optional[int]]:
+    """Map each pid to the register it covers in ``config`` (None if none)."""
+    return {pid: system.covered_register(config, pid) for pid in pids}
+
+
+def covered_registers(
+    system: System, config: Configuration, pids: Iterable[int]
+) -> FrozenSet[int]:
+    """The set of registers covered by ``pids`` in ``config``."""
+    return frozenset(
+        reg
+        for reg in covering_map(system, config, pids).values()
+        if reg is not None
+    )
+
+
+def is_covering_set(
+    system: System, config: Configuration, pids: Iterable[int]
+) -> bool:
+    """True if every process in ``pids`` covers some register in ``config``."""
+    return all(
+        reg is not None for reg in covering_map(system, config, pids).values()
+    )
+
+
+def is_well_spread(
+    system: System, config: Configuration, pids: Iterable[int]
+) -> bool:
+    """True if ``pids`` is a covering set covering pairwise distinct registers."""
+    regs = [system.covered_register(config, pid) for pid in pids]
+    if any(reg is None for reg in regs):
+        return False
+    return len(set(regs)) == len(regs)
+
+
+def block_write_schedule(
+    system: System, config: Configuration, pids: Iterable[int]
+) -> Schedule:
+    """The block write by ``pids``: one step each, in ascending pid order.
+
+    Raises :class:`AdversaryError` if some process is not actually poised
+    at a write -- the constructions must never block-write a non-covering
+    set.
+    """
+    ordered = tuple(sorted(set(pids)))
+    for pid in ordered:
+        if system.covered_register(config, pid) is None:
+            raise AdversaryError(
+                f"process {pid} does not cover a register; poised at "
+                f"{system.poised(config, pid)!r}"
+            )
+    return ordered

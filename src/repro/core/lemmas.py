@@ -1,0 +1,279 @@
+"""Lemmas 1-3 of the paper as constructive procedures.
+
+Each procedure follows the published proof step for step and returns the
+objects the lemma asserts to exist, after re-checking its postcondition
+with the valency oracle.  Against a correct protocol the procedures
+always succeed; a failure raises :class:`~repro.errors.AdversaryError`
+(and often indicates a consensus violation, which the caller can then
+hunt with the model checker).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Hashable, List, Tuple
+
+from repro.errors import AdversaryError
+from repro.core.covering import (
+    block_write_schedule,
+    covered_registers,
+    is_covering_set,
+)
+from repro.core.valency import ValencyOracle
+from repro.model.configuration import Configuration
+from repro.model.schedule import Schedule, concat
+from repro.model.system import System
+
+#: Bound on solo executions used when materialising deciding runs.
+DEFAULT_SOLO_BOUND = 100_000
+
+
+@dataclass(frozen=True)
+class Lemma1Result:
+    """Lemma 1's output: a P-only execution phi and a process z such that
+    P - {z} is bivalent from C.phi."""
+
+    phi: Schedule
+    z: int
+
+
+def lemma1(
+    system: System,
+    oracle: ValencyOracle,
+    config: Configuration,
+    processes: FrozenSet[int],
+) -> Lemma1Result:
+    """Lemma 1: if P (|P| >= 3) is bivalent from C, find phi and z with
+    P - {z} bivalent from C.phi.
+
+    The proof: pick z1, z2 in P, let Q1 = P - {z1}, Q2 = P - {z2}.  Some
+    value v is decidable by Q1 & Q2; if either Qi can also decide the
+    complement we are done with the empty execution.  Otherwise both are
+    v-univalent; walk a P-only execution psi that decides the complement
+    and stop at the step where one of them stops being v-univalent.
+    """
+    processes = frozenset(processes)
+    if len(processes) < 3:
+        raise AdversaryError(f"Lemma 1 needs |P| >= 3, got {sorted(processes)}")
+    ordered = sorted(processes)
+    z1, z2 = ordered[0], ordered[1]
+    q1 = processes - {z1}
+    q2 = processes - {z2}
+
+    both = q1 & q2
+    v = oracle.some_decidable_value(config, both)  # Proposition 1(i)
+    others = [u for u in oracle.values if u != v]
+
+    # Fast path: one of the Qi is already bivalent from C.
+    for z, q in ((z1, q1), (z2, q2)):
+        if any(oracle.can_decide(config, q, u) for u in others):
+            _require_bivalent(oracle, config, q, "Lemma 1 fast path")
+            return Lemma1Result(phi=(), z=z)
+
+    # Both Q1, Q2 are v-univalent from C.  P is bivalent, so take a
+    # P-only execution psi deciding some value other than v.
+    vbar = _pick_complement(oracle, config, processes, v)
+    psi = oracle.witness(config, processes, vbar)
+
+    # Scan forward for the first step after which one of Q1, Q2 can
+    # decide vbar.  It exists: after all of psi, vbar has been decided.
+    current = config
+    for index, pid in enumerate(psi):
+        nxt, _ = system.step(current, pid)
+        q1_flipped = oracle.can_decide(nxt, q1, vbar)
+        q2_flipped = oracle.can_decide(nxt, q2, vbar)
+        if q1_flipped or q2_flipped:
+            # The step was by a process in at least one of the sets; the
+            # set containing the stepper stays v-univalent, so the
+            # flipped one is the other.  Choose the flipped set that
+            # does NOT force us to keep the stepper out.
+            phi = tuple(psi[: index + 1])
+            if q2_flipped and oracle.can_decide(nxt, q2, v):
+                result = Lemma1Result(phi=phi, z=z2)
+                _require_bivalent(oracle, nxt, q2, "Lemma 1")
+                return result
+            if q1_flipped and oracle.can_decide(nxt, q1, v):
+                result = Lemma1Result(phi=phi, z=z1)
+                _require_bivalent(oracle, nxt, q1, "Lemma 1")
+                return result
+            raise AdversaryError(
+                "Lemma 1: a set flipped to vbar but lost v; this "
+                "contradicts Proposition 1 for a correct protocol"
+            )
+        current = nxt
+    raise AdversaryError(
+        "Lemma 1: walked the full vbar-deciding execution without either "
+        "subset becoming able to decide vbar; the valency oracle and the "
+        "witness disagree (protocol nondeterminism?)"
+    )
+
+
+def lemma2_check(
+    system: System,
+    config: Configuration,
+    z: int,
+    covered: FrozenSet[int],
+    max_steps: int = DEFAULT_SOLO_BOUND,
+) -> bool:
+    """Lemma 2 as a predicate: does every deciding {z}-only execution from
+    C contain a write to a register outside ``covered``?
+
+    Protocols here are deterministic given coin tapes, so there is one
+    {z}-only execution per tape; we check the system's tape.  Returns
+    True if z's solo deciding run writes outside ``covered``.
+    """
+    current = config
+    for _ in range(max_steps):
+        if not system.enabled(current, z):
+            return False  # decided without an uncovered write
+        op = system.poised(current, z)
+        if op is not None and op.is_write and op.obj not in covered:
+            return True
+        current, _ = system.step(current, z)
+    raise AdversaryError(
+        f"process {z} did not decide within {max_steps} solo steps"
+    )
+
+
+def truncate_before_uncovered_write(
+    system: System,
+    config: Configuration,
+    z: int,
+    covered: FrozenSet[int],
+    max_steps: int = DEFAULT_SOLO_BOUND,
+) -> Tuple[Schedule, int]:
+    """Run z solo until it is poised to write outside ``covered``.
+
+    This is the zeta-prime construction inside Lemma 4 (and Theorem 1):
+    the longest prefix of z's solo deciding execution whose writes all
+    land in covered registers.  Returns the prefix as a schedule together
+    with the register of the poised uncovered write.
+
+    If z decides without ever being poised at an uncovered write, Lemma 2
+    is violated, which (given the preconditions) means the protocol is
+    not a correct consensus protocol; we raise AdversaryError.
+    """
+    steps: List[int] = []
+    current = config
+    for _ in range(max_steps):
+        if not system.enabled(current, z):
+            raise AdversaryError(
+                f"Lemma 2 violated: process {z} decided "
+                f"{system.decision(current, z)!r} writing only inside the "
+                f"covered set {sorted(covered)}; the protocol cannot be a "
+                "correct consensus protocol under the lemma's preconditions"
+            )
+        op = system.poised(current, z)
+        if op is not None and op.is_write and op.obj not in covered:
+            return tuple(steps), op.obj
+        current, _ = system.step(current, z)
+        steps.append(z)
+    raise AdversaryError(
+        f"process {z} took {max_steps} solo steps without deciding or "
+        "reaching an uncovered write"
+    )
+
+
+@dataclass(frozen=True)
+class Lemma3Result:
+    """Lemma 3's output: a Q-only execution phi and a process q in Q such
+    that R + {q} is bivalent from C.phi.beta (beta = block write by R)."""
+
+    phi: Schedule
+    q: int
+    beta: Schedule
+
+
+def lemma3(
+    system: System,
+    oracle: ValencyOracle,
+    config: Configuration,
+    processes: FrozenSet[int],
+    covering: FrozenSet[int],
+) -> Lemma3Result:
+    """Lemma 3: R a non-empty covering set in C, Q = P - R bivalent from
+    C; find a Q-only phi and q in Q with R + {q} bivalent from C.phi.beta.
+
+    The proof: choose v that R can decide from C.beta; walk a Q-only
+    execution psi deciding the complement, and stop just before the step
+    after which R can no longer decide v from (prefix).beta.  That step
+    is a write by some q in Q to an uncovered register, and R + {q} is
+    bivalent after (prefix).beta.
+    """
+    processes = frozenset(processes)
+    covering = frozenset(covering)
+    if not covering:
+        raise AdversaryError("Lemma 3 needs a non-empty covering set")
+    if not covering <= processes:
+        raise AdversaryError("covering set must be a subset of P")
+    if not is_covering_set(system, config, covering):
+        raise AdversaryError("R is not a covering set in C")
+    quiet = processes - covering
+    if not quiet:
+        raise AdversaryError("Q = P - R must be non-empty")
+
+    beta = block_write_schedule(system, config, covering)
+    after_block, _ = system.run(config, beta)
+    v = oracle.some_decidable_value(after_block, covering)
+
+    # Fast path: R already bivalent from C.beta -- any q will do.
+    if oracle.is_bivalent(after_block, covering):
+        return Lemma3Result(phi=(), q=min(quiet), beta=beta)
+
+    vbar = _pick_complement(oracle, config, quiet, v)
+    psi = oracle.witness(config, quiet, vbar)
+
+    # Walk prefixes of psi; R's processes take no steps in psi, so beta
+    # stays applicable.  Find the first step after which R cannot decide
+    # v from (prefix).beta.
+    current = config
+    for index, pid in enumerate(psi):
+        nxt, _ = system.step(current, pid)
+        blocked, _ = system.run(nxt, beta)
+        if not oracle.can_decide(blocked, covering, v):
+            phi = tuple(psi[:index])
+            result = Lemma3Result(phi=phi, q=pid, beta=beta)
+            base, _ = system.run(config, concat(phi, beta))
+            _require_bivalent(
+                oracle, base, covering | {pid}, "Lemma 3"
+            )
+            return result
+        current = nxt
+    raise AdversaryError(
+        "Lemma 3: R can still decide v after the full vbar-deciding "
+        "execution plus block write; for a correct protocol this "
+        "contradicts agreement"
+    )
+
+
+# -- helpers -----------------------------------------------------------------
+
+
+def _pick_complement(
+    oracle: ValencyOracle,
+    config: Configuration,
+    pids: FrozenSet[int],
+    v: Hashable,
+) -> Hashable:
+    """A value != v that ``pids`` can decide from ``config``."""
+    for other in oracle.values:
+        if other != v and oracle.can_decide(config, pids, other):
+            return other
+    raise AdversaryError(
+        f"processes {sorted(pids)} were expected to be bivalent but can "
+        f"only decide {v!r}"
+    )
+
+
+def _require_bivalent(
+    oracle: ValencyOracle,
+    config: Configuration,
+    pids: FrozenSet[int],
+    context: str,
+) -> None:
+    """Postcondition assertion shared by the lemma procedures."""
+    if not oracle.is_bivalent(config, pids):
+        raise AdversaryError(
+            f"{context}: postcondition failed, {sorted(pids)} is not "
+            "bivalent from the constructed configuration"
+        )

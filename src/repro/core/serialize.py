@@ -1,0 +1,155 @@
+"""JSON serialization for certificates and violation witnesses.
+
+Lower-bound certificates are evidence; evidence wants to be archived,
+diffed, and re-validated by someone else's checkout.  This module gives
+every certificate type a stable JSON form:
+
+    payload = to_json(certificate)
+    ...ship it...
+    certificate = certificate_from_json(payload)
+    certificate.validate(System(CommitAdoptRounds(n)))
+
+Only JSON-native values plus tuples (encoded as lists) appear in the
+payloads; schedules are plain integer lists, register sets are sorted
+lists.  ``validate`` after a round trip is the integrity check -- the
+payload carries no signatures, replaying it against the protocol *is*
+the audit.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+from repro.errors import ReproError
+from repro.core.certificate import SpaceBoundCertificate
+from repro.perturbable.adversary import CoveringCertificate
+
+FORMAT_VERSION = 1
+
+
+class SerializationError(ReproError):
+    """A payload does not parse as the certificate it claims to be."""
+
+
+def space_bound_to_dict(cert: SpaceBoundCertificate) -> Dict[str, Any]:
+    return {
+        "format": FORMAT_VERSION,
+        "kind": "space-bound",
+        "protocol": cert.protocol_name,
+        "n": cert.n,
+        "inputs": list(cert.inputs),
+        "alpha": list(cert.alpha),
+        "phi": list(cert.phi),
+        "covering": {str(pid): reg for pid, reg in cert.covering.items()},
+        "z": cert.z,
+        "zeta": list(cert.zeta),
+        "fresh_register": cert.fresh_register,
+        "registers": sorted(cert.registers),
+    }
+
+
+def space_bound_from_dict(payload: Dict[str, Any]) -> SpaceBoundCertificate:
+    _expect_kind(payload, "space-bound")
+    try:
+        return SpaceBoundCertificate(
+            protocol_name=payload["protocol"],
+            n=int(payload["n"]),
+            inputs=tuple(payload["inputs"]),
+            alpha=tuple(int(p) for p in payload["alpha"]),
+            phi=tuple(int(p) for p in payload["phi"]),
+            covering={
+                int(pid): int(reg)
+                for pid, reg in payload["covering"].items()
+            },
+            z=int(payload["z"]),
+            zeta=tuple(int(p) for p in payload["zeta"]),
+            fresh_register=int(payload["fresh_register"]),
+            registers=frozenset(int(r) for r in payload["registers"]),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SerializationError(f"malformed space-bound payload: {exc}") from exc
+
+
+def covering_to_dict(cert: CoveringCertificate) -> Dict[str, Any]:
+    return {
+        "format": FORMAT_VERSION,
+        "kind": "jtt-covering",
+        "protocol": cert.protocol_name,
+        "n": cert.n,
+        "alpha": list(cert.alpha),
+        "coverers": list(cert.coverers),
+        "covered": list(cert.covered),
+        "reader": cert.reader,
+        "reader_return": cert.reader_return,
+        "reader_steps": cert.reader_steps,
+        "reader_registers": sorted(cert.reader_registers),
+    }
+
+
+def covering_from_dict(payload: Dict[str, Any]) -> CoveringCertificate:
+    _expect_kind(payload, "jtt-covering")
+    try:
+        return CoveringCertificate(
+            protocol_name=payload["protocol"],
+            n=int(payload["n"]),
+            alpha=tuple(int(p) for p in payload["alpha"]),
+            coverers=tuple(int(p) for p in payload["coverers"]),
+            covered=tuple(int(r) for r in payload["covered"]),
+            reader=int(payload["reader"]),
+            reader_return=payload["reader_return"],
+            reader_steps=int(payload["reader_steps"]),
+            reader_registers=frozenset(
+                int(r) for r in payload["reader_registers"]
+            ),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SerializationError(
+            f"malformed jtt-covering payload: {exc}"
+        ) from exc
+
+
+_TO_DICT = {
+    SpaceBoundCertificate: space_bound_to_dict,
+    CoveringCertificate: covering_to_dict,
+}
+_FROM_DICT = {
+    "space-bound": space_bound_from_dict,
+    "jtt-covering": covering_from_dict,
+}
+
+
+def to_json(certificate) -> str:
+    """Serialize any supported certificate to a JSON string."""
+    for klass, encoder in _TO_DICT.items():
+        if isinstance(certificate, klass):
+            return json.dumps(encoder(certificate), indent=2, sort_keys=True)
+    raise SerializationError(
+        f"unsupported certificate type {type(certificate).__name__}"
+    )
+
+
+def certificate_from_json(payload: str):
+    """Parse a JSON string back into the certificate it encodes."""
+    try:
+        data = json.loads(payload)
+    except json.JSONDecodeError as exc:
+        raise SerializationError(f"not JSON: {exc}") from exc
+    if not isinstance(data, dict):
+        raise SerializationError("payload is not a JSON object")
+    kind = data.get("kind")
+    decoder = _FROM_DICT.get(kind)
+    if decoder is None:
+        raise SerializationError(f"unknown certificate kind {kind!r}")
+    return decoder(data)
+
+
+def _expect_kind(payload: Dict[str, Any], kind: str) -> None:
+    if payload.get("kind") != kind:
+        raise SerializationError(
+            f"expected kind {kind!r}, got {payload.get('kind')!r}"
+        )
+    if payload.get("format") != FORMAT_VERSION:
+        raise SerializationError(
+            f"unsupported format version {payload.get('format')!r}"
+        )

@@ -1,0 +1,61 @@
+"""Exception hierarchy shared across the library.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError`, so
+callers can catch library failures without catching unrelated bugs.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ModelError(ReproError):
+    """A protocol or system was driven in a way the model forbids."""
+
+
+class ProcessHaltedError(ModelError):
+    """A step was scheduled for a process that has already halted/decided."""
+
+
+class InvalidOperationError(ModelError):
+    """An operation was applied to an object kind that does not support it."""
+
+
+class ProgramError(ModelError):
+    """A DSL program is malformed (bad label, bad register index, ...)."""
+
+
+class ExplorationLimitError(ReproError):
+    """An exhaustive exploration exceeded its configured budget.
+
+    The valency oracle raises this instead of guessing: a bounded search
+    that found only one decidable value is *not* evidence of univalence
+    unless the reachable graph was fully exhausted.
+    """
+
+    def __init__(self, message: str, visited: int = 0):
+        super().__init__(message)
+        self.visited = visited
+
+
+class AdversaryError(ReproError):
+    """A lower-bound construction could not complete.
+
+    Against a *correct* consensus protocol the constructions of Lemmas 1-4
+    always succeed; this error therefore signals either a protocol bug
+    (the adversary may attach a violation witness) or an exploration limit.
+    """
+
+
+class ViolationError(ReproError):
+    """A protocol violated its specification; carries a witness execution."""
+
+    def __init__(self, message: str, witness=None):
+        super().__init__(message)
+        self.witness = witness
+
+
+class CertificateError(ReproError):
+    """A lower-bound certificate failed re-validation by replay."""

@@ -1,0 +1,75 @@
+"""An immutable, hashable variable environment for process-local state.
+
+Process states must be hashable values so configurations can be used as
+dictionary keys by the valency oracle and the explorers.  ``Env`` is a
+small persistent mapping: ``set`` returns a new environment, equality and
+hashing are structural.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterator, Mapping, Tuple
+
+
+class Env(Mapping[str, Hashable]):
+    """Immutable mapping from variable names to hashable values."""
+
+    __slots__ = ("_items", "_lookup", "_hash")
+
+    def __init__(self, mapping: Mapping[str, Hashable] | None = None):
+        lookup: Dict[str, Hashable] = dict(mapping) if mapping else {}
+        object.__setattr__(self, "_lookup", lookup)
+        object.__setattr__(
+            self, "_items", tuple(sorted(lookup.items(), key=lambda kv: kv[0]))
+        )
+        object.__setattr__(self, "_hash", hash(self._items))
+
+    # -- Mapping interface -------------------------------------------------
+    def __getitem__(self, key: str) -> Hashable:
+        return self._lookup[key]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._lookup)
+
+    def __len__(self) -> int:
+        return len(self._lookup)
+
+    def __contains__(self, key: object) -> bool:
+        return key in self._lookup
+
+    # -- persistence -------------------------------------------------------
+    def set(self, key: str, value: Hashable) -> "Env":
+        """Return a copy of this environment with ``key`` bound to ``value``."""
+        if key in self._lookup and self._lookup[key] == value:
+            return self
+        new = dict(self._lookup)
+        new[key] = value
+        return Env(new)
+
+    def update(self, mapping: Mapping[str, Hashable]) -> "Env":
+        """Return a copy with every binding in ``mapping`` applied."""
+        if not mapping:
+            return self
+        new = dict(self._lookup)
+        new.update(mapping)
+        return Env(new)
+
+    # -- value semantics ---------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Env):
+            return self._items == other._items
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def items_tuple(self) -> Tuple[Tuple[str, Hashable], ...]:
+        """The canonical sorted (name, value) tuple backing hash/eq."""
+        return self._items
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        body = ", ".join(f"{k}={v!r}" for k, v in self._items)
+        return f"Env({body})"
+
+
+EMPTY_ENV = Env()

@@ -1,0 +1,103 @@
+"""A Wing-Gong linearizability checker.
+
+Used to validate the long-lived object implementations (counters,
+snapshots) against their sequential specifications: a history of
+invocation/response intervals is linearizable if some total order of the
+operations (a) respects real-time precedence and (b) replays correctly
+against the sequential object.
+
+The checker is the classic exponential backtracking search over minimal
+operations -- exact, suitable for the short histories the test suite and
+the perturbable-object experiments produce.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Hashable, List, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class OpRecord:
+    """One completed operation in a history.
+
+    ``invoked`` and ``responded`` are logical timestamps (e.g. trace
+    indices); an operation precedes another when it responded before the
+    other was invoked.
+    """
+
+    pid: int
+    name: str
+    args: Tuple[Hashable, ...]
+    result: Hashable
+    invoked: int
+    responded: int
+
+    def precedes(self, other: "OpRecord") -> bool:
+        return self.responded < other.invoked
+
+
+#: A sequential specification: (state, name, args) -> (new_state, result).
+SequentialSpec = Callable[
+    [Hashable, str, Tuple[Hashable, ...]], Tuple[Hashable, Hashable]
+]
+
+
+def counter_spec(state, name, args):
+    """Sequential counter: inc() bumps, read() returns the count."""
+    if name == "inc":
+        return state + 1, None
+    if name == "read":
+        return state, state
+    raise ValueError(f"unknown counter operation {name!r}")
+
+
+def snapshot_spec(state, name, args):
+    """Sequential single-writer snapshot over a dict of slots."""
+    if name == "update":
+        slot, value = args
+        new_state = dict(state)
+        new_state[slot] = value
+        return tuple(sorted(new_state.items())), None
+    if name == "scan":
+        return state, state
+    raise ValueError(f"unknown snapshot operation {name!r}")
+
+
+def is_linearizable(
+    history: Sequence[OpRecord],
+    spec: SequentialSpec,
+    initial_state: Hashable,
+) -> Optional[Tuple[OpRecord, ...]]:
+    """Return a witness linearization, or None if none exists.
+
+    Wing-Gong search: repeatedly pick a *minimal* operation (one not
+    preceded by any remaining operation), apply it to the sequential
+    object, and backtrack when its recorded result disagrees.
+    """
+    operations = list(history)
+
+    def search(
+        remaining: List[OpRecord], state: Hashable, chosen: List[OpRecord]
+    ) -> Optional[Tuple[OpRecord, ...]]:
+        if not remaining:
+            return tuple(chosen)
+        for index, candidate in enumerate(remaining):
+            if any(
+                other.precedes(candidate)
+                for other in remaining
+                if other is not candidate
+            ):
+                continue
+            new_state, result = spec(state, candidate.name, candidate.args)
+            if result != candidate.result:
+                continue
+            rest = remaining[:index] + remaining[index + 1 :]
+            chosen.append(candidate)
+            witness = search(rest, new_state, chosen)
+            if witness is not None:
+                return witness
+            chosen.pop()
+        return None
+
+    return search(operations, initial_state, [])

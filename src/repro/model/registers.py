@@ -1,0 +1,127 @@
+"""Shared base objects and their sequential semantics.
+
+The paper's bound is about read/write *registers*; the companion results
+(Jayanti-Tan-Toueg) also speak about *historyless* objects (every
+operation either leaves the object unchanged or overwrites everything
+that was applied before -- registers, swap registers, test&set) and about
+stronger read-modify-write objects (compare&swap, fetch&add).
+
+Objects are pure values here: the state of object ``i`` lives in the
+configuration's ``memory`` tuple, and :func:`apply_operation` maps
+``(kind, state, operation) -> (new_state, response)``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Hashable, Tuple
+
+from repro.errors import InvalidOperationError
+from repro.model.operations import (
+    CompareAndSwap,
+    FetchAndAdd,
+    Operation,
+    Read,
+    Swap,
+    TestAndSet,
+    Write,
+)
+
+
+class ObjectKind(enum.Enum):
+    """The kinds of base objects the model supports."""
+
+    REGISTER = "register"
+    SWAP = "swap"
+    TEST_AND_SET = "test-and-set"
+    CAS = "compare-and-swap"
+    FETCH_AND_ADD = "fetch-and-add"
+
+
+#: Object kinds that are historyless in the JTT sense.
+_HISTORYLESS = frozenset(
+    {ObjectKind.REGISTER, ObjectKind.SWAP, ObjectKind.TEST_AND_SET}
+)
+
+
+@dataclass(frozen=True)
+class ObjectSpec:
+    """Declaration of one shared object: its kind, initial value, name."""
+
+    kind: ObjectKind
+    initial: Hashable = None
+    name: str = ""
+
+    def describe(self) -> str:
+        label = self.name or self.kind.value
+        return f"{label}(init={self.initial!r})"
+
+
+def register(initial: Hashable = None, name: str = "") -> ObjectSpec:
+    """A read/write register, the only object the paper's bound needs."""
+    return ObjectSpec(ObjectKind.REGISTER, initial, name)
+
+
+def swap_register(initial: Hashable = None, name: str = "") -> ObjectSpec:
+    """A swap register (historyless; see the paper's conclusion)."""
+    return ObjectSpec(ObjectKind.SWAP, initial, name)
+
+
+def tas_object(name: str = "") -> ObjectSpec:
+    """A test-and-set bit, initially 0."""
+    return ObjectSpec(ObjectKind.TEST_AND_SET, 0, name)
+
+
+def cas_object(initial: Hashable = None, name: str = "") -> ObjectSpec:
+    """A compare-and-swap object (not historyless)."""
+    return ObjectSpec(ObjectKind.CAS, initial, name)
+
+
+def faa_object(initial: int = 0, name: str = "") -> ObjectSpec:
+    """A fetch-and-add object (not historyless)."""
+    return ObjectSpec(ObjectKind.FETCH_AND_ADD, initial, name)
+
+
+def is_historyless(kind: ObjectKind) -> bool:
+    """True for objects whose operations overwrite or don't affect state."""
+    return kind in _HISTORYLESS
+
+
+def apply_operation(
+    kind: ObjectKind, state: Hashable, op: Operation
+) -> Tuple[Hashable, Hashable]:
+    """Sequential semantics: apply ``op`` to an object of ``kind``.
+
+    Returns ``(new_state, response)``.  Reads are permitted on every
+    kind; other operations must match the object kind.
+    """
+    if isinstance(op, Read):
+        return state, state
+    if isinstance(op, Write):
+        if kind is not ObjectKind.REGISTER and kind is not ObjectKind.SWAP:
+            raise InvalidOperationError(f"cannot Write to {kind.value} object")
+        return op.value, None
+    if isinstance(op, Swap):
+        if kind is not ObjectKind.SWAP:
+            raise InvalidOperationError(f"cannot Swap on {kind.value} object")
+        return op.value, state
+    if isinstance(op, TestAndSet):
+        if kind is not ObjectKind.TEST_AND_SET:
+            raise InvalidOperationError(
+                f"cannot TestAndSet on {kind.value} object"
+            )
+        return 1, state
+    if isinstance(op, CompareAndSwap):
+        if kind is not ObjectKind.CAS:
+            raise InvalidOperationError(f"cannot CAS on {kind.value} object")
+        if state == op.expected:
+            return op.new, state
+        return state, state
+    if isinstance(op, FetchAndAdd):
+        if kind is not ObjectKind.FETCH_AND_ADD:
+            raise InvalidOperationError(
+                f"cannot FetchAndAdd on {kind.value} object"
+            )
+        return state + op.delta, state
+    raise InvalidOperationError(f"unknown shared operation {op!r}")

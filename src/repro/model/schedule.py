@@ -1,0 +1,75 @@
+"""Schedules: the adversary's side of an execution.
+
+A schedule is a finite sequence of process identifiers; the process named
+at each position takes its next step.  Because protocols are
+deterministic given coin tapes, a configuration plus a schedule fully
+determines an execution -- schedules are therefore the unit the
+lower-bound certificates store and replay.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Iterable, Iterator, Sequence, Tuple
+
+Schedule = Tuple[int, ...]
+
+EMPTY: Schedule = ()
+
+
+def solo(pid: int, steps: int) -> Schedule:
+    """``steps`` consecutive steps by one process."""
+    return (pid,) * steps
+
+def concat(*parts: Iterable[int]) -> Schedule:
+    """Concatenate schedule fragments into one schedule."""
+    return tuple(itertools.chain.from_iterable(parts))
+
+
+def round_robin(pids: Sequence[int], rounds: int) -> Schedule:
+    """``rounds`` passes over ``pids`` in order."""
+    return tuple(pids) * rounds
+
+
+def interleavings(pids: Sequence[int], length: int) -> Iterator[Schedule]:
+    """All schedules of the given length over ``pids`` (exponential!)."""
+    return itertools.product(pids, repeat=length)
+
+
+def random_schedule(
+    pids: Sequence[int], length: int, rng: random.Random
+) -> Schedule:
+    """A uniformly random schedule over ``pids``."""
+    return tuple(rng.choice(pids) for _ in range(length))
+
+
+def random_bursty_schedule(
+    pids: Sequence[int],
+    length: int,
+    rng: random.Random,
+    max_burst: int = 8,
+) -> Schedule:
+    """A random schedule made of solo bursts.
+
+    Bursty schedules exercise obstruction-free progress: long solo runs
+    let processes decide, while the burst boundaries create the
+    interleavings that matter for agreement.
+    """
+    out = []
+    while len(out) < length:
+        pid = rng.choice(pids)
+        out.extend([pid] * rng.randint(1, max_burst))
+    return tuple(out[:length])
+
+
+def restricted_to(schedule: Iterable[int], pids: Iterable[int]) -> Schedule:
+    """The subsequence of ``schedule`` consisting of steps by ``pids``."""
+    allowed = frozenset(pids)
+    return tuple(pid for pid in schedule if pid in allowed)
+
+
+def is_only_by(schedule: Iterable[int], pids: Iterable[int]) -> bool:
+    """True if every step in ``schedule`` is by a process in ``pids``."""
+    allowed = frozenset(pids)
+    return all(pid in allowed for pid in schedule)

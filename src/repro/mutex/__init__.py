@@ -1,0 +1,61 @@
+"""Mutual exclusion: algorithms, checkers, the state-change cost model,
+and the Fan-Lynch information-theoretic machinery.
+
+The lecture's Part II reproduces Fan-Lynch (2006): any deterministic
+n-process mutex algorithm from registers incurs Omega(n log n) total cost
+in the *state change cost model* on some canonical execution (each
+process enters the critical section exactly once), and the bound is
+tight (Yang-Anderson-style tournament algorithms achieve O(n log n)).
+
+* :mod:`repro.mutex.base` -- mutex protocols as DSL programs with
+  critical sections delimited by markers; in-CS detection from states.
+* :mod:`repro.mutex.peterson` -- Peterson's n-process filter lock
+  (the lecture's example, cubic total work).
+* :mod:`repro.mutex.tournament` -- a tournament of two-process Peterson
+  locks (the O(n log n) side).
+* :mod:`repro.mutex.bakery` -- Lamport's bakery (first-come-first-served,
+  unbounded tickets).
+* :mod:`repro.mutex.checkers` -- exhaustive and randomized mutual
+  exclusion / progress checking.
+* :mod:`repro.mutex.cost` -- the state-change cost meter and canonical
+  execution drivers.
+* :mod:`repro.mutex.visibility` -- visibility graphs of canonical runs
+  and the must-see-each-other claim.
+* :mod:`repro.mutex.encoding` -- the encoder/decoder argument: canonical
+  runs compressed to O(cost) bits and decoded back, against the
+  log2(n!) information floor.
+"""
+
+from repro.mutex.base import MutexProtocol
+from repro.mutex.peterson import PetersonFilter
+from repro.mutex.tournament import TournamentMutex
+from repro.mutex.bakery import BakeryMutex
+from repro.mutex.checkers import (
+    check_mutual_exclusion_exhaustive,
+    check_mutex_random,
+)
+from repro.mutex.cost import (
+    CanonicalRun,
+    CostMeter,
+    sequential_canonical_run,
+    contended_canonical_run,
+)
+from repro.mutex.visibility import VisibilityGraph, visibility_graph
+from repro.mutex.encoding import decode_run, encode_run
+
+__all__ = [
+    "BakeryMutex",
+    "CanonicalRun",
+    "CostMeter",
+    "MutexProtocol",
+    "PetersonFilter",
+    "TournamentMutex",
+    "VisibilityGraph",
+    "check_mutex_random",
+    "check_mutual_exclusion_exhaustive",
+    "contended_canonical_run",
+    "decode_run",
+    "encode_run",
+    "sequential_canonical_run",
+    "visibility_graph",
+]

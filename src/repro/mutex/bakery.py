@@ -1,0 +1,82 @@
+"""Lamport's bakery algorithm (first-come-first-served mutual exclusion).
+
+    choosing[me] := 1
+    number[me] := 1 + max(number[0..n-1])
+    choosing[me] := 0
+    for j != me:
+        wait until choosing[j] == 0
+        wait until number[j] == 0 or (number[j], j) > (number[me], me)
+    -- critical section --
+    number[me] := 0
+
+Registers 0..n-1 are ``choosing``, n..2n-1 are ``number`` (2n total,
+single-writer).  Tickets grow without bound across sessions, which is
+fine here: canonical executions use one session each, and the cost
+benches care about the state-change curve (O(n) charged steps per entry,
+O(n^2) per canonical run -- a second superlinear curve next to
+Peterson's).
+"""
+
+from __future__ import annotations
+
+from repro.model.program import ProgramBuilder
+from repro.model.registers import register
+from repro.mutex.base import ENTER_CS, EXIT_CS, MutexProtocol
+
+
+def _build_program(n: int, sessions: int):
+    builder = ProgramBuilder()
+    builder.assign("todo", sessions)
+    builder.label("try")
+    builder.write(lambda e: e["me"], 1)  # choosing[me] := 1
+    builder.assign("j", 0)
+    builder.assign("mx", 0)
+    builder.label("ticket_scan")
+    builder.read(lambda e: n + e["j"], "t")
+    builder.assign("mx", lambda e: max(e["mx"], e["t"]))
+    builder.assign("j", lambda e: e["j"] + 1)
+    builder.branch_if(lambda e: e["j"] < n, "ticket_scan")
+    builder.assign("my", lambda e: e["mx"] + 1)
+    builder.write(lambda e: n + e["me"], lambda e: e["my"])
+    builder.write(lambda e: e["me"], 0)  # choosing[me] := 0
+    builder.assign("j", 0)
+    builder.label("gate")
+    builder.branch_if(lambda e: e["j"] == e["me"], "next_gate")
+    builder.label("wait_choosing")
+    builder.read(lambda e: e["j"], "c")
+    builder.branch_if(lambda e: e["c"] == 1, "wait_choosing")
+    builder.label("wait_ticket")
+    builder.read(lambda e: n + e["j"], "t")
+    builder.branch_if(
+        lambda e: e["t"] != 0 and (e["t"], e["j"]) < (e["my"], e["me"]),
+        "wait_ticket",
+    )
+    builder.label("next_gate")
+    builder.assign("j", lambda e: e["j"] + 1)
+    builder.branch_if(lambda e: e["j"] < n, "gate")
+    builder.marker(ENTER_CS)
+    builder.marker(EXIT_CS)
+    builder.write(lambda e: n + e["me"], 0)  # number[me] := 0
+    builder.assign("todo", lambda e: e["todo"] - 1)
+    builder.branch_if(lambda e: e["todo"] > 0, "try")
+    builder.halt()
+    return builder.build()
+
+
+class BakeryMutex(MutexProtocol):
+    """Lamport's bakery for n >= 2 processes from 2n registers."""
+
+    def __init__(self, n: int, sessions: int = 1):
+        if n < 2:
+            raise ValueError("mutual exclusion needs at least two processes")
+        program = _build_program(n, sessions)
+        specs = [register(0, name=f"choosing{i}") for i in range(n)]
+        specs += [register(0, name=f"number{i}") for i in range(n)]
+        super().__init__(
+            name="bakery",
+            n=n,
+            specs=specs,
+            programs=[program] * n,
+            initial_env=lambda pid, value: {"me": pid},
+            sessions=sessions,
+        )

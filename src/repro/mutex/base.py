@@ -1,0 +1,82 @@
+"""Base class for mutual-exclusion protocols written in the DSL.
+
+A mutex program is a loop: trying section, ``marker('enter_cs')``, the
+critical section, ``marker('exit_cs')``, exit section, remainder.  Each
+process performs a fixed number of *sessions* (critical-section entries)
+and then halts; canonical executions use one session per process.
+
+Being in the critical section is a property of the program counter: a
+process is in its CS from the moment it takes the ``enter_cs`` marker
+step until it takes the ``exit_cs`` marker step.  ``MutexProtocol``
+locates the markers at construction time so checkers can read CS
+occupancy straight off a configuration.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, List, Sequence, Tuple
+
+from repro.errors import ProgramError
+from repro.model.configuration import Configuration
+from repro.model.program import IMarker, Program, ProcState, ProgramProtocol
+from repro.model.registers import ObjectSpec
+
+ENTER_CS = "enter_cs"
+EXIT_CS = "exit_cs"
+
+
+class MutexProtocol(ProgramProtocol):
+    """A DSL protocol whose programs delimit critical sections by markers."""
+
+    def __init__(
+        self,
+        name: str,
+        n: int,
+        specs: Sequence[ObjectSpec],
+        programs: Sequence[Program],
+        initial_env,
+        sessions: int = 1,
+    ):
+        super().__init__(name, n, specs, programs, initial_env)
+        self.sessions = sessions
+        self._cs_ranges: List[Tuple[Tuple[int, int], ...]] = [
+            _critical_ranges(program) for program in programs
+        ]
+
+    def in_critical_section(self, pid: int, state: Hashable) -> bool:
+        """True if ``pid`` is inside its critical section in ``state``."""
+        if not isinstance(state, ProcState):
+            return False
+        return any(
+            enter_pc < state.pc <= exit_pc
+            for enter_pc, exit_pc in self._cs_ranges[pid]
+        )
+
+    def processes_in_cs(self, config: Configuration) -> Tuple[int, ...]:
+        """The processes currently inside their critical sections."""
+        return tuple(
+            pid
+            for pid, state in enumerate(config.states)
+            if self.in_critical_section(pid, state)
+        )
+
+
+def _critical_ranges(program: Program) -> Tuple[Tuple[int, int], ...]:
+    """Pair up enter/exit markers: (enter_pc, exit_pc) per CS block."""
+    enters: List[int] = []
+    ranges: List[Tuple[int, int]] = []
+    pending: List[int] = []
+    for pc, instr in enumerate(program.instructions):
+        if isinstance(instr, IMarker):
+            if instr.text == ENTER_CS:
+                pending.append(pc)
+            elif instr.text == EXIT_CS:
+                if not pending:
+                    raise ProgramError("exit_cs marker without enter_cs")
+                ranges.append((pending.pop(), pc))
+    if pending:
+        raise ProgramError("enter_cs marker without matching exit_cs")
+    if not ranges:
+        raise ProgramError("mutex program has no critical section markers")
+    del enters
+    return tuple(ranges)

@@ -1,0 +1,154 @@
+"""Mutual exclusion checkers.
+
+``check_mutual_exclusion_exhaustive`` walks the full reachable graph of
+a mutex protocol (finite for one session per process) and verifies that
+no configuration has two processes inside their critical sections,
+returning a witness schedule otherwise.
+
+``check_mutex_random`` drives longer random executions: the invariant is
+checked after every step, and a round-robin completion phase verifies
+progress (deadlock freedom: with every process taking steps, all
+sessions finish).
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from typing import Dict, Hashable, List, Optional, Tuple
+
+from repro.errors import ExplorationLimitError
+from repro.analysis.checker import CheckResult, Violation
+from repro.model.schedule import Schedule, random_schedule
+from repro.model.system import System
+from repro.mutex.base import MutexProtocol
+
+
+def check_mutual_exclusion_exhaustive(
+    system: System,
+    max_configs: int = 500_000,
+) -> CheckResult:
+    """Exhaustively verify the mutual exclusion invariant."""
+    protocol = system.protocol
+    if not isinstance(protocol, MutexProtocol):
+        raise TypeError("needs a MutexProtocol")
+    root = system.initial_configuration([None] * protocol.n)
+    root_key = protocol.canonical_key(root)
+    parents: Dict[Hashable, Optional[Tuple[Hashable, int]]] = {root_key: None}
+    queue = deque([(root, root_key)])
+    result = CheckResult(ok=True)
+
+    def path_to(key) -> Schedule:
+        steps: List[int] = []
+        cursor = parents[key]
+        while cursor is not None:
+            parent_key, pid = cursor
+            steps.append(pid)
+            cursor = parents[parent_key]
+        steps.reverse()
+        return tuple(steps)
+
+    while queue:
+        config, key = queue.popleft()
+        occupants = protocol.processes_in_cs(config)
+        if len(occupants) > 1:
+            result.ok = False
+            result.violations.append(
+                Violation(
+                    kind="mutual-exclusion",
+                    schedule=path_to(key),
+                    detail=f"processes {list(occupants)} in CS together",
+                )
+            )
+            result.configs_visited = len(parents)
+            return result
+        for pid in range(protocol.n):
+            if not system.enabled(config, pid):
+                continue
+            succ, _ = system.step(config, pid)
+            succ_key = protocol.canonical_key(succ)
+            if succ_key in parents:
+                continue
+            parents[succ_key] = (key, pid)
+            if len(parents) > max_configs:
+                raise ExplorationLimitError(
+                    f"mutex reachable graph exceeds {max_configs}",
+                    visited=len(parents),
+                )
+            queue.append((succ, succ_key))
+    result.configs_visited = len(parents)
+    result.exhaustive = True
+    return result
+
+
+def check_mutex_random(
+    system: System,
+    runs: int = 50,
+    schedule_length: int = 3_000,
+    seed: int = 0,
+    completion_rounds: int = 100_000,
+) -> CheckResult:
+    """Randomized invariant + progress checking for larger n."""
+    protocol = system.protocol
+    if not isinstance(protocol, MutexProtocol):
+        raise TypeError("needs a MutexProtocol")
+    rng = random.Random(seed)
+    pids = list(range(protocol.n))
+    result = CheckResult(ok=True)
+
+    for run_index in range(runs):
+        config = system.initial_configuration([None] * protocol.n)
+        schedule = random_schedule(pids, schedule_length, rng)
+        taken: List[int] = []
+        for pid in schedule:
+            if not system.enabled(config, pid):
+                continue
+            config, _ = system.step(config, pid)
+            taken.append(pid)
+            occupants = protocol.processes_in_cs(config)
+            if len(occupants) > 1:
+                result.ok = False
+                result.violations.append(
+                    Violation(
+                        kind="mutual-exclusion",
+                        schedule=tuple(taken),
+                        detail=f"processes {list(occupants)} in CS together "
+                        f"(run {run_index})",
+                    )
+                )
+                return result
+        # Completion phase: round-robin until everyone halts (progress).
+        for _ in range(completion_rounds):
+            moved = False
+            for pid in pids:
+                if system.enabled(config, pid):
+                    config, _ = system.step(config, pid)
+                    taken.append(pid)
+                    moved = True
+                    occupants = protocol.processes_in_cs(config)
+                    if len(occupants) > 1:
+                        result.ok = False
+                        result.violations.append(
+                            Violation(
+                                kind="mutual-exclusion",
+                                schedule=tuple(taken),
+                                detail=f"processes {list(occupants)} in CS "
+                                f"together (completion, run {run_index})",
+                            )
+                        )
+                        return result
+            if not moved:
+                break
+        if any(system.enabled(config, pid) for pid in pids):
+            result.ok = False
+            result.violations.append(
+                Violation(
+                    kind="progress",
+                    schedule=tuple(taken),
+                    detail=f"sessions incomplete after round-robin completion "
+                    f"(run {run_index})",
+                )
+            )
+            return result
+        result.configs_visited += len(taken)
+    return result

@@ -1,0 +1,210 @@
+"""The state-change cost model and canonical execution drivers.
+
+Fan-Lynch charge an algorithm "only for performing shared memory
+operations causing a process to change its state".  Our processes are
+DSL automata whose program counters wiggle inside busy-wait loops, so
+the operational rule is: a shared-memory step is charged iff it moves
+the process to a state it has not held before (within the run).  Steady
+spinning revisits the same few states and is free; the first lap of a
+spin loop is charged, which matches the cache-coherent reading (first
+reads are misses, re-reads hit the cache).
+
+A *canonical execution* has every process enter the critical section
+exactly once.  Two drivers:
+
+* :func:`sequential_canonical_run` -- processes traverse their sessions
+  one after another in a given permutation (spin-free, minimal cost;
+  the runs the encoder/decoder experiment serialises);
+* :func:`contended_canonical_run` -- everybody competes under a
+  round-robin scheduler, with entries gated toward a target permutation
+  when possible (the contended cost curves).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import ModelError
+from repro.model.operations import Marker, Step
+from repro.model.system import System
+from repro.mutex.base import ENTER_CS, MutexProtocol
+
+
+class CostMeter:
+    """Counts state-changing shared-memory steps per process.
+
+    ``observe`` reports *progress* (the step reached a state the process
+    has not held before); the cost counters additionally exclude marker
+    steps, which are not shared-memory operations.  Progress steps --
+    markers included -- are what the encoder serialises, because they
+    are exactly the steps a replay must reproduce.
+    """
+
+    def __init__(self) -> None:
+        self._seen: Dict[int, Set[Hashable]] = {}
+        self.per_process: Dict[int, int] = {}
+        self.total = 0
+
+    def observe(self, pid: int, post_state: Hashable, step: Step) -> bool:
+        """Record one step; returns True if it made progress."""
+        seen = self._seen.setdefault(pid, set())
+        if post_state in seen:
+            return False
+        seen.add(post_state)
+        if not isinstance(step.op, Marker):
+            self.per_process[pid] = self.per_process.get(pid, 0) + 1
+            self.total += 1
+        return True
+
+
+@dataclass
+class CanonicalRun:
+    """One measured canonical execution."""
+
+    protocol_name: str
+    n: int
+    schedule: Tuple[int, ...]
+    charged_schedule: Tuple[int, ...]
+    cost: int
+    per_process_cost: Dict[int, int]
+    cs_order: Tuple[int, ...]
+    steps: int = 0
+    extras: dict = field(default_factory=dict)
+
+    def describe(self) -> str:
+        return (
+            f"{self.protocol_name} n={self.n}: cost={self.cost} over "
+            f"{self.steps} steps, CS order {list(self.cs_order)}"
+        )
+
+
+def _run_with_meter(
+    system: System, schedule_source, step_bound: int
+) -> CanonicalRun:
+    """Drive the system by the scheduler callable, metering cost."""
+    protocol = system.protocol
+    meter = CostMeter()
+    config = system.initial_configuration([None] * protocol.n)
+    schedule: List[int] = []
+    charged: List[int] = []
+    cs_order: List[int] = []
+    for _ in range(step_bound):
+        pid = schedule_source(system, config)
+        if pid is None:
+            break
+        config, step = system.step(config, pid)
+        schedule.append(pid)
+        if meter.observe(pid, config.states[pid], step):
+            charged.append(pid)
+        if isinstance(step.op, Marker) and step.op.label == ENTER_CS:
+            cs_order.append(pid)
+    else:
+        raise ModelError(f"canonical run exceeded {step_bound} steps")
+    return CanonicalRun(
+        protocol_name=protocol.name,
+        n=protocol.n,
+        schedule=tuple(schedule),
+        charged_schedule=tuple(charged),
+        cost=meter.total,
+        per_process_cost=dict(meter.per_process),
+        cs_order=tuple(cs_order),
+        steps=len(schedule),
+    )
+
+
+def sequential_canonical_run(
+    system: System,
+    permutation: Sequence[int],
+    step_bound: int = 2_000_000,
+) -> CanonicalRun:
+    """Each process runs its whole session solo, in permutation order."""
+    protocol = system.protocol
+    if sorted(permutation) != list(range(protocol.n)):
+        raise ValueError("permutation must list every process exactly once")
+    order = list(permutation)
+    cursor = {"index": 0}
+
+    def scheduler(sys: System, config) -> Optional[int]:
+        while cursor["index"] < len(order):
+            pid = order[cursor["index"]]
+            if sys.enabled(config, pid):
+                return pid
+            cursor["index"] += 1
+        return None
+
+    return _run_with_meter(system, scheduler, step_bound)
+
+
+def contended_canonical_run(
+    system: System,
+    permutation: Optional[Sequence[int]] = None,
+    step_bound: int = 5_000_000,
+) -> CanonicalRun:
+    """Round-robin contention; CS entries gated toward ``permutation``.
+
+    A process poised at its enter_cs marker is held back while it is not
+    the next process in the target permutation; if a full round passes
+    with nobody able to move (the lock serialised differently), the gate
+    opens for whoever holds the lock -- the realised order is recorded in
+    ``cs_order``.
+    """
+    protocol = system.protocol
+    if not isinstance(protocol, MutexProtocol):
+        raise TypeError("needs a MutexProtocol")
+    target = list(permutation) if permutation is not None else None
+    state = {"next": 0, "rr": 0}
+    seen: Dict[int, Set[Hashable]] = {}
+
+    def gate_open(pid: int) -> bool:
+        if target is None or state["next"] >= len(target):
+            return True
+        return target[state["next"]] == pid
+
+    def scheduler(sys: System, config) -> Optional[int]:
+        # Prefer processes whose next step reaches a state they have not
+        # held before (real progress); pure spinners only churn.  When
+        # every ungated process is a spinner, the run is quiescent up to
+        # the gate, so the gate opens for whoever holds the lock --
+        # otherwise a livelock of free spinning would run forever.
+        n = protocol.n
+        gated: Optional[int] = None
+        for offset in range(n):
+            pid = (state["rr"] + offset) % n
+            if not sys.enabled(config, pid):
+                continue
+            op = sys.poised(config, pid)
+            if isinstance(op, Marker) and op.label == ENTER_CS:
+                if gate_open(pid):
+                    state["rr"] = (pid + 1) % n
+                    state["next"] += 1
+                    seen.setdefault(pid, set())
+                    return pid
+                gated = pid
+                continue
+            peeked, _ = sys.step(config, pid)
+            post = peeked.states[pid]
+            if post not in seen.setdefault(pid, set()):
+                seen[pid].add(post)
+                state["rr"] = (pid + 1) % n
+                return pid
+        if gated is not None:
+            state["rr"] = (gated + 1) % n
+            state["next"] += 1
+            return gated
+        # Only spinners remain.  A one-step peek cannot see that a later
+        # step of the spin lap would read fresh memory, so keep stepping
+        # spinners round-robin; deadlock freedom guarantees a lap
+        # eventually turns up a fresh state.
+        for offset in range(n):
+            pid = (state["rr"] + offset) % n
+            if not sys.enabled(config, pid):
+                continue
+            op = sys.poised(config, pid)
+            if isinstance(op, Marker) and op.label == ENTER_CS:
+                continue  # still gated
+            state["rr"] = (pid + 1) % n
+            return pid
+        return None
+
+    return _run_with_meter(system, scheduler, step_bound)

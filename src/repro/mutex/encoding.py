@@ -1,0 +1,128 @@
+"""The encoder/decoder argument (Fan-Lynch), executable.
+
+Construction step: build the canonical run alpha_pi realising CS order
+pi (we use the sequential driver, whose runs are spin-free so every step
+is charged).  Encoding step: compress the charged-step process sequence
+by run-length encoding -- each maximal run of one process becomes its
+pid in ceil(log2 n) bits plus the run length in Elias gamma.  Decoding
+step: expand the bits back into the schedule and *replay it against the
+algorithm*; the critical-section order, hence pi, falls out of the
+replayed trace.
+
+This is the simplified shape of Fan-Lynch's metastep encoding (their
+construction interleaves processes invisibly and encodes metasteps; our
+canonical runs are sequential, so runs-of-one-process are the
+metasteps).  The quantitative content survives intact:
+
+* the code is injective on permutations (decode . encode = identity,
+  checked by tests and by E8), so max_pi |E_pi| >= log2(n!) bits;
+* |E_pi| = O(cost(alpha_pi)) for the O(n log n) tournament algorithm --
+  n runs of length O(log n) cost n(log2 n + O(log log n)) bits;
+
+together: some canonical execution costs Omega(n log n), which is the
+lower bound the lecture derives.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence, Tuple
+
+from repro.errors import ModelError
+from repro.model.system import System
+from repro.mutex.cost import CanonicalRun
+
+
+def elias_gamma(value: int) -> str:
+    """Elias gamma code of a positive integer."""
+    if value < 1:
+        raise ValueError("Elias gamma encodes positive integers")
+    binary = bin(value)[2:]
+    return "0" * (len(binary) - 1) + binary
+
+
+def elias_gamma_decode(bits: str, pos: int) -> Tuple[int, int]:
+    """Decode one gamma codeword starting at ``pos``; returns (value, pos')."""
+    zeros = 0
+    while pos + zeros < len(bits) and bits[pos + zeros] == "0":
+        zeros += 1
+    end = pos + zeros + zeros + 1
+    if end > len(bits):
+        raise ModelError("truncated Elias gamma codeword")
+    value = int(bits[pos + zeros : end], 2)
+    return value, end
+
+
+def _runs(schedule: Sequence[int]) -> Iterator[Tuple[int, int]]:
+    """Maximal (pid, length) runs of a schedule."""
+    iterator = iter(schedule)
+    try:
+        current = next(iterator)
+    except StopIteration:
+        return
+    length = 1
+    for pid in iterator:
+        if pid == current:
+            length += 1
+        else:
+            yield current, length
+            current, length = pid, 1
+    yield current, length
+
+
+@dataclass(frozen=True)
+class EncodedRun:
+    """The codeword for one canonical execution."""
+
+    n: int
+    bits: str
+
+    def __len__(self) -> int:
+        return len(self.bits)
+
+
+def encode_run(run: CanonicalRun) -> EncodedRun:
+    """Encode the charged schedule of a canonical run."""
+    width = max(1, math.ceil(math.log2(run.n)))
+    pieces: List[str] = []
+    for pid, length in _runs(run.charged_schedule):
+        pieces.append(format(pid, f"0{width}b"))
+        pieces.append(elias_gamma(length))
+    return EncodedRun(n=run.n, bits="".join(pieces))
+
+
+def decode_schedule(encoded: EncodedRun) -> Tuple[int, ...]:
+    """Expand the codeword back into the charged schedule."""
+    width = max(1, math.ceil(math.log2(encoded.n)))
+    bits = encoded.bits
+    pos = 0
+    schedule: List[int] = []
+    while pos < len(bits):
+        if pos + width > len(bits):
+            raise ModelError("truncated pid field")
+        pid = int(bits[pos : pos + width], 2)
+        pos += width
+        length, pos = elias_gamma_decode(bits, pos)
+        schedule.extend([pid] * length)
+    return tuple(schedule)
+
+
+def decode_run(encoded: EncodedRun, system: System) -> Tuple[int, ...]:
+    """Decode and replay against the algorithm; returns the CS order pi.
+
+    The decoder owns a copy of the algorithm (as in Fan-Lynch): the bits
+    only carry the scheduling choices; everything else is recomputed by
+    simulation.
+    """
+    from repro.mutex.visibility import schedule_to_trace, visibility_graph
+
+    schedule = decode_schedule(encoded)
+    trace = schedule_to_trace(system, schedule)
+    graph = visibility_graph(trace, system.protocol.n)
+    return graph.chain()
+
+
+def information_floor_bits(n: int) -> float:
+    """log2(n!) -- the bits any injective encoding of pi needs."""
+    return math.lgamma(n + 1) / math.log(2)

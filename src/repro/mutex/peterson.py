@@ -1,0 +1,81 @@
+"""Peterson's n-process filter lock (the lecture's running example).
+
+    level[0..n-1]   = -1   current level of each process
+    waiting[0..n-2] = -1   the waiting process at each level
+
+    for m in 0 .. n-2:
+        level[me] := m
+        waiting[m] := me
+        while waiting[m] == me and (exists k != me: level[k] >= m):
+            spin
+    -- critical section --
+    level[me] := -1
+
+Register layout: registers 0..n-1 are ``level``, registers n..2n-2 are
+``waiting`` (2n-1 registers total).  A process climbs n-1 levels; at
+most one process waits per level, so at least one process is always able
+to advance (deadlock freedom), and at most one reaches the top
+(mutual exclusion).
+
+Total work: each level's spin re-evaluates a condition over all n level
+registers, so a canonical execution costs O(n^2) in the state-change
+model (the lecture quotes O(n^3) raw memory accesses; the state-change
+meter does not charge steady-state spinning).  Either way: superlinear
+by a polynomial factor -- the foil for the O(n log n) tournament.
+"""
+
+from __future__ import annotations
+
+from repro.model.program import ProgramBuilder
+from repro.model.registers import register
+from repro.mutex.base import ENTER_CS, EXIT_CS, MutexProtocol
+
+
+def _build_program(n: int, sessions: int):
+    builder = ProgramBuilder()
+    builder.assign("todo", sessions)
+    builder.label("try")
+    builder.assign("m", 0)
+    builder.label("level_loop")
+    builder.write(lambda e: e["me"], lambda e: e["m"])  # level[me] := m
+    builder.write(lambda e: n + e["m"], lambda e: e["me"])  # waiting[m] := me
+    builder.label("spin")
+    builder.read(lambda e: n + e["m"], "w")
+    builder.branch_if(lambda e: e["w"] != e["me"], "advance")
+    builder.assign("j", 0)
+    builder.label("scan")
+    builder.branch_if(lambda e: e["j"] == e["me"], "next_j")
+    builder.read(lambda e: e["j"], "lvl")
+    builder.branch_if(lambda e: e["lvl"] >= e["m"], "spin")
+    builder.label("next_j")
+    builder.assign("j", lambda e: e["j"] + 1)
+    builder.branch_if(lambda e: e["j"] < n, "scan")
+    builder.label("advance")
+    builder.assign("m", lambda e: e["m"] + 1)
+    builder.branch_if(lambda e: e["m"] <= n - 2, "level_loop")
+    builder.marker(ENTER_CS)
+    builder.marker(EXIT_CS)
+    builder.write(lambda e: e["me"], -1)  # level[me] := -1
+    builder.assign("todo", lambda e: e["todo"] - 1)
+    builder.branch_if(lambda e: e["todo"] > 0, "try")
+    builder.halt()
+    return builder.build()
+
+
+class PetersonFilter(MutexProtocol):
+    """Peterson's filter lock for n >= 2 processes from 2n-1 registers."""
+
+    def __init__(self, n: int, sessions: int = 1):
+        if n < 2:
+            raise ValueError("mutual exclusion needs at least two processes")
+        program = _build_program(n, sessions)
+        specs = [register(-1, name=f"level{i}") for i in range(n)]
+        specs += [register(-1, name=f"waiting{m}") for m in range(n - 1)]
+        super().__init__(
+            name="peterson-filter",
+            n=n,
+            specs=specs,
+            programs=[program] * n,
+            initial_env=lambda pid, value: {"me": pid},
+            sessions=sessions,
+        )

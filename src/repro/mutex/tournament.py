@@ -1,0 +1,104 @@
+"""Tournament mutual exclusion: the O(n log n) side of Fan-Lynch.
+
+Processes climb a binary tree of two-process Peterson locks; holding the
+root lock is the critical section.  The tree mirrors the arbitration
+structure of Yang-Anderson's local-spin algorithm: each process acquires
+O(log n) node locks, each for O(1) state-changing cost per contender, so
+a canonical execution costs O(n log n) in the state-change model --
+matching the lecture's tight upper bound.
+
+Tree layout (heap numbering): leaves are 2^L + pid for L = ceil(log2 n);
+internal nodes 1 .. 2^L - 1.  Node k uses three registers at base
+3*(k-1): flag for side 0, flag for side 1, and the turn register.
+
+Per node, with ``side`` the child the process arrived from:
+
+    flag[side] := 1; turn := side
+    while flag[1-side] == 1 and turn == side: spin
+
+Release walks the acquired path in reverse, clearing flags.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.model.program import ProgramBuilder
+from repro.model.registers import register
+from repro.mutex.base import ENTER_CS, EXIT_CS, MutexProtocol
+
+
+def _tree_path(pid: int, leaf_base: int):
+    """The (node, side) pairs from leaf to root for heap numbering."""
+    path = []
+    node = leaf_base + pid
+    while node > 1:
+        path.append((node // 2, node % 2))
+        node //= 2
+    return tuple(path)
+
+
+def _build_program(pid: int, leaf_base: int, sessions: int):
+    path = _tree_path(pid, leaf_base)
+
+    def flag_reg(level, side):
+        node, _ = path[level]
+        return 3 * (node - 1) + side
+
+    def turn_reg(level):
+        node, _ = path[level]
+        return 3 * (node - 1) + 2
+
+    builder = ProgramBuilder()
+    builder.assign("todo", sessions)
+    builder.label("try")
+    # Acquire the path bottom-up.  The path is fixed per process, so each
+    # level is unrolled with concrete register indices.
+    for level, (node, side) in enumerate(path):
+        builder.write(flag_reg(level, side), 1)
+        builder.write(turn_reg(level), side)
+        builder.label(f"spin{level}")
+        builder.read(flag_reg(level, 1 - side), "other")
+        builder.branch_if(lambda e: e["other"] != 1, f"won{level}")
+        builder.read(turn_reg(level), "turn")
+        builder.branch_if(
+            (lambda s: lambda e: e["turn"] == s)(side), f"spin{level}"
+        )
+        builder.label(f"won{level}")
+    builder.marker(ENTER_CS)
+    builder.marker(EXIT_CS)
+    for level in range(len(path) - 1, -1, -1):
+        _, side = path[level]
+        builder.write(flag_reg(level, side), 0)
+    builder.assign("todo", lambda e: e["todo"] - 1)
+    builder.branch_if(lambda e: e["todo"] > 0, "try")
+    builder.halt()
+    return builder.build()
+
+
+class TournamentMutex(MutexProtocol):
+    """Tournament of two-process Peterson locks; O(n log n) canonical cost."""
+
+    def __init__(self, n: int, sessions: int = 1):
+        if n < 2:
+            raise ValueError("mutual exclusion needs at least two processes")
+        height = max(1, math.ceil(math.log2(n)))
+        leaf_base = 2 ** height
+        nodes = leaf_base - 1
+        programs = [
+            _build_program(pid, leaf_base, sessions) for pid in range(n)
+        ]
+        specs = []
+        for node in range(1, nodes + 1):
+            specs.append(register(0, name=f"flag{node}a"))
+            specs.append(register(0, name=f"flag{node}b"))
+            specs.append(register(-1, name=f"turn{node}"))
+        super().__init__(
+            name="tournament-mutex",
+            n=n,
+            specs=specs,
+            programs=programs,
+            initial_env=lambda pid, value: {"me": pid},
+            sessions=sessions,
+        )
+        self.height = height

@@ -1,0 +1,48 @@
+"""Perturbable objects and the Jayanti-Tan-Toueg covering adversary.
+
+The lecture's Part I.1 (Jayanti, Tan, Toueg, SIAM J. Comput. 2000;
+sharpened by Attiya et al., JACM 2009) proves that obstruction-free
+implementations of *perturbable* long-lived objects -- counters,
+fetch&add, CAS, single-writer snapshots -- from historyless primitives
+need at least n-1 registers and n-1 solo steps.
+
+This package makes that executable:
+
+* :mod:`repro.perturbable.objects` -- obstruction-free counter and
+  snapshot implementations from registers (the upper bounds), plus
+  deliberately under-provisioned counters;
+* :mod:`repro.perturbable.adversary` -- the covering induction of the
+  slides: schedules alpha_k / beta_k / gamma_k such that p_n's solo
+  operation accesses only the k covered registers and cannot tell
+  whether a hidden lambda_k by the middle processes happened.  Each
+  induction step finds the write outside the covered set that
+  perturbation forces, or exhibits a linearizability violation;
+* :mod:`repro.perturbable.perturbation` -- the perturbability test
+  itself: can squeezing hidden operations change the reader's result?
+"""
+
+from repro.perturbable.objects import (
+    ArrayCounter,
+    LossySharedCounter,
+    SingleWriterSnapshot,
+)
+from repro.perturbable.adversary import (
+    CoveringCertificate,
+    covering_induction,
+)
+from repro.perturbable.perturbation import (
+    PerturbationOutcome,
+    is_perturbable_here,
+)
+from repro.perturbable.histories import counter_history
+
+__all__ = [
+    "ArrayCounter",
+    "CoveringCertificate",
+    "LossySharedCounter",
+    "PerturbationOutcome",
+    "SingleWriterSnapshot",
+    "counter_history",
+    "covering_induction",
+    "is_perturbable_here",
+]

@@ -1,0 +1,223 @@
+"""The Jayanti-Tan-Toueg covering induction, executable.
+
+The slides' induction (Part I.1): there are schedules alpha_k (by the
+first n-1 processes), a block write beta_k by k covering processes
+poised at k distinct registers B_1..B_k, and a solo read gamma by p_n,
+such that p_n cannot distinguish alpha_k beta_k gamma from
+alpha_k lambda beta_k gamma for any hidden lambda whose writes stay
+inside {B_1..B_k}.
+
+The induction step is a perturbation: compute the value v that p_n would
+return, then run p_{k+1} performing v+1 complete operations from the end
+of alpha_k.  Either
+
+* p_{k+1} becomes poised to write a register outside the covered set --
+  then alpha_{k+1} extends alpha_k up to that point and the covered set
+  grows (this must happen for a linearizable implementation, because a
+  fully-hidden lambda would force p_n to return a stale v), or
+* p_{k+1} completes all v+1 operations writing only covered registers --
+  then alpha_k lambda beta_k gamma is a concrete linearizability
+  violation witness, raised as :class:`~repro.errors.ViolationError`.
+
+Iterating to k = n-2 covers n-1 distinct registers: the space bound.
+The returned :class:`CoveringCertificate` replays the construction and
+(for the violation-free case) re-checks every covering claim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.errors import AdversaryError, CertificateError, ViolationError
+from repro.model.operations import Step
+from repro.model.schedule import Schedule, concat
+from repro.model.system import System
+
+#: Bound on steps while hunting for one process's next uncovered write.
+DEFAULT_STEP_BOUND = 100_000
+
+
+@dataclass(frozen=True)
+class CoveringCertificate:
+    """Witness that a long-lived implementation uses >= k+1 registers."""
+
+    protocol_name: str
+    n: int
+    alpha: Schedule
+    coverers: Tuple[int, ...]
+    covered: Tuple[int, ...]  # covered[i] is the register coverers[i] covers
+    reader: int
+    reader_return: object
+    reader_steps: int
+    reader_registers: FrozenSet[int]
+
+    @property
+    def bound(self) -> int:
+        return len(set(self.covered))
+
+    def validate(self, system: System) -> None:
+        """Replay alpha and re-check every covering claim."""
+        config = system.initial_configuration([None] * self.n)
+        config, _ = system.run(config, self.alpha)
+        seen: Dict[int, int] = {}
+        for pid, reg in zip(self.coverers, self.covered):
+            actual = system.covered_register(config, pid)
+            if actual != reg:
+                raise CertificateError(
+                    f"process {pid} covers {actual!r}, certificate says {reg}"
+                )
+            if reg in seen:
+                raise CertificateError(
+                    f"register {reg} covered twice (by {seen[reg]} and {pid})"
+                )
+            seen[reg] = pid
+        beta = tuple(self.coverers)
+        config, _ = system.run(config, beta)
+        final, trace = system.solo_run(config, self.reader, DEFAULT_STEP_BOUND)
+        if system.decision(final, self.reader) != self.reader_return:
+            raise CertificateError("reader return changed on replay")
+        if len(trace) != self.reader_steps:
+            raise CertificateError("reader step count changed on replay")
+
+    def summary(self) -> str:
+        regs = ", ".join(f"r{reg}" for reg in sorted(set(self.covered)))
+        return (
+            f"{self.protocol_name} (n={self.n}): {len(set(self.covered))} "
+            f"distinct registers covered [{regs}]; reader touched "
+            f"{len(self.reader_registers)} registers in {self.reader_steps} "
+            "solo steps"
+        )
+
+
+def covering_induction(
+    system: System,
+    workers: Sequence[int],
+    reader: int,
+    ops_to_perturb: Callable[[object], int],
+    completes_operation: Callable[[Step], bool],
+    step_bound: int = DEFAULT_STEP_BOUND,
+) -> CoveringCertificate:
+    """Run the JTT covering induction; see the module docstring.
+
+    ``workers`` are taken as p_1 .. p_{n-1} in order; each induction step
+    promotes the next worker to a coverer.  Raises
+    :class:`ViolationError` with the witness schedule when the hidden
+    perturbation goes unnoticed (non-linearizable implementation), and
+    :class:`AdversaryError` when a step bound is exceeded.
+    """
+    protocol = system.protocol
+    initial = system.initial_configuration([None] * protocol.n)
+    alpha: Schedule = ()
+    coverers: List[int] = []
+    covered: List[int] = []
+
+    for worker in workers:
+        config, _ = system.run(initial, alpha)
+        beta = tuple(coverers)
+        blocked, _ = system.run(config, beta)
+        read_final, read_trace = system.solo_run(blocked, reader, step_bound)
+        value = system.decision(read_final, reader)
+        if value is None:
+            raise AdversaryError(
+                f"reader {reader} did not return within {step_bound} steps"
+            )
+
+        # The perturbation: worker performs ops_to_perturb(value) complete
+        # operations; stop it the moment it is poised to write outside
+        # the covered set.
+        needed = ops_to_perturb(value)
+        covered_set = frozenset(covered)
+        extension: List[int] = []
+        cursor = config
+        done = 0
+        fresh: Optional[int] = None
+        for _ in range(step_bound):
+            op = system.poised(cursor, worker)
+            if op is None:
+                raise AdversaryError(
+                    f"worker {worker} halted; long-lived workers must run "
+                    "forever"
+                )
+            if op.is_write and op.obj not in covered_set:
+                fresh = op.obj
+                break
+            cursor, step = system.step(cursor, worker)
+            extension.append(worker)
+            if completes_operation(step):
+                done += 1
+                if done >= needed:
+                    break
+        else:
+            raise AdversaryError(
+                f"worker {worker} neither completed {needed} operations nor "
+                f"reached an uncovered write within {step_bound} steps"
+            )
+
+        if fresh is None:
+            _raise_hidden_perturbation(
+                system,
+                initial,
+                alpha,
+                tuple(extension),
+                beta,
+                reader,
+                value,
+                needed,
+                step_bound,
+            )
+        alpha = concat(alpha, extension)
+        coverers.append(worker)
+        covered.append(fresh)
+
+    config, _ = system.run(initial, alpha)
+    blocked, _ = system.run(config, tuple(coverers))
+    read_final, read_trace = system.solo_run(blocked, reader, step_bound)
+    certificate = CoveringCertificate(
+        protocol_name=protocol.name,
+        n=protocol.n,
+        alpha=alpha,
+        coverers=tuple(coverers),
+        covered=tuple(covered),
+        reader=reader,
+        reader_return=system.decision(read_final, reader),
+        reader_steps=len(read_trace),
+        reader_registers=frozenset(
+            step.op.obj for step in read_trace if step.op.obj is not None
+        ),
+    )
+    certificate.validate(system)
+    return certificate
+
+
+def _raise_hidden_perturbation(
+    system: System,
+    initial,
+    alpha: Schedule,
+    hidden: Schedule,
+    beta: Schedule,
+    reader: int,
+    base_value,
+    hidden_ops: int,
+    step_bound: int,
+) -> None:
+    """The worker stayed inside the covered set: build the violation."""
+    with_hidden, _ = system.run(initial, concat(alpha, hidden, beta))
+    final, trace = system.solo_run(with_hidden, reader, step_bound)
+    perturbed_value = system.decision(final, reader)
+    witness = concat(alpha, hidden, beta, [reader] * len(trace))
+    if perturbed_value == base_value:
+        raise ViolationError(
+            f"linearizability violation: {hidden_ops} hidden complete "
+            f"operations before the read left the return at "
+            f"{base_value!r}; the implementation cannot be a correct "
+            "linearizable object",
+            witness=witness,
+        )
+    # The worker changed the reader's view without an uncovered write --
+    # impossible given the block write; indicates a model bug.
+    raise AdversaryError(
+        "hidden schedule was visible to the reader despite the block "
+        f"write (returns {base_value!r} vs {perturbed_value!r}); "
+        "covering bookkeeping is inconsistent"
+    )

@@ -1,0 +1,80 @@
+"""Extracting operation histories from counter-workload traces.
+
+The Wing-Gong checker (:mod:`repro.model.linearizability`) consumes
+histories of invocation/response intervals; this module derives them
+from recorded executions of the counter workloads:
+
+* each worker write is one ``inc`` whose interval spans from the first
+  step of that operation (the read, for read-then-write counters) to
+  the write itself;
+* the reader's single ``read`` spans its whole solo run and returns its
+  decision.
+
+``counter_history`` + ``is_linearizable`` give an independent oracle
+for the perturbation adversary's verdicts: histories from the
+ArrayCounter always linearize; the hidden-perturbation witnesses the
+adversary produces against the lossy counters do not.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.model.linearizability import OpRecord
+from repro.model.operations import Read, Step, Write
+
+
+def counter_history(
+    trace: Sequence[Step],
+    workers: Sequence[int],
+    reader: int,
+    reader_return,
+) -> List[OpRecord]:
+    """Build the OpRecord history of a counter-workload execution.
+
+    ``trace`` must contain the complete run, the reader's steps
+    included; ``reader_return`` is the reader's decided value.
+    """
+    worker_set = set(workers)
+    history: List[OpRecord] = []
+    # Start index of the in-flight inc per worker (first step since the
+    # previous completed inc).
+    open_since: Dict[int, Optional[int]] = {}
+    reader_first: Optional[int] = None
+    reader_last: Optional[int] = None
+    for index, step in enumerate(trace):
+        if step.pid == reader:
+            if reader_first is None:
+                reader_first = index
+            reader_last = index
+            continue
+        if step.pid not in worker_set:
+            continue
+        if open_since.get(step.pid) is None:
+            open_since[step.pid] = index
+        if isinstance(step.op, Write):
+            history.append(
+                OpRecord(
+                    pid=step.pid,
+                    name="inc",
+                    args=(),
+                    result=None,
+                    invoked=open_since[step.pid],
+                    responded=index,
+                )
+            )
+            open_since[step.pid] = None
+        elif not isinstance(step.op, Read):  # pragma: no cover - guard
+            raise ValueError(f"unexpected worker step {step!r}")
+    if reader_first is not None:
+        history.append(
+            OpRecord(
+                pid=reader,
+                name="read",
+                args=(),
+                result=reader_return,
+                invoked=reader_first,
+                responded=(reader_last if reader_last is not None else reader_first),
+            )
+        )
+    return history

@@ -1,0 +1,194 @@
+"""Long-lived objects implemented from registers.
+
+The Jayanti-Tan-Toueg workload (as presented in the lecture): processes
+p_1 .. p_{n-1} perform inc() operations one after another, forever;
+process p_n performs a single read() whose return value is the
+observable the perturbation argument manipulates.  We model the read's
+return as the reader's *decision*.
+
+* :class:`ArrayCounter` -- the classic wait-free counter: incrementor i
+  bumps its own single-writer slot, the reader sums all slots.  Uses
+  n-1 registers for n-1 incrementors: tight against the JTT bound.
+* :class:`LossySharedCounter` -- the under-provisioned version: k < n-1
+  shared slots with read-then-write increments.  Concurrent increments
+  on a shared slot lose updates; the covering adversary turns that into
+  a concrete linearizability violation.
+* :class:`SingleWriterSnapshot` -- updaters write (value, seqno) to
+  their own slot; the scanner double-collects until two consecutive
+  collects agree (obstruction-free, not wait-free).  A second
+  perturbable object exercising the same adversary.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.model.operations import Step, Write
+from repro.model.program import ProgramBuilder, ProgramProtocol
+from repro.model.registers import register
+
+
+def _incrementor_own_slot(slot: int):
+    """inc() forever: one write per operation to a private slot."""
+    builder = ProgramBuilder()
+    builder.assign("c", 0)
+    builder.label("inc")
+    builder.assign("c", lambda e: e["c"] + 1)
+    builder.write(slot, lambda e: e["c"])
+    builder.goto("inc")
+    return builder.build()
+
+
+def _incrementor_shared_slot(slot: int):
+    """inc() forever: read-then-write on a shared slot (racy on purpose)."""
+    builder = ProgramBuilder()
+    builder.label("inc")
+    builder.read(slot, "x")
+    builder.write(slot, lambda e: (e["x"] or 0) + 1)
+    builder.goto("inc")
+    return builder.build()
+
+
+def _summing_reader(slots: int):
+    """read(): collect all slots once and decide the sum."""
+    builder = ProgramBuilder()
+    builder.assign("j", 0)
+    builder.assign("total", 0)
+    builder.label("collect")
+    builder.read(lambda e: e["j"], "x")
+    builder.assign("total", lambda e: e["total"] + (e["x"] or 0))
+    builder.assign("j", lambda e: e["j"] + 1)
+    builder.branch_if(lambda e: e["j"] < slots, "collect")
+    builder.decide(lambda e: e["total"])
+    return builder.build()
+
+
+class _CounterWorkload(ProgramProtocol):
+    """Shared shape: n-1 incrementors plus one reader (pid n-1)."""
+
+    def __init__(self, name, n, specs, programs):
+        super().__init__(
+            name=name,
+            n=n,
+            specs=specs,
+            programs=programs,
+            initial_env=lambda pid, value: {},
+        )
+
+    @property
+    def reader(self) -> int:
+        """The observing process of the JTT workload (p_n)."""
+        return self.n - 1
+
+    @property
+    def workers(self) -> Tuple[int, ...]:
+        """The incrementing processes (p_1 .. p_{n-1})."""
+        return tuple(range(self.n - 1))
+
+    @staticmethod
+    def ops_to_perturb(reader_return) -> int:
+        """How many hidden complete operations refute a return of v.
+
+        For a counter: v+1 increments -- any linearization of a read that
+        starts after v+1 increments completed must return at least v+1.
+        """
+        return int(reader_return) + 1
+
+    @staticmethod
+    def completes_operation(step: Step) -> bool:
+        """A step that completes one inc() -- the slot write, for both
+        counter variants."""
+        return isinstance(step.op, Write)
+
+
+class ArrayCounter(_CounterWorkload):
+    """Wait-free counter from n-1 single-writer slots (JTT-tight)."""
+
+    def __init__(self, n: int):
+        if n < 2:
+            raise ValueError("need at least one incrementor and the reader")
+        slots = n - 1
+        programs = [_incrementor_own_slot(i) for i in range(slots)]
+        programs.append(_summing_reader(slots))
+        super().__init__(
+            name="array-counter",
+            n=n,
+            specs=[register(0, name=f"slot{i}") for i in range(slots)],
+            programs=programs,
+        )
+
+
+class LossySharedCounter(_CounterWorkload):
+    """Broken counter on k < n-1 shared slots (lost updates)."""
+
+    def __init__(self, n: int, registers: int):
+        if not 1 <= registers < n - 1:
+            raise ValueError(
+                "LossySharedCounter exists to test k < n-1 registers; "
+                f"got k={registers} for n={n}"
+            )
+        programs = [
+            _incrementor_shared_slot(i % registers) for i in range(n - 1)
+        ]
+        programs.append(_summing_reader(registers))
+        super().__init__(
+            name=f"lossy-counter/{registers}regs",
+            n=n,
+            specs=[register(0, name=f"slot{i}") for i in range(registers)],
+            programs=programs,
+        )
+
+
+def _updater(slot: int):
+    """update() forever: write (seqno, value) to a private slot."""
+    builder = ProgramBuilder()
+    builder.assign("seq", 0)
+    builder.label("update")
+    builder.assign("seq", lambda e: e["seq"] + 1)
+    builder.write(slot, lambda e: (e["seq"], (slot, e["seq"])))
+    builder.goto("update")
+    return builder.build()
+
+
+def _double_collect_scanner(slots: int):
+    """scan(): repeat collects until two consecutive ones agree."""
+    builder = ProgramBuilder()
+    builder.assign("prev", None)
+    builder.label("attempt")
+    builder.assign("cur", ())
+    builder.assign("j", 0)
+    builder.label("collect")
+    builder.read(lambda e: e["j"], "x")
+    builder.assign("cur", lambda e: e["cur"] + (e["x"],))
+    builder.assign("j", lambda e: e["j"] + 1)
+    builder.branch_if(lambda e: e["j"] < slots, "collect")
+    builder.branch_if(
+        lambda e: e["prev"] is not None and e["prev"] == e["cur"], "done"
+    )
+    builder.assign("prev", lambda e: e["cur"])
+    builder.goto("attempt")
+    builder.label("done")
+    builder.decide(lambda e: tuple(x[1] if x else None for x in e["cur"]))
+    return builder.build()
+
+
+class SingleWriterSnapshot(_CounterWorkload):
+    """Obstruction-free single-writer snapshot via double collect."""
+
+    def __init__(self, n: int):
+        if n < 2:
+            raise ValueError("need at least one updater and the scanner")
+        slots = n - 1
+        programs = [_updater(i) for i in range(slots)]
+        programs.append(_double_collect_scanner(slots))
+        super().__init__(
+            name="sw-snapshot",
+            n=n,
+            specs=[register(None, name=f"slot{i}") for i in range(slots)],
+            programs=programs,
+        )
+
+    @staticmethod
+    def ops_to_perturb(reader_return) -> int:
+        """One hidden update with a fresh seqno already changes any scan."""
+        return 1

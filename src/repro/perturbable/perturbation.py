@@ -1,0 +1,100 @@
+"""The perturbability test itself (Definition from the lecture, Part I.1).
+
+An object is *perturbable* if, around any schedule alpha beta gamma where
+gamma is one operation by the observer p_n, some other process has a
+hidden schedule lambda such that p_n returns a different response (or
+fails to return) in alpha lambda beta gamma.  Counters are the running
+example: squeezing v+1 increments in front of a read that would return v
+must change the read.
+
+``is_perturbable_here`` checks one instance of that definition
+concretely: it runs the reader with and without the hidden schedule and
+compares responses.  The covering adversary uses the *contrapositive*
+(an unperturbed reader means a broken implementation); this module is
+the direct form, used by the tests and the perturbable-objects bench to
+certify that the implemented objects really are perturbable at reachable
+configurations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.errors import AdversaryError
+from repro.model.configuration import Configuration
+from repro.model.operations import Step
+from repro.model.schedule import Schedule
+from repro.model.system import System
+
+
+@dataclass(frozen=True)
+class PerturbationOutcome:
+    """Result of one perturbability check."""
+
+    perturbed: bool
+    base_return: object
+    perturbed_return: object
+    hidden: Schedule
+
+    def describe(self) -> str:
+        verdict = "perturbed" if self.perturbed else "UNPERTURBED"
+        return (
+            f"{verdict}: read returned {self.base_return!r} without and "
+            f"{self.perturbed_return!r} with {len(self.hidden)} hidden steps"
+        )
+
+
+def is_perturbable_here(
+    system: System,
+    config: Configuration,
+    reader: int,
+    hidden_pid: int,
+    hidden_ops: Optional[int] = None,
+    ops_to_perturb: Optional[Callable[[object], int]] = None,
+    completes_operation: Optional[Callable[[Step], bool]] = None,
+    step_bound: int = 100_000,
+) -> PerturbationOutcome:
+    """Check perturbability at ``config`` (beta taken empty).
+
+    Runs the reader solo from ``config`` to get the base return, then
+    re-runs it after ``hidden_pid`` performed the hidden operations
+    (``hidden_ops`` complete operations, or ``ops_to_perturb(base)`` of
+    them).  Returns whether the response changed.
+    """
+    base_final, _ = system.solo_run(config, reader, step_bound)
+    base = system.decision(base_final, reader)
+    if base is None:
+        raise AdversaryError("reader did not return in the base run")
+
+    if hidden_ops is None:
+        if ops_to_perturb is None:
+            raise ValueError("pass hidden_ops or ops_to_perturb")
+        hidden_ops = ops_to_perturb(base)
+    if completes_operation is None:
+        completes_operation = lambda step: step.op.is_write  # noqa: E731
+
+    hidden: list = []
+    cursor = config
+    done = 0
+    for _ in range(step_bound):
+        if done >= hidden_ops:
+            break
+        cursor, step = system.step(cursor, hidden_pid)
+        hidden.append(hidden_pid)
+        if completes_operation(step):
+            done += 1
+    else:
+        raise AdversaryError(
+            f"process {hidden_pid} could not complete {hidden_ops} hidden "
+            f"operations within {step_bound} steps"
+        )
+
+    perturbed_final, _ = system.solo_run(cursor, reader, step_bound)
+    after = system.decision(perturbed_final, reader)
+    return PerturbationOutcome(
+        perturbed=(after != base),
+        base_return=base,
+        perturbed_return=after,
+        hidden=tuple(hidden),
+    )

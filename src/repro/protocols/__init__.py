@@ -1,0 +1,11 @@
+"""Concrete protocols: the upper bounds and counterexamples.
+
+* :mod:`repro.protocols.consensus` -- consensus protocols: the n-register
+  obstruction-free protocols the paper's introduction cites as upper
+  bounds, finite-state consensus from stronger objects, deliberately
+  under-provisioned protocols for the contrapositive experiments, and
+  k-set agreement.
+* :mod:`repro.protocols.leader_election` -- splitters and weak leader
+  election, the introduction's "evidence" that o(n) registers might have
+  sufficed.
+"""

@@ -1,0 +1,56 @@
+"""Consensus protocols.
+
+Upper bounds (correct protocols):
+
+* :class:`CasConsensus` -- one compare&swap object, wait-free, finite
+  state.  Registers-only bounds do not apply to it; it is the exact-mode
+  testbed for the valency machinery and the ablation showing the
+  covering argument needs historyless overwriting.
+* :class:`CommitAdoptRounds` -- the flagship: obstruction-free binary
+  consensus from n single-writer registers (commit-adopt iterated over
+  rounds, in the style of the protocols cited in the paper's Section 1).
+* :class:`TasConsensus` -- two-process consensus from one test&set bit
+  plus two registers (historyless objects).
+
+Counterexamples (broken on purpose, for the contrapositive experiments):
+
+* :func:`shared_register_rounds` -- CommitAdoptRounds squeezed onto
+  k < n registers by sharing; the model checker exhibits agreement
+  violations.
+* :class:`SplitBrainConsensus`, :class:`OptimisticOneRegister` -- small
+  classic mistakes with concrete violation witnesses.
+
+Extensions:
+
+* :func:`kset_partition_protocol` -- k-set agreement from n-k+1
+  registers by the group-partition construction (conclusion's BRS15
+  reference point).
+"""
+
+from repro.protocols.consensus.adopt_commit import ADOPT, COMMIT, AdoptCommit
+from repro.protocols.consensus.cas import CasConsensus
+from repro.protocols.consensus.commit_adopt import CommitAdoptRounds
+from repro.protocols.consensus.racing import RacingCounters
+from repro.protocols.consensus.randomized import RandomizedRounds
+from repro.protocols.consensus.tas import TasConsensus
+from repro.protocols.consensus.faulty import (
+    OptimisticOneRegister,
+    SplitBrainConsensus,
+    shared_register_rounds,
+)
+from repro.protocols.consensus.kset import KSetPartition
+
+__all__ = [
+    "ADOPT",
+    "COMMIT",
+    "AdoptCommit",
+    "CasConsensus",
+    "CommitAdoptRounds",
+    "KSetPartition",
+    "OptimisticOneRegister",
+    "RacingCounters",
+    "RandomizedRounds",
+    "SplitBrainConsensus",
+    "TasConsensus",
+    "shared_register_rounds",
+]

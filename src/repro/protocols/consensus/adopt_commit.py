@@ -1,0 +1,98 @@
+"""Adopt-commit: the one-shot agreement primitive inside the rounds.
+
+Gafni's adopt-commit object weakens consensus just enough to be
+wait-free from registers: every process outputs (COMMIT, v) or
+(ADOPT, v) such that
+
+* **validity**: v is some process's input;
+* **commit-agreement**: if anyone outputs (COMMIT, v), every output
+  carries the value v;
+* **convergence**: if all inputs are equal, everyone commits.
+
+It is the natural finite-state test vehicle for this library: the whole
+reachable graph of an n-process instance is explorable, so the test
+suite verifies the three properties exhaustively -- the same properties
+the round-based consensus protocol leans on once per round.
+
+Implementation (2n single-writer registers):
+
+    A[me] := v
+    collect A; mark := 'high' if every non-None entry equals v else 'low'
+    B[me] := (v, mark)
+    collect B
+    if every non-None entry is ('high', v'):  output (COMMIT, v')
+    elif some entry is (v', 'high'):          output (ADOPT, v')
+    else:                                     output (ADOPT, v)
+
+At most one value is ever marked 'high': two unanimity collects for
+different values would each have to miss the other's earlier A-write,
+which forces a cycle in the write/collect order.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.model.program import ProgramBuilder, ProgramProtocol
+from repro.model.registers import register
+
+COMMIT = "commit"
+ADOPT = "adopt"
+
+
+def _phase1_mark(env) -> str:
+    for entry in env["scan"]:
+        if entry is not None and entry != env["v"]:
+            return "low"
+    return "high"
+
+
+def _outcome(env) -> Tuple[str, object]:
+    votes = [entry for entry in env["scan"] if entry is not None]
+    highs = [value for value, mark in votes if mark == "high"]
+    if votes and len(highs) == len(votes):
+        return (COMMIT, highs[0])
+    if highs:
+        return (ADOPT, highs[0])
+    return (ADOPT, env["v"])
+
+
+def _build_program(n: int):
+    builder = ProgramBuilder()
+    builder.write(lambda e: e["me"], lambda e: e["v"])  # A[me] := v
+    builder.assign("scan", ())
+    builder.assign("j", 0)
+    builder.label("collect_a")
+    builder.read(lambda e: e["j"], "tmp")
+    builder.assign("scan", lambda e: e["scan"] + (e["tmp"],))
+    builder.assign("j", lambda e: e["j"] + 1)
+    builder.branch_if(lambda e: e["j"] < n, "collect_a")
+    builder.assign("mark", _phase1_mark)
+    builder.write(
+        lambda e: n + e["me"], lambda e: (e["v"], e["mark"])
+    )  # B[me]
+    builder.assign("scan", ())
+    builder.assign("j", 0)
+    builder.label("collect_b")
+    builder.read(lambda e: n + e["j"], "tmp")
+    builder.assign("scan", lambda e: e["scan"] + (e["tmp"],))
+    builder.assign("j", lambda e: e["j"] + 1)
+    builder.branch_if(lambda e: e["j"] < n, "collect_b")
+    builder.decide(_outcome)
+    return builder.build()
+
+
+class AdoptCommit(ProgramProtocol):
+    """One-shot wait-free adopt-commit from 2n single-writer registers."""
+
+    def __init__(self, n: int):
+        program = _build_program(n)
+        specs = [register(None, name=f"A{i}") for i in range(n)]
+        specs += [register(None, name=f"B{i}") for i in range(n)]
+        super().__init__(
+            name="adopt-commit",
+            n=n,
+            specs=specs,
+            programs=[program] * n,
+            initial_env=lambda pid, value: {"me": pid, "v": value},
+        )

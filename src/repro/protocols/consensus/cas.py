@@ -1,0 +1,47 @@
+"""Wait-free consensus from one compare&swap object.
+
+Compare&swap has infinite consensus number: the first process to swap
+its value into the (initially empty) object wins, and everyone else
+reads the winner from the failed swap's response.  The protocol is
+finite-state and wait-free, which makes it the exact-mode testbed for
+the valency oracle -- and a live demonstration that the paper's covering
+argument is really about *historyless* objects: Lemma 3 fails against
+this protocol because a block of CAS operations does not obliterate an
+earlier CAS (see tests/test_lemmas.py and benchmarks/bench_ablation).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.model.program import ProgramBuilder, ProgramProtocol, anonymous_programs
+from repro.model.registers import cas_object
+
+#: Sentinel for "nobody has won yet"; None would collide with inputs of
+#: value None, so use a private marker.
+UNSET = "unset"
+
+
+def _outcome(env) -> Hashable:
+    """The decided value: own value on CAS success, the winner's otherwise."""
+    previous = env["prev"]
+    return env["v"] if previous == UNSET else previous
+
+
+class CasConsensus(ProgramProtocol):
+    """n-process wait-free consensus from a single CAS object."""
+
+    def __init__(self, n: int):
+        builder = ProgramBuilder()
+        builder.compare_and_swap(
+            0, UNSET, lambda e: e["v"], dest="prev"
+        )
+        builder.decide(_outcome)
+        program = builder.build()
+        super().__init__(
+            name="cas-consensus",
+            n=n,
+            specs=[cas_object(UNSET, name="winner")],
+            programs=anonymous_programs(program, n),
+            initial_env=lambda pid, value: {"v": value},
+        )

@@ -1,0 +1,78 @@
+"""Deliberately broken consensus protocols.
+
+Theorem 1's contrapositive: a "protocol" for n processes that uses fewer
+than n-1 registers cannot be a correct NST consensus protocol.  These
+protocols make the contrapositive concrete -- each is a plausible-looking
+design that the model checker (and the adversary's consistency checks)
+breaks with an explicit witness schedule:
+
+* :func:`shared_register_rounds` -- the correct commit-adopt protocol
+  squeezed onto k < n registers by sharing; losing the single-writer
+  discipline loses agreement.
+* :class:`SplitBrainConsensus` -- one shared register, "write then read
+  back": a process that reads back its own value before the other writes
+  decides alone.
+* :class:`OptimisticOneRegister` -- "if the register is empty, claim it":
+  both processes can see it empty and claim different values.
+"""
+
+from __future__ import annotations
+
+from repro.model.program import ProgramBuilder, ProgramProtocol, anonymous_programs
+from repro.model.registers import register
+from repro.protocols.consensus.commit_adopt import CommitAdoptRounds
+
+
+def shared_register_rounds(n: int, registers: int) -> CommitAdoptRounds:
+    """Commit-adopt rounds on ``registers`` shared registers.
+
+    With ``registers < n`` two processes write the same register, so a
+    proposal can vanish before the unanimity scan that should have seen
+    it; two conflicting 'high' marks follow and agreement dies.  Used by
+    experiment E3 with registers <= n-2 (below the theorem's bound).
+    """
+    if registers >= n:
+        raise ValueError(
+            "shared_register_rounds exists to test under-provisioned "
+            f"protocols; use CommitAdoptRounds for registers >= n={n}"
+        )
+    return CommitAdoptRounds(n, registers=registers)
+
+
+class SplitBrainConsensus(ProgramProtocol):
+    """Broken: write own value to the single register, decide what reads back."""
+
+    def __init__(self, n: int):
+        builder = ProgramBuilder()
+        builder.write(0, lambda e: e["v"])
+        builder.read(0, "seen")
+        builder.decide(lambda e: e["seen"])
+        program = builder.build()
+        super().__init__(
+            name="split-brain",
+            n=n,
+            specs=[register(None, name="only")],
+            programs=anonymous_programs(program, n),
+            initial_env=lambda pid, value: {"v": value},
+        )
+
+
+class OptimisticOneRegister(ProgramProtocol):
+    """Broken: decide the register's value if set, else claim it with own."""
+
+    def __init__(self, n: int):
+        builder = ProgramBuilder()
+        builder.read(0, "seen")
+        builder.branch_if(lambda e: e["seen"] is not None, "follow")
+        builder.write(0, lambda e: e["v"])
+        builder.decide(lambda e: e["v"])
+        builder.label("follow")
+        builder.decide(lambda e: e["seen"])
+        program = builder.build()
+        super().__init__(
+            name="optimistic-one-register",
+            n=n,
+            specs=[register(None, name="claim")],
+            programs=anonymous_programs(program, n),
+            initial_env=lambda pid, value: {"v": value},
+        )

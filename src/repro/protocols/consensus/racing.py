@@ -1,0 +1,136 @@
+"""Obstruction-free consensus by racing counters (Aspnes-Herlihy style).
+
+The second family of n-register-era protocols the paper's introduction
+alludes to: each binary value owns an array of per-process counter
+slots; a process repeatedly collects both arrays and
+
+* **decides** its value when it leads by more than 2n (a lead no
+  combination of stale, in-flight increments can ever erase);
+* **adopts** the other value when that one leads at all;
+* otherwise **increments** its value's own slot and races on.
+
+Why the 2n threshold is safe: a process's view is stale by at most one
+write per other process (each slot is single-writer, and a collect
+reads each slot once), and each process has at most one increment
+poised at any time.  If some process observes C_v - C_w > 2n, then
+even after every stale write and every poised increment lands,
+C_v - C_w > 0 -- and from then on every fresh collect shows v ahead,
+so w's counter gains no new supporters: the lead only grows, every
+process eventually adopts v, and only v can reach the threshold.
+Validity holds because a value's counter moves only when some process
+prefers it, and preferences start as inputs... with one classic caveat:
+a trailing process *adopts* the leader, so preferences are always
+either inputs or values that already had support -- which in the binary
+case means values that were some process's input whenever both counters
+are ever non-zero; a solo runner with input v never sees support for
+the other value and decides v.  Solo termination: alone, a process
+adds 2n+1 increments and decides.
+
+This protocol is intentionally structured differently from
+:class:`CommitAdoptRounds` (no phases, no round numbers -- unbounded
+*counters* instead), giving the Theorem 1 adversary a second,
+independently-shaped target (see bench_theorem1).  The safety argument
+above is checked exhaustively for n=2 and by bounded + randomized
+model checking beyond (tests/test_racing.py).
+
+Registers: 2n single-writer slots (n per value).  Slot c*n + p is
+process p's contribution to value c's counter.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.model.program import ProgramBuilder, ProgramProtocol
+from repro.model.registers import register
+
+
+def _totals(scan) -> Tuple[int, int]:
+    half = len(scan) // 2
+    zero = sum(slot or 0 for slot in scan[:half])
+    one = sum(slot or 0 for slot in scan[half:])
+    return zero, one
+
+
+def _outcome(env):
+    """('decide', v) | ('adopt', v) | ('race',) from a full collect."""
+    zero, one = _totals(env["scan"])
+    mine = env["v"]
+    lead = (one - zero) if mine == 1 else (zero - one)
+    if lead > 2 * env["n"]:
+        return ("decide", mine)
+    if lead < 0:
+        return ("adopt", 1 - mine)
+    return ("race",)
+
+
+def _build_program(n: int):
+    builder = ProgramBuilder()
+    builder.label("race")
+    builder.assign("scan", ())
+    builder.assign("j", 0)
+    builder.label("collect")
+    builder.read(lambda e: e["j"], "tmp")
+    builder.assign("scan", lambda e: e["scan"] + (e["tmp"],))
+    builder.assign("j", lambda e: e["j"] + 1)
+    builder.branch_if(lambda e: e["j"] < 2 * e["n"], "collect")
+    builder.assign("out", _outcome)
+    builder.assign("scan", ())
+    builder.assign("tmp", None)
+    builder.branch_if(lambda e: e["out"][0] == "decide", "win")
+    builder.branch_if(lambda e: e["out"][0] == "race", "bump")
+    builder.assign("v", lambda e: e["out"][1])
+    builder.label("bump")
+    builder.assign("out", None)
+    builder.assign("mine", lambda e: e["mine0"] if e["v"] == 0 else e["mine1"])
+    builder.assign(
+        "mine", lambda e: e["mine"] + 1
+    )
+    builder.write(
+        lambda e: e["v"] * e["n"] + e["me"], lambda e: e["mine"]
+    )
+    builder.branch_if(lambda e: e["v"] == 1, "bumped1")
+    builder.assign("mine0", lambda e: e["mine"])
+    builder.goto("race")
+    builder.label("bumped1")
+    builder.assign("mine1", lambda e: e["mine"])
+    builder.goto("race")
+    builder.label("win")
+    builder.decide(lambda e: e["out"][1])
+    return builder.build()
+
+
+class RacingCounters(ProgramProtocol):
+    """OF binary consensus from 2n single-writer counter slots."""
+
+    def __init__(self, n: int):
+        program = _build_program(n)
+        specs = [register(0, name=f"c0_{p}") for p in range(n)]
+        specs += [register(0, name=f"c1_{p}") for p in range(n)]
+        super().__init__(
+            name="racing-counters",
+            n=n,
+            specs=specs,
+            programs=[program] * n,
+            initial_env=lambda pid, value: {
+                "me": pid,
+                "n": n,
+                "v": value,
+                "j": 0,
+                "scan": (),
+                "tmp": None,
+                "out": None,
+                "mine": 0,
+                "mine0": 0,
+                "mine1": 0,
+            },
+        )
+
+    # NOTE on abstraction: unlike CommitAdoptRounds, this family has no
+    # useful shift quotient.  A uniform shift of all 2n slots would be
+    # sound (leads are total-differences), but a slot nobody increments
+    # stays at 0 and anchors the minimum, so the shift never fires in
+    # precisely the racing executions that grow.  The protocol therefore
+    # keeps the exact default canonical key and relies entirely on the
+    # bounded-mode oracle -- the "no abstraction available" data point
+    # for the adversary architecture (see DESIGN.md and EXPERIMENTS.md).

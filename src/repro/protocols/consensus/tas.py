@@ -1,0 +1,51 @@
+"""Two-process consensus from one test&set bit and two registers.
+
+The classic construction: each process publishes its input in its own
+register, then races on a test&set bit; the winner (response 0) decides
+its own value, the loser decides the winner's published value.
+
+All three base objects are *historyless* in the Jayanti-Tan-Toueg sense,
+yet the protocol is finite-state and wait-free -- registers alone could
+not do this.  It serves the test suite as a second exact-mode protocol
+and the ablation benches as the "historyless but not read/write" data
+point: the paper's conclusion notes the covering argument does not
+directly survive operations that *see* the value they overwrite, and
+running Lemma 3 against this protocol shows precisely where it breaks.
+"""
+
+from __future__ import annotations
+
+from repro.model.program import ProgramBuilder, ProgramProtocol
+from repro.model.registers import register, tas_object
+
+
+def _build_program():
+    builder = ProgramBuilder()
+    builder.write(lambda e: e["me"], lambda e: e["v"])
+    builder.test_and_set(2, "lost")
+    builder.branch_if(lambda e: e["lost"] == 1, "lose")
+    builder.decide(lambda e: e["v"])
+    builder.label("lose")
+    builder.read(lambda e: 1 - e["me"], "theirs")
+    builder.decide(lambda e: e["theirs"])
+    return builder.build()
+
+
+class TasConsensus(ProgramProtocol):
+    """Two-process wait-free consensus from {register, register, T&S}."""
+
+    def __init__(self, n: int = 2):
+        if n != 2:
+            raise ValueError("TasConsensus is a two-process protocol")
+        program = _build_program()
+        super().__init__(
+            name="tas-consensus",
+            n=2,
+            specs=[
+                register(None, name="V0"),
+                register(None, name="V1"),
+                tas_object(name="race"),
+            ],
+            programs=[program, program],
+            initial_env=lambda pid, value: {"me": pid, "v": value},
+        )

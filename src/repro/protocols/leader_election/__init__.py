@@ -1,0 +1,46 @@
+"""Weak leader election -- the introduction's "evidence" for o(n) space.
+
+The paper's introduction recounts why the consensus bound was surprising:
+weak leader election, a closely related but provably weaker problem, was
+solved with O(sqrt n) registers [GHHW13] and later O(log n) [GHHW15].
+In weak leader election exactly one process learns "I am the leader";
+nobody needs to know *who* won -- which is what makes it cheaper than
+consensus.
+
+This package implements the primitives and protocols behind that
+contrast:
+
+* :class:`Splitter` -- Moir-Anderson/Lamport splitter from 2 registers:
+  of the processes that enter, at most one *stops*, and a solo entrant
+  always stops;
+* :class:`SplitterElection` -- weak leader election whose safety (at
+  most one leader, ever) comes from a single splitter, with a sifter
+  cascade of O(log n) one-bit registers in front to thin contention;
+* :class:`TournamentElection` -- deterministic leader election from a
+  binary tournament (O(n) registers), the baseline on the other side.
+
+The register-count experiment (E9) charts these against the Theta(n)
+consensus protocols.  Honest scoping note (recorded in DESIGN.md): the
+full GHHW deterministic obstruction-free liveness argument is beyond a
+faithful small reimplementation; SplitterElection guarantees the safety
+half unconditionally (at most one leader) and solo-run liveness from
+the *initial* configuration, and the benches measure empirical success
+rates under contention -- the quantities the introduction's contrast is
+about (registers used vs n).
+"""
+
+from repro.protocols.leader_election.splitter import (
+    Splitter,
+    SplitterOutcome,
+)
+from repro.protocols.leader_election.election import (
+    SplitterElection,
+    TournamentElection,
+)
+
+__all__ = [
+    "Splitter",
+    "SplitterElection",
+    "SplitterOutcome",
+    "TournamentElection",
+]

@@ -1,0 +1,116 @@
+"""Weak leader election protocols.
+
+* :class:`SplitterElection` -- O(log n) registers: a cascade of
+  ceil(log2 n) one-register sifter stages (write your pid, read it back,
+  lose if overwritten -- at least the last writer survives each stage)
+  feeding a final two-register splitter whose STOP outcome is the
+  leadership badge.  Safety is unconditional (a splitter stops at most
+  one process); a solo run from the initial configuration always elects;
+  under contention election can fail for the whole cohort, which is the
+  honest price of the simplified liveness (the benches measure the
+  empirical success rate).
+* :class:`TournamentElection` -- n-1 test&set objects in a binary
+  tournament: exactly one process wins every duel chain, so exactly one
+  leader, wait-free, but Theta(n) objects -- the other end of the
+  space/liveness trade the introduction contrasts.
+
+Decisions are ``True`` (leader) or ``False`` (follower).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.model.program import ProgramBuilder, ProgramProtocol
+from repro.model.registers import register, tas_object
+from repro.protocols.leader_election.splitter import (
+    SplitterOutcome,
+    append_splitter,
+)
+
+
+def _sifter_election_program(stages: int):
+    """stages sifter registers at indices 0..stages-1, splitter at the end."""
+    builder = ProgramBuilder()
+    for stage in range(stages):
+        builder.write(stage, lambda e: e["me"])
+        builder.read(stage, "seen")
+        builder.branch_if(lambda e: e["seen"] != e["me"], "lose")
+    append_splitter(builder, stages, stages + 1, suffix="_final")
+    builder.branch_if(
+        lambda e: e["outcome"] is SplitterOutcome.STOP, "win"
+    )
+    builder.label("lose")
+    builder.decide(False)
+    builder.label("win")
+    builder.decide(True)
+    return builder.build()
+
+
+class SplitterElection(ProgramProtocol):
+    """Weak leader election from O(log n) registers (safety-complete)."""
+
+    def __init__(self, n: int):
+        if n < 1:
+            raise ValueError("need at least one process")
+        stages = max(1, math.ceil(math.log2(n))) if n > 1 else 1
+        program = _sifter_election_program(stages)
+        specs = [register(None, name=f"sift{s}") for s in range(stages)]
+        specs += [register(None, name="X"), register(False, name="Y")]
+        super().__init__(
+            name="splitter-election",
+            n=n,
+            specs=specs,
+            programs=[program] * n,
+            initial_env=lambda pid, value: {"me": pid},
+        )
+        self.stages = stages
+
+
+def _tournament_program(pid: int, leaf_base: int):
+    builder = ProgramBuilder()
+    node = leaf_base + pid
+    duel = 0
+    while node > 1:
+        parent = node // 2
+        builder.test_and_set(parent - 1, f"lost{duel}")
+        builder.branch_if(
+            (lambda key: lambda e: e[key] == 1)(f"lost{duel}"), "lose"
+        )
+        node = parent
+        duel += 1
+    builder.decide(True)
+    builder.label("lose")
+    builder.decide(False)
+    return builder.build()
+
+
+class TournamentElection(ProgramProtocol):
+    """Exactly-one-leader election from n-1 test&set objects."""
+
+    def __init__(self, n: int):
+        if n < 1:
+            raise ValueError("need at least one process")
+        if n == 1:
+            builder = ProgramBuilder()
+            builder.test_and_set(0, "lost")
+            builder.decide(True)
+            super().__init__(
+                name="tournament-election",
+                n=1,
+                specs=[tas_object(name="root")],
+                programs=[builder.build()],
+                initial_env=lambda pid, value: {"me": pid},
+            )
+            return
+        height = max(1, math.ceil(math.log2(n)))
+        leaf_base = 2 ** height
+        nodes = leaf_base - 1
+        programs = [_tournament_program(pid, leaf_base) for pid in range(n)]
+        super().__init__(
+            name="tournament-election",
+            n=n,
+            specs=[tas_object(name=f"node{k}") for k in range(1, nodes + 1)],
+            programs=programs,
+            initial_env=lambda pid, value: {"me": pid},
+        )

@@ -1,0 +1,82 @@
+"""The splitter (Lamport's fast-mutex doorway, Moir-Anderson renaming).
+
+A splitter is built from two registers, X (holds a pid) and Y (a bit):
+
+    X := me
+    if Y: return RIGHT
+    Y := true
+    if X == me: return STOP
+    else:       return DOWN
+
+Of the k processes that enter: at most one returns STOP; not all return
+RIGHT (the first writer of Y doesn't); not all return DOWN (the last
+writer of X doesn't); and a process running the splitter alone returns
+STOP.  Splitters are the space-efficient building block behind
+sub-linear leader election and renaming.
+
+``SplitterOutcome`` is encoded in the process's decision; the properties
+are verified exhaustively for small k in the test suite (the reachable
+graph of a one-shot splitter is tiny).
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.model.program import ProgramBuilder, ProgramProtocol
+from repro.model.registers import register
+
+
+class SplitterOutcome(enum.Enum):
+    STOP = "stop"
+    RIGHT = "right"
+    DOWN = "down"
+
+
+def splitter_program(x_reg: int, y_reg: int, after: str = ""):
+    """Append one splitter traversal to a fresh builder and return it.
+
+    The outcome lands in local variable ``outcome``; with ``after`` empty
+    the program decides the outcome (one-shot splitter protocol).
+    """
+    builder = ProgramBuilder()
+    append_splitter(builder, x_reg, y_reg, suffix="")
+    builder.decide(lambda e: e["outcome"])
+    return builder.build()
+
+
+def append_splitter(
+    builder: ProgramBuilder, x_reg: int, y_reg: int, suffix: str
+) -> None:
+    """Emit the splitter instructions into an existing program.
+
+    ``suffix`` disambiguates labels when a program chains splitters.
+    """
+    builder.write(x_reg, lambda e: e["me"])
+    builder.read(y_reg, "y")
+    builder.branch_if(lambda e: e["y"], f"right{suffix}")
+    builder.write(y_reg, True)
+    builder.read(x_reg, "x")
+    builder.branch_if(lambda e: e["x"] != e["me"], f"down{suffix}")
+    builder.assign("outcome", SplitterOutcome.STOP)
+    builder.goto(f"end{suffix}")
+    builder.label(f"right{suffix}")
+    builder.assign("outcome", SplitterOutcome.RIGHT)
+    builder.goto(f"end{suffix}")
+    builder.label(f"down{suffix}")
+    builder.assign("outcome", SplitterOutcome.DOWN)
+    builder.label(f"end{suffix}")
+
+
+class Splitter(ProgramProtocol):
+    """A one-shot splitter entered by all n processes."""
+
+    def __init__(self, n: int):
+        program = splitter_program(0, 1)
+        super().__init__(
+            name="splitter",
+            n=n,
+            specs=[register(None, name="X"), register(False, name="Y")],
+            programs=[program] * n,
+            initial_env=lambda pid, value: {"me": pid},
+        )

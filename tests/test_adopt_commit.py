@@ -1,0 +1,206 @@
+"""Exhaustive verification of the adopt-commit object and the
+randomized consensus built on the same round structure."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.analysis.explorer import Explorer
+from repro.analysis.checker import check_consensus_random
+from repro.model.schedule import random_bursty_schedule
+from repro.model.system import System, tape_from_bits
+from repro.protocols.consensus import (
+    ADOPT,
+    COMMIT,
+    AdoptCommit,
+    RandomizedRounds,
+)
+
+
+def all_outcomes(protocol, inputs, max_configs=400_000):
+    """Decision vectors over every maximal execution (exhaustive)."""
+    system = System(protocol)
+    root = system.initial_configuration(list(inputs))
+    outcomes = set()
+    seen = set()
+    stack = [root]
+    while stack:
+        config = stack.pop()
+        if config in seen:
+            continue
+        seen.add(config)
+        assert len(seen) <= max_configs
+        live = [p for p in range(protocol.n) if system.enabled(config, p)]
+        if not live:
+            outcomes.add(system.decisions(config))
+            continue
+        for pid in live:
+            nxt, _ = system.step(config, pid)
+            stack.append(nxt)
+    return outcomes
+
+
+class TestAdoptCommitProperties:
+    @pytest.mark.parametrize("n", [2, 3])
+    def test_exhaustive_properties(self, n):
+        protocol = AdoptCommit(n)
+        for inputs in itertools.product((0, 1), repeat=n):
+            for outcome in all_outcomes(protocol, inputs):
+                values = [value for _, value in outcome]
+                # Validity.
+                assert set(values) <= set(inputs)
+                # Commit-agreement.
+                committed = {
+                    value for verdict, value in outcome if verdict == COMMIT
+                }
+                if committed:
+                    assert len(set(values)) == 1
+                    assert set(values) == committed
+                # Convergence.
+                if len(set(inputs)) == 1:
+                    assert all(verdict == COMMIT for verdict, _ in outcome)
+
+    def test_solo_commits_own_value(self):
+        system = System(AdoptCommit(4))
+        config = system.initial_configuration([1, 0, 0, 0])
+        final, _ = system.solo_run(config, 0, max_steps=100)
+        assert system.decision(final, 0) == (COMMIT, 1)
+
+    def test_register_count_is_2n(self):
+        assert AdoptCommit(5).num_objects == 10
+
+    def test_wait_free_step_bound(self):
+        # One-shot: 1 + n + 1 + n shared steps regardless of schedule.
+        n = 4
+        system = System(AdoptCommit(n))
+        config = system.initial_configuration([0, 1, 0, 1])
+        final, trace = system.solo_run(config, 2, max_steps=1_000)
+        assert len(trace) == 2 * n + 2
+
+
+class TestRandomizedRounds:
+    def test_uses_n_registers(self):
+        assert RandomizedRounds(5).num_objects == 5
+
+    @pytest.mark.parametrize("bits", [[0], [1]])
+    def test_safety_per_tape_exhaustive_n2(self, bits):
+        # For any fixed coin tape, the protocol is deterministic and the
+        # checker explores all interleavings (bounded: coin-flip rounds
+        # keep the race alive longer than the deterministic protocol).
+        from repro.analysis.checker import check_consensus_exhaustive
+
+        protocol = RandomizedRounds(2)
+        system = System(protocol, tape=tape_from_bits([bits * 8, bits * 8]))
+        result = check_consensus_exhaustive(
+            system, [0, 1], max_configs=50_000, strict=False
+        )
+        assert result.ok, result.first_violation()
+
+    def test_safety_random_tapes_and_schedules(self):
+        n = 4
+        rng = random.Random(9)
+        for trial in range(10):
+            tape_bits = [
+                [rng.randint(0, 1) for _ in range(64)] for _ in range(n)
+            ]
+            system = System(
+                RandomizedRounds(n), tape=tape_from_bits(tape_bits)
+            )
+            result = check_consensus_random(
+                system,
+                [0, 1, 1, 0],
+                runs=3,
+                schedule_length=600,
+                seed=trial,
+            )
+            assert result.ok, result.first_violation()
+
+    def test_termination_with_agreeing_coins(self):
+        # All-zero tapes: after one unconstrained round everyone flips
+        # to 0 and the race collapses.
+        n = 3
+        system = System(RandomizedRounds(n))  # zero tape default
+        config = system.initial_configuration([0, 1, 0])
+        rng = random.Random(1)
+        schedule = random_bursty_schedule(list(range(n)), 2_000, rng)
+        config, _ = system.run(config, schedule, skip_halted=True)
+        for pid in range(n):
+            config, _ = system.solo_run(config, pid, 10_000)
+        decided = system.decided_values(config)
+        assert len(decided) == 1
+
+    def test_coins_consumed_under_contention(self):
+        system = System(RandomizedRounds(2))
+        config = system.initial_configuration([0, 1])
+        # Strict alternation forces conflict rounds, which flip coins.
+        for _ in range(400):
+            for pid in (0, 1):
+                if system.enabled(config, pid):
+                    config, _ = system.step(config, pid)
+        assert sum(config.coins) > 0
+
+
+class TestSerialization:
+    def test_space_bound_roundtrip(self):
+        from repro.core.serialize import certificate_from_json, to_json
+        from repro.core.theorem import space_lower_bound
+        from repro.protocols.consensus import CommitAdoptRounds
+
+        system = System(CommitAdoptRounds(3))
+        cert = space_lower_bound(
+            system, strict=False, max_configs=30_000, max_depth=60
+        )
+        payload = to_json(cert)
+        restored = certificate_from_json(payload)
+        assert restored == cert
+        restored.validate(System(CommitAdoptRounds(3)))
+
+    def test_covering_roundtrip(self):
+        from repro.core.serialize import certificate_from_json, to_json
+        from repro.perturbable import ArrayCounter, covering_induction
+
+        protocol = ArrayCounter(4)
+        system = System(protocol)
+        cert = covering_induction(
+            system,
+            workers=protocol.workers,
+            reader=protocol.reader,
+            ops_to_perturb=protocol.ops_to_perturb,
+            completes_operation=protocol.completes_operation,
+        )
+        restored = certificate_from_json(to_json(cert))
+        assert restored == cert
+        restored.validate(System(ArrayCounter(4)))
+
+    def test_malformed_payloads_rejected(self):
+        from repro.core.serialize import SerializationError, certificate_from_json
+
+        with pytest.raises(SerializationError):
+            certificate_from_json("not json at all {")
+        with pytest.raises(SerializationError):
+            certificate_from_json('{"kind": "mystery", "format": 1}')
+        with pytest.raises(SerializationError):
+            certificate_from_json('{"kind": "space-bound", "format": 99}')
+        with pytest.raises(SerializationError):
+            certificate_from_json(
+                '{"kind": "space-bound", "format": 1, "n": 3}'
+            )
+
+    def test_tampered_payload_fails_validation(self):
+        from repro.core.serialize import certificate_from_json, to_json
+        from repro.core.theorem import space_lower_bound
+        from repro.errors import CertificateError
+        from repro.protocols.consensus import CommitAdoptRounds
+        import json
+
+        system = System(CommitAdoptRounds(3))
+        cert = space_lower_bound(
+            system, strict=False, max_configs=30_000, max_depth=60
+        )
+        data = json.loads(to_json(cert))
+        data["registers"] = data["registers"] + [99]
+        with pytest.raises(CertificateError):
+            certificate_from_json(json.dumps(data)).validate(
+                System(CommitAdoptRounds(3))
+            )

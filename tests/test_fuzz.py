@@ -1,0 +1,112 @@
+"""Property-based schedule fuzzing (hypothesis) of the protocol suite.
+
+For arbitrary schedules and inputs: agreement and validity hold at every
+point, and solo completion decides everyone.  These are the invariants
+the theorems assume; hypothesis hunts for interleavings the hand-written
+tests did not think of.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.model.system import System, tape_from_bits
+from repro.mutex import PetersonFilter, TournamentMutex
+from repro.protocols.consensus import (
+    CommitAdoptRounds,
+    KSetPartition,
+    RacingCounters,
+    RandomizedRounds,
+)
+
+FUZZ = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def run_to_completion(system, inputs, schedule, solo_bound=50_000):
+    config = system.initial_configuration(list(inputs))
+    config, _ = system.run(config, schedule, skip_halted=True)
+    for pid in range(system.protocol.n):
+        config, _ = system.solo_run(config, pid, solo_bound)
+    return config
+
+
+class TestConsensusFuzz:
+    @given(
+        inputs=st.tuples(*[st.integers(0, 1)] * 3),
+        schedule=st.lists(st.integers(0, 2), max_size=120),
+    )
+    @FUZZ
+    def test_rounds_agreement_validity(self, inputs, schedule):
+        system = System(CommitAdoptRounds(3))
+        config = run_to_completion(system, inputs, schedule)
+        decided = system.decided_values(config)
+        assert len(decided) == 1
+        assert decided <= set(inputs)
+
+    @given(
+        inputs=st.tuples(*[st.integers(0, 1)] * 3),
+        schedule=st.lists(st.integers(0, 2), max_size=100),
+    )
+    @FUZZ
+    def test_racing_agreement_validity(self, inputs, schedule):
+        system = System(RacingCounters(3))
+        config = run_to_completion(system, inputs, schedule)
+        decided = system.decided_values(config)
+        assert len(decided) == 1
+        assert decided <= set(inputs)
+
+    @given(
+        inputs=st.tuples(*[st.integers(0, 1)] * 3),
+        schedule=st.lists(st.integers(0, 2), max_size=80),
+        bits=st.lists(st.integers(0, 1), min_size=8, max_size=8),
+    )
+    @FUZZ
+    def test_randomized_agreement_any_tape(self, inputs, schedule, bits):
+        system = System(
+            RandomizedRounds(3), tape=tape_from_bits([bits, bits, bits])
+        )
+        config = run_to_completion(system, inputs, schedule)
+        decided = system.decided_values(config)
+        assert len(decided) == 1
+        assert decided <= set(inputs)
+
+    @given(
+        schedule=st.lists(st.integers(0, 3), max_size=120),
+    )
+    @FUZZ
+    def test_kset_at_most_k_values(self, schedule):
+        system = System(KSetPartition(4, 2))
+        inputs = [10, 11, 12, 13]
+        config = run_to_completion(system, inputs, schedule)
+        decided = system.decided_values(config)
+        assert 1 <= len(decided) <= 2
+        assert decided <= set(inputs)
+
+
+class TestMutexFuzz:
+    @given(schedule=st.lists(st.integers(0, 2), max_size=250))
+    @FUZZ
+    def test_peterson_never_two_in_cs(self, schedule):
+        protocol = PetersonFilter(3, sessions=1)
+        system = System(protocol)
+        config = system.initial_configuration([None] * 3)
+        for pid in schedule:
+            if not system.enabled(config, pid):
+                continue
+            config, _ = system.step(config, pid)
+            assert len(protocol.processes_in_cs(config)) <= 1
+
+    @given(schedule=st.lists(st.integers(0, 3), max_size=250))
+    @FUZZ
+    def test_tournament_never_two_in_cs(self, schedule):
+        protocol = TournamentMutex(4, sessions=1)
+        system = System(protocol)
+        config = system.initial_configuration([None] * 4)
+        for pid in schedule:
+            if not system.enabled(config, pid):
+                continue
+            config, _ = system.step(config, pid)
+            assert len(protocol.processes_in_cs(config)) <= 1

@@ -1,0 +1,103 @@
+"""Cross-module integration tests: the adversary against every correct
+protocol shape, certificates through serialization, end-to-end flows."""
+
+import pytest
+
+from repro import (
+    CommitAdoptRounds,
+    RacingCounters,
+    System,
+    space_lower_bound,
+)
+from repro.core.serialize import certificate_from_json, to_json
+from repro.protocols.consensus import KSetPartition, RandomizedRounds
+
+
+BOUNDED = dict(strict=False, max_configs=40_000, max_depth=80)
+
+
+class TestAdversaryAcrossProtocolShapes:
+    def test_racing_counters_n3(self):
+        system = System(RacingCounters(3))
+        cert = space_lower_bound(system, **BOUNDED)
+        assert cert.bound == 2
+        cert.validate(System(RacingCounters(3)))
+
+    def test_kset_with_k1_is_consensus(self):
+        # KSetPartition(n, 1) runs the full round protocol on n
+        # registers: the theorem applies and the adversary certifies it.
+        protocol = KSetPartition(3, 1)
+        cert = space_lower_bound(System(protocol), **BOUNDED)
+        assert cert.bound == 2
+        cert.validate(System(KSetPartition(3, 1)))
+
+    def test_randomized_rounds_fixed_tape(self):
+        # With the default all-zero tape the randomized protocol is a
+        # deterministic NST protocol; the bound applies per tape.
+        system = System(RandomizedRounds(3))
+        cert = space_lower_bound(system, **BOUNDED)
+        assert cert.bound == 2
+        cert.validate(System(RandomizedRounds(3)))
+
+    def test_root_package_api(self):
+        system = System(CommitAdoptRounds(3))
+        cert = space_lower_bound(system, **BOUNDED)
+        assert cert.bound == 2
+
+
+class TestCertificatePipeline:
+    def test_adversary_to_json_to_validation(self, tmp_path):
+        system = System(CommitAdoptRounds(4))
+        cert = space_lower_bound(system, **BOUNDED)
+        path = tmp_path / "n4.json"
+        path.write_text(to_json(cert))
+        restored = certificate_from_json(path.read_text())
+        restored.validate(System(CommitAdoptRounds(4)))
+        assert restored.bound == 3
+
+    def test_certificates_for_different_families_not_interchangeable(self):
+        rounds_cert = space_lower_bound(
+            System(CommitAdoptRounds(3)), **BOUNDED
+        )
+        from repro.errors import CertificateError, ModelError
+
+        with pytest.raises((CertificateError, ModelError, Exception)):
+            rounds_cert.validate(System(RacingCounters(3)))
+
+
+class TestEndToEndAudit:
+    def test_theorem_and_checker_agree_on_verdicts(self):
+        """The central dichotomy: correct protocols certify, broken
+        protocols violate -- never both, never neither."""
+        from repro.analysis.checker import check_consensus_exhaustive
+        from repro.errors import AdversaryError, ViolationError
+        from repro.protocols.consensus import (
+            SplitBrainConsensus,
+            shared_register_rounds,
+        )
+
+        cases = [
+            (CommitAdoptRounds(3), True),
+            (RacingCounters(3), True),
+            (SplitBrainConsensus(3), False),
+            (shared_register_rounds(3, 1), False),
+        ]
+        for protocol, correct in cases:
+            system = System(protocol)
+            check = check_consensus_exhaustive(
+                system, [0, 1, 1], max_configs=60_000, strict=False
+            )
+            if correct:
+                assert check.ok, protocol.name
+                cert = space_lower_bound(System(protocol), **BOUNDED)
+                assert cert.bound == 2
+            else:
+                certified = None
+                try:
+                    certified = space_lower_bound(
+                        System(protocol), **BOUNDED
+                    )
+                except (AdversaryError, ViolationError):
+                    pass
+                # A broken protocol must be caught by at least one side.
+                assert (not check.ok) or certified is None, protocol.name

@@ -1,0 +1,133 @@
+"""Tests for splitters and weak leader election (E9's protocols)."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.analysis.explorer import Explorer
+from repro.model.schedule import random_bursty_schedule
+from repro.model.system import System
+from repro.protocols.leader_election import (
+    Splitter,
+    SplitterElection,
+    SplitterOutcome,
+    TournamentElection,
+)
+
+
+def all_final_outcomes(protocol, max_configs=200_000):
+    """Decision vectors over every reachable completed execution."""
+    system = System(protocol)
+    root = system.initial_configuration([None] * protocol.n)
+    explorer = Explorer(system, max_configs=max_configs)
+    result = explorer.explore(root, frozenset(range(protocol.n)))
+    assert result.complete
+    outcomes = set()
+    # Walk every reachable config that is terminal (all halted).
+    seen = set()
+    stack = [root]
+    while stack:
+        config = stack.pop()
+        key = protocol.canonical_key(config)
+        if key in seen:
+            continue
+        seen.add(key)
+        live = [p for p in range(protocol.n) if system.enabled(config, p)]
+        if not live:
+            outcomes.add(system.decisions(config))
+            continue
+        for pid in live:
+            nxt, _ = system.step(config, pid)
+            stack.append(nxt)
+    return outcomes
+
+
+class TestSplitter:
+    @pytest.mark.parametrize("n", [1, 2, 3])
+    def test_at_most_one_stop_exhaustive(self, n):
+        for outcome in all_final_outcomes(Splitter(n)):
+            stops = sum(1 for o in outcome if o is SplitterOutcome.STOP)
+            assert stops <= 1
+
+    @pytest.mark.parametrize("n", [2, 3])
+    def test_not_all_right_not_all_down(self, n):
+        for outcome in all_final_outcomes(Splitter(n)):
+            assert not all(o is SplitterOutcome.RIGHT for o in outcome)
+            assert not all(o is SplitterOutcome.DOWN for o in outcome)
+
+    def test_solo_entrant_stops(self):
+        system = System(Splitter(3))
+        config = system.initial_configuration([None] * 3)
+        final, _ = system.solo_run(config, 1, max_steps=20)
+        assert system.decision(final, 1) is SplitterOutcome.STOP
+
+
+class TestSplitterElection:
+    def test_register_count_logarithmic(self):
+        import math
+
+        for n in (2, 8, 64, 1024):
+            protocol = SplitterElection(n)
+            assert protocol.num_objects <= math.ceil(math.log2(n)) + 2
+
+    @pytest.mark.parametrize("n", [2, 3])
+    def test_at_most_one_leader_exhaustive(self, n):
+        for outcome in all_final_outcomes(SplitterElection(n)):
+            assert sum(1 for o in outcome if o is True) <= 1
+
+    def test_solo_run_elects(self):
+        system = System(SplitterElection(5))
+        config = system.initial_configuration([None] * 5)
+        final, _ = system.solo_run(config, 3, max_steps=100)
+        assert system.decision(final, 3) is True
+
+    def test_at_most_one_leader_random_large(self):
+        n = 32
+        protocol = SplitterElection(n)
+        system = System(protocol)
+        rng = random.Random(11)
+        elected = 0
+        for _ in range(50):
+            config = system.initial_configuration([None] * n)
+            schedule = random_bursty_schedule(list(range(n)), 2_000, rng)
+            config, _ = system.run(config, schedule, skip_halted=True)
+            for pid in range(n):
+                final, _ = system.solo_run(config, pid, 1_000)
+                config = final
+            leaders = [
+                pid for pid in range(n) if system.decision(config, pid) is True
+            ]
+            assert len(leaders) <= 1
+            elected += len(leaders)
+        # Elections may fail under contention, but not always.
+        assert elected > 0
+
+
+class TestTournamentElection:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4])
+    def test_exactly_one_leader_exhaustive(self, n):
+        for outcome in all_final_outcomes(TournamentElection(n)):
+            assert sum(1 for o in outcome if o is True) == 1
+
+    def test_exactly_one_leader_random_large(self):
+        n = 17
+        protocol = TournamentElection(n)
+        system = System(protocol)
+        rng = random.Random(5)
+        for _ in range(25):
+            config = system.initial_configuration([None] * n)
+            schedule = random_bursty_schedule(list(range(n)), 500, rng)
+            config, _ = system.run(config, schedule, skip_halted=True)
+            for pid in range(n):
+                final, _ = system.solo_run(config, pid, 100)
+                config = final
+            leaders = [
+                pid for pid in range(n) if system.decision(config, pid) is True
+            ]
+            assert len(leaders) == 1
+
+    def test_object_count_linear(self):
+        for n in (2, 8, 33):
+            protocol = TournamentElection(n)
+            assert protocol.num_objects <= 2 * n

@@ -1,0 +1,136 @@
+"""Tests for the mutual exclusion suite: algorithms, checkers, cost model."""
+
+import pytest
+
+from repro.model.system import System
+from repro.mutex import (
+    BakeryMutex,
+    CostMeter,
+    PetersonFilter,
+    TournamentMutex,
+    check_mutex_random,
+    check_mutual_exclusion_exhaustive,
+    contended_canonical_run,
+    sequential_canonical_run,
+)
+from repro.mutex.visibility import schedule_to_trace, visibility_graph
+
+ALGORITHMS = [PetersonFilter, TournamentMutex, BakeryMutex]
+
+
+class TestMutualExclusion:
+    @pytest.mark.parametrize("make", ALGORITHMS)
+    def test_exhaustive_two_processes(self, make):
+        system = System(make(2, sessions=1))
+        result = check_mutual_exclusion_exhaustive(system)
+        assert result.ok, result.first_violation()
+        assert result.exhaustive
+
+    @pytest.mark.parametrize("make", [PetersonFilter, TournamentMutex])
+    def test_exhaustive_three_processes(self, make):
+        system = System(make(3, sessions=1))
+        result = check_mutual_exclusion_exhaustive(system, max_configs=800_000)
+        assert result.ok, result.first_violation()
+
+    @pytest.mark.parametrize("make", ALGORITHMS)
+    def test_random_medium(self, make):
+        system = System(make(5, sessions=2))
+        result = check_mutex_random(system, runs=10, schedule_length=1_500)
+        assert result.ok, result.first_violation()
+
+    def test_too_few_processes_rejected(self):
+        for make in ALGORITHMS:
+            with pytest.raises(ValueError):
+                make(1)
+
+
+class TestCanonicalRuns:
+    @pytest.mark.parametrize("make", ALGORITHMS)
+    def test_sequential_realises_permutation(self, make):
+        system = System(make(4, sessions=1))
+        run = sequential_canonical_run(system, [2, 0, 3, 1])
+        assert run.cs_order == (2, 0, 3, 1)
+        assert run.cost > 0
+
+    @pytest.mark.parametrize("make", ALGORITHMS)
+    def test_contended_run_completes_all_sessions(self, make):
+        system = System(make(4, sessions=1))
+        run = contended_canonical_run(system)
+        assert sorted(run.cs_order) == [0, 1, 2, 3]
+
+    def test_contended_gating_respects_feasible_permutation(self):
+        system = System(PetersonFilter(3, sessions=1))
+        run = contended_canonical_run(system, permutation=[1, 2, 0])
+        assert sorted(run.cs_order) == [0, 1, 2]
+
+    def test_sequential_runs_are_spin_free(self):
+        system = System(TournamentMutex(4, sessions=1))
+        run = sequential_canonical_run(system, [0, 1, 2, 3])
+        # Spin-free: every shared-memory step is charged.
+        shared_steps = run.steps - 2 * 4  # minus the enter/exit markers
+        assert run.cost == shared_steps
+
+    def test_costs_scale_as_expected(self):
+        # Tournament should be far cheaper than Peterson for larger n.
+        n = 16
+        peterson = sequential_canonical_run(
+            System(PetersonFilter(n, sessions=1)), list(range(n))
+        )
+        tournament = sequential_canonical_run(
+            System(TournamentMutex(n, sessions=1)), list(range(n))
+        )
+        assert tournament.cost < peterson.cost / 4
+
+
+class TestCostMeter:
+    def test_spinning_is_free_after_first_lap(self):
+        system = System(PetersonFilter(2, sessions=1))
+        config = system.initial_configuration([None, None])
+        meter = CostMeter()
+        # p0 through its doorway, then p1 through its doorway; p1 then
+        # spins (p0 is at the level-0 gate with priority).
+        for _ in range(4):
+            config, step = system.step(config, 0)
+            meter.observe(0, config.states[0], step)
+        cost_before_spin = None
+        for i in range(120):
+            config, step = system.step(config, 1)
+            meter.observe(1, config.states[1], step)
+            if i == 60:
+                cost_before_spin = meter.per_process[1]
+        assert meter.per_process[1] == cost_before_spin  # steady spin: free
+
+    def test_markers_never_charged(self):
+        system = System(TournamentMutex(2, sessions=1))
+        run = sequential_canonical_run(system, [0, 1])
+        marker_steps = 4  # 2 processes x (enter + exit)
+        assert run.cost <= run.steps - marker_steps
+
+
+class TestVisibility:
+    def test_sequential_run_has_total_visibility_chain(self):
+        system = System(TournamentMutex(4, sessions=1))
+        run = sequential_canonical_run(system, [3, 1, 0, 2])
+        trace = schedule_to_trace(system, run.schedule)
+        graph = visibility_graph(trace, 4)
+        assert graph.every_pair_ordered()
+        assert graph.chain() == (3, 1, 0, 2)
+        # A total order has n(n-1)/2 edges.
+        assert graph.edge_count() == 6
+
+    def test_contended_run_still_ordered(self):
+        system = System(PetersonFilter(3, sessions=1))
+        run = contended_canonical_run(system)
+        trace = schedule_to_trace(system, run.schedule)
+        graph = visibility_graph(trace, 3)
+        assert graph.every_pair_ordered()
+        assert graph.chain() == run.cs_order
+
+    def test_non_canonical_trace_rejected(self):
+        from repro.errors import ModelError
+
+        system = System(PetersonFilter(2, sessions=1))
+        config = system.initial_configuration([None, None])
+        _, trace = system.run(config, [0] * 3)
+        with pytest.raises(ModelError):
+            visibility_graph(trace, 2)

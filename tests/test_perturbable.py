@@ -1,0 +1,182 @@
+"""Tests for perturbable objects and the JTT covering adversary."""
+
+import pytest
+
+from repro.errors import ViolationError
+from repro.model.system import System
+from repro.perturbable import (
+    ArrayCounter,
+    LossySharedCounter,
+    SingleWriterSnapshot,
+    covering_induction,
+    is_perturbable_here,
+)
+
+
+def run_induction(protocol):
+    system = System(protocol)
+    return covering_induction(
+        system,
+        workers=protocol.workers,
+        reader=protocol.reader,
+        ops_to_perturb=protocol.ops_to_perturb,
+        completes_operation=protocol.completes_operation,
+    )
+
+
+class TestArrayCounter:
+    def test_reader_sums_increments(self):
+        protocol = ArrayCounter(4)
+        system = System(protocol)
+        config = system.initial_configuration([None] * 4)
+        # Workers 0 and 2 complete one inc each (2 steps: bump + write...
+        # actually assign is local; one write per inc).
+        config, _ = system.run(config, [0, 2])
+        final, _ = system.solo_run(config, protocol.reader, 100)
+        assert system.decision(final, protocol.reader) == 2
+
+    @pytest.mark.parametrize("n", [2, 3, 5, 8])
+    def test_covering_induction_pins_n_minus_1(self, n):
+        certificate = run_induction(ArrayCounter(n))
+        assert certificate.bound == n - 1
+        certificate.validate(System(ArrayCounter(n)))
+
+    def test_reader_must_touch_all_covered_registers(self):
+        # The JTT time bound: the reader's solo operation reads all n-1
+        # registers (otherwise hidden increments would be invisible).
+        certificate = run_induction(ArrayCounter(6))
+        assert len(certificate.reader_registers) == 5
+        assert certificate.reader_steps >= 5
+
+    def test_perturbable_at_initial_configuration(self):
+        protocol = ArrayCounter(3)
+        system = System(protocol)
+        config = system.initial_configuration([None] * 3)
+        outcome = is_perturbable_here(
+            system,
+            config,
+            reader=protocol.reader,
+            hidden_pid=0,
+            ops_to_perturb=protocol.ops_to_perturb,
+            completes_operation=protocol.completes_operation,
+        )
+        assert outcome.perturbed
+        assert outcome.base_return == 0
+        assert outcome.perturbed_return == 1
+
+
+class TestLossyCounter:
+    @pytest.mark.parametrize("n,k", [(4, 2), (5, 3), (6, 1)])
+    def test_under_provisioned_counter_violates(self, n, k):
+        with pytest.raises(ViolationError) as info:
+            run_induction(LossySharedCounter(n, k))
+        assert "linearizability" in str(info.value)
+        assert info.value.witness is not None
+
+    def test_violation_witness_replays(self):
+        protocol = LossySharedCounter(4, 2)
+        system = System(protocol)
+        try:
+            run_induction(protocol)
+        except ViolationError as exc:
+            config = system.initial_configuration([None] * 4)
+            config, _ = system.run(config, exc.witness, skip_halted=True)
+            # The reader decided a stale value at the end of the witness.
+            assert system.decision(config, protocol.reader) is not None
+        else:  # pragma: no cover
+            pytest.fail("expected a violation")
+
+    def test_rejects_enough_registers(self):
+        with pytest.raises(ValueError):
+            LossySharedCounter(4, 3)  # k = n-1 is not under-provisioned
+
+
+class TestSnapshot:
+    def test_scan_returns_latest_values(self):
+        protocol = SingleWriterSnapshot(3)
+        system = System(protocol)
+        config = system.initial_configuration([None] * 3)
+        # Local assigns are free, so every scheduled step is one write:
+        # three updates by each updater.
+        config, _ = system.run(config, [0, 0, 0, 1, 1, 1])
+        final, _ = system.solo_run(config, protocol.reader, 1_000)
+        scanned = system.decision(final, protocol.reader)
+        assert scanned[0] == (0, 3)
+        assert scanned[1] == (1, 3)
+
+    @pytest.mark.parametrize("n", [2, 3, 5])
+    def test_covering_induction_pins_n_minus_1(self, n):
+        certificate = run_induction(SingleWriterSnapshot(n))
+        assert certificate.bound == n - 1
+
+    def test_snapshot_perturbable_by_single_update(self):
+        protocol = SingleWriterSnapshot(3)
+        system = System(protocol)
+        config = system.initial_configuration([None] * 3)
+        outcome = is_perturbable_here(
+            system,
+            config,
+            reader=protocol.reader,
+            hidden_pid=1,
+            hidden_ops=1,
+        )
+        assert outcome.perturbed
+
+
+class TestLinearizabilityChecker:
+    def test_counter_history_linearizable(self):
+        from repro.model.linearizability import (
+            OpRecord,
+            counter_spec,
+            is_linearizable,
+        )
+
+        history = [
+            OpRecord(0, "inc", (), None, invoked=0, responded=1),
+            OpRecord(1, "read", (), 1, invoked=2, responded=3),
+            OpRecord(0, "inc", (), None, invoked=2, responded=4),
+        ]
+        witness = is_linearizable(history, counter_spec, 0)
+        assert witness is not None
+
+    def test_stale_read_not_linearizable(self):
+        from repro.model.linearizability import (
+            OpRecord,
+            counter_spec,
+            is_linearizable,
+        )
+
+        history = [
+            OpRecord(0, "inc", (), None, invoked=0, responded=1),
+            OpRecord(1, "read", (), 0, invoked=2, responded=3),
+        ]
+        assert is_linearizable(history, counter_spec, 0) is None
+
+    def test_real_time_order_respected(self):
+        from repro.model.linearizability import (
+            OpRecord,
+            counter_spec,
+            is_linearizable,
+        )
+
+        # Two sequential incs then a read of 1: would need the read to
+        # jump before the second inc, but it started after both ended.
+        history = [
+            OpRecord(0, "inc", (), None, invoked=0, responded=1),
+            OpRecord(0, "inc", (), None, invoked=2, responded=3),
+            OpRecord(1, "read", (), 1, invoked=4, responded=5),
+        ]
+        assert is_linearizable(history, counter_spec, 0) is None
+
+    def test_snapshot_spec(self):
+        from repro.model.linearizability import (
+            OpRecord,
+            is_linearizable,
+            snapshot_spec,
+        )
+
+        history = [
+            OpRecord(0, "update", (0, "a"), None, invoked=0, responded=1),
+            OpRecord(1, "scan", (), ((0, "a"),), invoked=2, responded=3),
+        ]
+        assert is_linearizable(history, snapshot_spec, ()) is not None

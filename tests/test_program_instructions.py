@@ -1,0 +1,140 @@
+"""Coverage tests for the remaining DSL instruction paths."""
+
+import pytest
+
+from repro.errors import ProgramError
+from repro.model.program import ProgramBuilder, ProgramProtocol
+from repro.model.registers import (
+    cas_object,
+    faa_object,
+    register,
+    swap_register,
+    tas_object,
+)
+from repro.model.system import System
+
+
+def single_process(specs, build):
+    builder = ProgramBuilder()
+    build(builder)
+    return System(
+        ProgramProtocol(
+            "single", 1, specs, [builder.build()], lambda pid, v: {"v": v}
+        )
+    )
+
+
+class TestSwapInstruction:
+    def test_swap_captures_old_value(self):
+        def build(b):
+            b.swap(0, "new", "old")
+            b.decide(lambda e: e["old"])
+
+        system = single_process([swap_register("initial")], build)
+        config = system.initial_configuration([None])
+        final, _ = system.solo_run(config, 0, 10)
+        assert system.decision(final, 0) == "initial"
+        assert final.memory == ("new",)
+
+    def test_swap_chain(self):
+        def build(b):
+            b.swap(0, 1, "a")
+            b.swap(0, 2, "b")
+            b.decide(lambda e: (e["a"], e["b"]))
+
+        system = single_process([swap_register(0)], build)
+        final, _ = system.solo_run(
+            system.initial_configuration([None]), 0, 10
+        )
+        assert system.decision(final, 0) == (0, 1)
+
+
+class TestFetchAndAddInstruction:
+    def test_faa_accumulates(self):
+        def build(b):
+            b.fetch_and_add(0, 5, "first")
+            b.fetch_and_add(0, lambda e: e["first"] + 2, "second")
+            b.decide(lambda e: (e["first"], e["second"]))
+
+        system = single_process([faa_object(10)], build)
+        final, _ = system.solo_run(
+            system.initial_configuration([None]), 0, 10
+        )
+        assert system.decision(final, 0) == (10, 15)
+        assert final.memory == (27,)  # 10 + 5 + (10 + 2)
+
+
+class TestTestAndSetInstruction:
+    def test_tas_first_wins(self):
+        def build(b):
+            b.test_and_set(0, "won")
+            b.decide(lambda e: e["won"] == 0)
+
+        builder = ProgramBuilder()
+        builder.test_and_set(0, "won")
+        builder.decide(lambda e: e["won"] == 0)
+        program = builder.build()
+        protocol = ProgramProtocol(
+            "tas-race", 2, [tas_object()], [program, program],
+            lambda pid, v: {},
+        )
+        system = System(protocol)
+        config = system.initial_configuration([None, None])
+        config, _ = system.step(config, 1)
+        config, _ = system.step(config, 0)
+        assert system.decision(config, 1) is True
+        assert system.decision(config, 0) is False
+
+
+class TestCasInstruction:
+    def test_cas_expected_can_be_dynamic(self):
+        def build(b):
+            b.read(0, "seen")
+            b.compare_and_swap(
+                0, lambda e: e["seen"], lambda e: e["seen"] + 1, "prev"
+            )
+            b.decide(lambda e: e["prev"])
+
+        system = single_process([cas_object(41)], build)
+        final, _ = system.solo_run(
+            system.initial_configuration([None]), 0, 10
+        )
+        assert system.decision(final, 0) == 41
+        assert final.memory == (42,)
+
+
+class TestMiscProgramErrors:
+    def test_falling_off_program_end(self):
+        builder = ProgramBuilder()
+        builder.read(0, "x")  # no decide/halt afterwards
+        protocol = ProgramProtocol(
+            "fall", 1, [register(0)], [builder.build()], lambda p, v: {}
+        )
+        system = System(protocol)
+        config = system.initial_configuration([None])
+        with pytest.raises(ProgramError):
+            system.step(config, 0)
+
+    def test_register_index_must_be_integral(self):
+        builder = ProgramBuilder()
+        builder.read(lambda e: "zero", "x")
+        builder.halt()
+        protocol = ProgramProtocol(
+            "bad-index", 1, [register(0)], [builder.build()], lambda p, v: {}
+        )
+        system = System(protocol)
+        config = system.initial_configuration([None])
+        with pytest.raises((ValueError, TypeError)):
+            system.poised(config, 0)
+
+    def test_marker_label_preserved(self):
+        builder = ProgramBuilder()
+        builder.marker("checkpoint")
+        builder.halt()
+        protocol = ProgramProtocol(
+            "marked", 1, [register(0)], [builder.build()], lambda p, v: {}
+        )
+        system = System(protocol)
+        config = system.initial_configuration([None])
+        _, step = system.step(config, 0)
+        assert step.op.label == "checkpoint"

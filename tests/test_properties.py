@@ -1,0 +1,171 @@
+"""Property-based tests (hypothesis) for the core data structures."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.model.env import Env
+from repro.model.operations import Read, Swap, Write
+from repro.model.registers import ObjectKind, apply_operation
+from repro.model.schedule import (
+    concat,
+    is_only_by,
+    restricted_to,
+    round_robin,
+    solo,
+)
+from repro.mutex.encoding import (
+    decode_schedule,
+    elias_gamma,
+    elias_gamma_decode,
+    EncodedRun,
+)
+
+values = st.one_of(st.integers(), st.text(max_size=5), st.booleans())
+names = st.text(
+    alphabet=st.characters(whitelist_categories=("Ll",)), min_size=1, max_size=6
+)
+
+
+class TestEnvProperties:
+    @given(st.dictionaries(names, values, max_size=6), names, values)
+    def test_set_then_get(self, mapping, key, value):
+        env = Env(mapping).set(key, value)
+        assert env[key] == value
+
+    @given(st.dictionaries(names, values, max_size=6), names, values)
+    def test_set_preserves_other_keys(self, mapping, key, value):
+        base = Env(mapping)
+        updated = base.set(key, value)
+        for other in mapping:
+            if other != key:
+                assert updated[other] == mapping[other]
+
+    @given(st.dictionaries(names, values, max_size=6))
+    def test_hash_equals_on_equal_envs(self, mapping):
+        assert hash(Env(dict(mapping))) == hash(Env(mapping))
+
+    @given(
+        st.dictionaries(names, values, max_size=5),
+        st.dictionaries(names, values, max_size=5),
+    )
+    def test_update_matches_dict_semantics(self, base, overlay):
+        merged = dict(base)
+        merged.update(overlay)
+        assert dict(Env(base).update(overlay)) == merged
+
+
+class TestRegisterProperties:
+    @given(values, values)
+    def test_register_write_then_read(self, old, new):
+        state, _ = apply_operation(ObjectKind.REGISTER, old, Write(0, new))
+        state, response = apply_operation(ObjectKind.REGISTER, state, Read(0))
+        assert response == new
+
+    @given(values, values)
+    def test_swap_returns_previous_and_overwrites(self, old, new):
+        state, response = apply_operation(ObjectKind.SWAP, old, Swap(0, new))
+        assert response == old
+        assert state == new
+
+    @given(values)
+    def test_read_never_mutates(self, contents):
+        for kind in ObjectKind:
+            state, _ = apply_operation(kind, contents, Read(0))
+            assert state == contents
+
+
+class TestScheduleProperties:
+    pid_lists = st.lists(st.integers(min_value=0, max_value=7), max_size=40)
+
+    @given(pid_lists, st.sets(st.integers(min_value=0, max_value=7)))
+    def test_restriction_is_only_by(self, schedule, pids):
+        restricted = restricted_to(schedule, pids)
+        assert is_only_by(restricted, pids)
+
+    @given(pid_lists, pid_lists)
+    def test_concat_lengths(self, left, right):
+        assert len(concat(left, right)) == len(left) + len(right)
+
+    @given(st.integers(min_value=0, max_value=9), st.integers(min_value=0, max_value=20))
+    def test_solo_is_constant(self, pid, steps):
+        schedule = solo(pid, steps)
+        assert len(schedule) == steps
+        assert is_only_by(schedule, {pid})
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=5), min_size=1, max_size=5),
+        st.integers(min_value=0, max_value=6),
+    )
+    def test_round_robin_composition(self, pids, rounds):
+        schedule = round_robin(pids, rounds)
+        assert len(schedule) == len(pids) * rounds
+        assert restricted_to(schedule, set(pids)) == schedule
+
+
+class TestEliasGamma:
+    @given(st.integers(min_value=1, max_value=10**9))
+    def test_roundtrip(self, value):
+        bits = elias_gamma(value)
+        decoded, end = elias_gamma_decode(bits, 0)
+        assert decoded == value
+        assert end == len(bits)
+
+    @given(st.integers(min_value=1, max_value=10**9))
+    def test_length_is_logarithmic(self, value):
+        assert len(elias_gamma(value)) == 2 * (value.bit_length() - 1) + 1
+
+    @given(st.lists(st.integers(min_value=1, max_value=10**6), min_size=1, max_size=20))
+    def test_concatenated_stream_decodes(self, numbers):
+        bits = "".join(elias_gamma(v) for v in numbers)
+        pos, out = 0, []
+        while pos < len(bits):
+            value, pos = elias_gamma_decode(bits, pos)
+            out.append(value)
+        assert out == numbers
+
+
+class TestScheduleCodec:
+    @given(
+        st.lists(st.integers(min_value=0, max_value=7), max_size=60),
+        st.integers(min_value=8, max_value=8),
+    )
+    @settings(max_examples=60)
+    def test_schedule_roundtrip(self, schedule, n):
+        from repro.mutex.cost import CanonicalRun
+        from repro.mutex.encoding import encode_run
+
+        run = CanonicalRun(
+            protocol_name="test",
+            n=n,
+            schedule=tuple(schedule),
+            charged_schedule=tuple(schedule),
+            cost=len(schedule),
+            per_process_cost={},
+            cs_order=(),
+        )
+        encoded = encode_run(run)
+        assert decode_schedule(encoded) == tuple(schedule)
+
+    @given(st.lists(st.integers(min_value=0, max_value=3), min_size=1, max_size=50))
+    def test_encoding_length_bounded_by_runs(self, schedule):
+        from repro.mutex.cost import CanonicalRun
+        from repro.mutex.encoding import encode_run, _runs
+
+        run = CanonicalRun(
+            protocol_name="test",
+            n=4,
+            schedule=tuple(schedule),
+            charged_schedule=tuple(schedule),
+            cost=len(schedule),
+            per_process_cost={},
+            cs_order=(),
+        )
+        encoded = encode_run(run)
+        run_count = len(list(_runs(schedule)))
+        max_run = max(
+            length for _, length in _runs(schedule)
+        )
+        per_run = 2 + 2 * math.ceil(math.log2(max_run + 1)) + 1
+        assert len(encoded.bits) <= run_count * per_run

@@ -1,0 +1,97 @@
+"""Correctness tests for the racing-counters consensus protocol."""
+
+import itertools
+
+import pytest
+
+from repro.analysis.checker import (
+    check_consensus_exhaustive,
+    check_consensus_random,
+    check_solo_termination,
+)
+from repro.model.system import System
+from repro.protocols.consensus.racing import RacingCounters
+
+
+class TestRacingCounters:
+    def test_uses_2n_registers(self):
+        assert RacingCounters(4).num_objects == 8
+
+    @pytest.mark.parametrize("inputs", list(itertools.product((0, 1), repeat=2)))
+    def test_bounded_two_processes(self, inputs):
+        # Unlike the rounds protocol, racing counters have no finite
+        # canonical quotient (never-written slots anchor the shift while
+        # the active ones grow), so n=2 gets bounded verification plus
+        # the randomized checks below.
+        system = System(RacingCounters(2))
+        result = check_consensus_exhaustive(
+            system, list(inputs), max_configs=120_000, strict=False
+        )
+        assert result.ok, result.first_violation()
+
+    def test_bounded_three_processes(self):
+        system = System(RacingCounters(3))
+        result = check_consensus_exhaustive(
+            system, [0, 1, 1], max_configs=60_000, strict=False
+        )
+        assert result.ok, result.first_violation()
+
+    def test_random_medium(self):
+        system = System(RacingCounters(4))
+        result = check_consensus_random(
+            system, [0, 1, 0, 1], runs=25, schedule_length=800, seed=3
+        )
+        assert result.ok, result.first_violation()
+
+    def test_solo_termination(self):
+        for n in (2, 3, 5):
+            system = System(RacingCounters(n))
+            result = check_solo_termination(
+                system, [1] * n, max_steps=200 * n
+            )
+            assert result.ok, result.first_violation()
+
+    def test_solo_decides_own_value_quickly(self):
+        n = 3
+        system = System(RacingCounters(n))
+        config = system.initial_configuration([1, 0, 0])
+        final, trace = system.solo_run(config, 0, max_steps=10_000)
+        assert system.decision(final, 0) == 1
+        # 2n+1 increments, each preceded by a 2n-read collect.
+        assert len(trace) <= (2 * n + 2) * (2 * n + 1) + 2 * n
+
+    def test_adoption_under_contention(self):
+        # p0 (input 0) runs until it has a solid lead; p1 (input 1) then
+        # runs solo: it must adopt 0 and decide 0.
+        n = 2
+        system = System(RacingCounters(n))
+        config = system.initial_configuration([0, 1])
+        config, _ = system.run(config, [0] * 60, skip_halted=True)
+        final, _ = system.solo_run(config, 1, max_steps=10_000)
+        assert system.decision(final, 1) == 0
+
+    def test_race_genuinely_unbounded(self):
+        # Strict alternation with conflicting inputs never decides and
+        # keeps producing fresh configurations -- the documented reason
+        # this family has no useful shift quotient and relies on the
+        # bounded-mode oracle.
+        protocol = RacingCounters(2)
+        system = System(protocol)
+        config = system.initial_configuration([0, 1])
+        raw = set()
+        for index in range(2_000):
+            pid = index % 2
+            assert system.enabled(config, pid), "race decided unexpectedly"
+            config, _ = system.step(config, pid)
+            raw.add(protocol.canonical_key(config))
+        assert len(raw) == 2_000
+
+    def test_adversary_pins_registers(self):
+        from repro.core.theorem import space_lower_bound
+
+        system = System(RacingCounters(3))
+        cert = space_lower_bound(
+            system, strict=False, max_configs=40_000, max_depth=80
+        )
+        assert cert.bound >= 2
+        cert.validate(System(RacingCounters(3)))

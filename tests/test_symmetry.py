@@ -1,0 +1,83 @@
+"""Tests for the process-symmetry reduction (anonymous protocols)."""
+
+import pytest
+
+from repro.analysis.explorer import Explorer
+from repro.analysis.symmetry import SymmetricKey
+from repro.core.valency import ValencyOracle
+from repro.model.system import System
+from repro.protocols.consensus import CasConsensus, SplitBrainConsensus
+from repro.protocols.leader_election import Splitter
+
+
+class TestSymmetricKey:
+    def test_rejects_non_anonymous(self):
+        # The splitter writes its pid: initial states differ per process.
+        with pytest.raises(ValueError):
+            SymmetricKey(Splitter(3), check_inputs=(None,))
+
+    def test_accepts_anonymous(self):
+        wrapped = SymmetricKey(CasConsensus(3))
+        assert "symmetry" in wrapped.name
+        assert wrapped.num_objects == 1
+
+    def test_key_identifies_permuted_configurations(self):
+        protocol = SymmetricKey(CasConsensus(3))
+        system = System(protocol)
+        left = system.initial_configuration([0, 1, 1])
+        right = system.initial_configuration([1, 0, 1])
+        assert protocol.canonical_key(left) == protocol.canonical_key(right)
+        # Different input multiset -> different key.
+        other = system.initial_configuration([0, 0, 1])
+        assert protocol.canonical_key(left) != protocol.canonical_key(other)
+
+    def test_key_respects_coins_with_states(self):
+        from repro.model.configuration import Configuration
+
+        protocol = SymmetricKey(CasConsensus(2))
+        system = System(protocol)
+        base = system.initial_configuration([0, 1])
+        # Attach coin counts asymmetrically: (state0, 1) vs (state1, 0)
+        # must NOT equal (state0, 0) vs (state1, 1).
+        left = Configuration(base.states, base.memory, (1, 0))
+        right = Configuration(base.states, base.memory, (0, 1))
+        assert protocol.canonical_key(left) != protocol.canonical_key(right)
+        # But swapping both (state, coin) pairs together is a symmetry.
+        swapped = Configuration(
+            (base.states[1], base.states[0]), base.memory, (0, 1)
+        )
+        assert protocol.canonical_key(left) == protocol.canonical_key(swapped)
+
+    def test_reduction_shrinks_reachable_graph(self):
+        plain = CasConsensus(4)
+        reduced = SymmetricKey(CasConsensus(4))
+        inputs = [0, 0, 1, 1]
+        plain_count = Explorer(System(plain)).reachable_count(
+            System(plain).initial_configuration(inputs), frozenset(range(4))
+        )
+        reduced_count = Explorer(System(reduced)).reachable_count(
+            System(reduced).initial_configuration(inputs),
+            frozenset(range(4)),
+        )
+        assert reduced_count < plain_count
+
+    def test_valency_answers_agree_with_unreduced(self):
+        inputs = [0, 1, 1]
+        plain_system = System(CasConsensus(3))
+        reduced_system = System(SymmetricKey(CasConsensus(3)))
+        plain = ValencyOracle(plain_system)
+        reduced = ValencyOracle(reduced_system)
+        plain_config = plain_system.initial_configuration(inputs)
+        reduced_config = reduced_system.initial_configuration(inputs)
+        for pids in [{0}, {1}, {0, 1}, {0, 1, 2}]:
+            for value in (0, 1):
+                assert plain.can_decide(
+                    plain_config, frozenset(pids), value
+                ) == reduced.can_decide(reduced_config, frozenset(pids), value)
+
+    def test_broken_protocol_violations_still_found(self):
+        from repro.analysis.checker import check_consensus_exhaustive
+
+        system = System(SymmetricKey(SplitBrainConsensus(2)))
+        result = check_consensus_exhaustive(system, [0, 1])
+        assert not result.ok

@@ -1,0 +1,156 @@
+"""End-to-end tests of Lemma 4 and Theorem 1 (the paper's main result)."""
+
+import pytest
+
+from repro.errors import (
+    AdversaryError,
+    CertificateError,
+    ViolationError,
+)
+from repro.core.certificate import SpaceBoundCertificate
+from repro.core.construction import ConstructionStats, lemma4
+from repro.core.covering import is_well_spread
+from repro.core.theorem import space_lower_bound
+from repro.core.valency import ValencyOracle
+from repro.model.system import System
+from repro.protocols.consensus import (
+    CasConsensus,
+    CommitAdoptRounds,
+    SplitBrainConsensus,
+)
+
+
+def bounded_oracle(system, configs=30_000, depth=60):
+    return ValencyOracle(
+        system, max_configs=configs, max_depth=depth, strict=False
+    )
+
+
+class TestLemma4:
+    def test_base_case_pair(self):
+        system = System(CommitAdoptRounds(2))
+        oracle = bounded_oracle(system)
+        config = system.initial_configuration([0, 1])
+        result = lemma4(system, oracle, config, frozenset({0, 1}))
+        assert result.alpha == ()
+        assert result.pair == frozenset({0, 1})
+
+    def test_three_processes(self):
+        system = System(CommitAdoptRounds(3))
+        oracle = bounded_oracle(system)
+        config = system.initial_configuration([0, 1, 0])
+        stats = ConstructionStats()
+        result = lemma4(
+            system, oracle, config, frozenset({0, 1, 2}), stats=stats
+        )
+        assert len(result.pair) == 2
+        final, _ = system.run(config, result.alpha)
+        outsiders = frozenset({0, 1, 2}) - result.pair
+        assert is_well_spread(system, final, outsiders)
+        assert oracle.is_bivalent(final, result.pair)
+        assert stats.lemma4_calls >= 2  # recursion happened
+
+    def test_rejects_singleton(self):
+        system = System(CommitAdoptRounds(2))
+        oracle = bounded_oracle(system)
+        config = system.initial_configuration([0, 1])
+        with pytest.raises(AdversaryError):
+            lemma4(system, oracle, config, frozenset({0}))
+
+
+class TestTheorem1:
+    @pytest.mark.parametrize("n", [2, 3, 4])
+    def test_round_protocol_pins_n_minus_1_registers(self, n):
+        system = System(CommitAdoptRounds(n))
+        cert = space_lower_bound(
+            system, strict=False, max_configs=30_000, max_depth=60
+        )
+        assert cert.bound >= n - 1
+        assert len(cert.registers) == n - 1
+        cert.validate(system)  # replay-validates
+
+    def test_certificate_summary_mentions_bound(self):
+        system = System(CommitAdoptRounds(3))
+        cert = space_lower_bound(
+            system, strict=False, max_configs=30_000, max_depth=60
+        )
+        assert "n-1 = 2" in cert.summary()
+
+    def test_certificate_tampering_detected(self):
+        system = System(CommitAdoptRounds(3))
+        cert = space_lower_bound(
+            system, strict=False, max_configs=30_000, max_depth=60
+        )
+        tampered = SpaceBoundCertificate(
+            protocol_name=cert.protocol_name,
+            n=cert.n,
+            inputs=cert.inputs,
+            alpha=cert.alpha,
+            phi=cert.phi,
+            covering=dict(cert.covering),
+            z=cert.z,
+            zeta=cert.zeta[:-1] if cert.zeta else cert.zeta,
+            fresh_register=(cert.fresh_register + 1) % 3,
+            registers=frozenset(
+                (reg + 1) % 3 for reg in cert.registers
+            ),
+        )
+        with pytest.raises(CertificateError):
+            tampered.validate(system)
+
+    def test_covering_registers_distinct_and_fresh_outside(self):
+        system = System(CommitAdoptRounds(4))
+        cert = space_lower_bound(
+            system, strict=False, max_configs=30_000, max_depth=60
+        )
+        covered = set(cert.covering.values())
+        assert len(covered) == len(cert.covering) == 2
+        assert cert.fresh_register not in covered
+
+    def test_cas_protocol_not_certifiable(self):
+        # Registers-only theorem: against CAS the covering construction
+        # must fail (and must NOT produce a bogus certificate).
+        system = System(CasConsensus(3))
+        with pytest.raises((AdversaryError, ViolationError)):
+            space_lower_bound(system)
+
+    def test_broken_protocol_not_certifiable(self):
+        system = System(SplitBrainConsensus(3))
+        with pytest.raises((AdversaryError, ViolationError)):
+            space_lower_bound(system)
+
+    def test_n1_rejected(self):
+        system = System(CommitAdoptRounds(1))
+        with pytest.raises(AdversaryError):
+            space_lower_bound(system)
+
+
+class TestTwoProcessBaseCase:
+    def test_write_free_solo_run_yields_violation(self):
+        # A protocol whose p0 decides solo without writing: the theorem's
+        # n=2 argument materialises the agreement violation.
+        from repro.model.program import ProgramBuilder, ProgramProtocol
+        from repro.model.registers import register
+
+        builder = ProgramBuilder()
+        builder.read(0, "seen")
+        builder.decide(lambda e: e["v"] if e["seen"] is None else e["seen"])
+        program = builder.build()
+        protocol = ProgramProtocol(
+            "read-only-decider",
+            2,
+            [register(None)],
+            [program, program],
+            lambda pid, value: {"v": value},
+        )
+        with pytest.raises(ViolationError) as info:
+            space_lower_bound(System(protocol))
+        assert info.value.witness is not None
+
+    def test_tas_two_process_certifies_one_object(self):
+        # For n=2 the certificate only needs one written object; the
+        # TAS protocol's first solo write is its value register.
+        from repro.protocols.consensus import TasConsensus
+
+        cert = space_lower_bound(System(TasConsensus()))
+        assert cert.bound == 1

@@ -1,0 +1,70 @@
+"""Tests for the trace formatter."""
+
+from repro.analysis.trace_format import (
+    describe_op,
+    describe_step,
+    format_decisions,
+    format_trace,
+)
+from repro.model.operations import (
+    CoinFlip,
+    CompareAndSwap,
+    Marker,
+    Read,
+    Step,
+    Swap,
+    TestAndSet,
+    Write,
+)
+from repro.model.system import System
+from repro.protocols.consensus import CommitAdoptRounds
+
+
+class TestDescribe:
+    def test_op_descriptions(self):
+        assert describe_op(Read(2)) == "read r2"
+        assert describe_op(Write(0, 5)) == "write r0=5"
+        assert describe_op(Swap(1, "x")) == "swap r1='x'"
+        assert describe_op(TestAndSet(3)) == "t&s r3"
+        assert describe_op(CompareAndSwap(0, None, 7)) == "cas r0 None->7"
+        assert describe_op(CoinFlip()) == "flip"
+        assert describe_op(Marker("enter_cs")) == "[enter_cs]"
+
+    def test_step_with_response(self):
+        step = Step(1, Read(0), 42)
+        assert describe_step(step) == "p1 read r0 -> 42"
+
+    def test_write_step_without_response(self):
+        step = Step(0, Write(1, "v"), None)
+        assert describe_step(step) == "p0 write r1='v'"
+
+
+class TestFormatTrace:
+    def real_trace(self):
+        system = System(CommitAdoptRounds(2))
+        config = system.initial_configuration([0, 1])
+        _, trace = system.run(config, [0, 1, 0, 1])
+        return trace
+
+    def test_lanes_and_rows(self):
+        trace = self.real_trace()
+        text = format_trace(trace, 2)
+        lines = text.splitlines()
+        assert lines[0].startswith("step")
+        assert "p0" in lines[0] and "p1" in lines[0]
+        assert len(lines) == 2 + len(trace)
+
+    def test_truncation_note(self):
+        trace = self.real_trace()
+        text = format_trace(trace, 2, max_steps=2)
+        assert "more steps" in text.splitlines()[-1]
+
+    def test_acting_lane_filled(self):
+        trace = self.real_trace()
+        text = format_trace(trace, 2)
+        first_row = text.splitlines()[2]
+        # First step is by p0: its lane carries the op, p1's is blank.
+        assert "write" in first_row
+
+    def test_decisions_line(self):
+        assert format_decisions([0, None]) == "decisions: p0=0  p1=?"

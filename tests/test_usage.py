@@ -1,0 +1,44 @@
+"""Tests for the register-usage profiler."""
+
+from repro.analysis.usage import profile_usage
+from repro.model.system import System
+from repro.protocols.consensus import CommitAdoptRounds, SplitBrainConsensus
+
+
+class TestUsageProfiler:
+    def test_all_registers_exercised(self):
+        system = System(CommitAdoptRounds(3))
+        profile = profile_usage(
+            system, [0, 1, 1], runs=6, schedule_length=200, seed=0
+        )
+        assert profile.registers_written == 3
+        assert profile.registers_read == 3
+
+    def test_single_writer_discipline_observed(self):
+        system = System(CommitAdoptRounds(3))
+        profile = profile_usage(
+            system, [0, 1, 0], runs=6, schedule_length=200, seed=1
+        )
+        for register, usage in profile.registers.items():
+            assert usage.writers == {register}  # register p written by p
+
+    def test_rows_shape(self):
+        system = System(SplitBrainConsensus(2))
+        profile = profile_usage(
+            system, [0, 1], runs=3, schedule_length=50, seed=2
+        )
+        rows = profile.rows()
+        assert len(rows) == 1
+        register, reads, writes, writers, values = rows[0]
+        assert register == 0
+        assert writes >= 2
+        assert writers == 2
+
+    def test_runs_metadata(self):
+        system = System(SplitBrainConsensus(2))
+        profile = profile_usage(
+            system, [0, 1], runs=4, schedule_length=10, seed=3
+        )
+        assert profile.runs == 4
+        assert profile.n == 2
+        assert profile.protocol_name == "split-brain"
