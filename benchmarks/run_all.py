@@ -24,6 +24,7 @@ import bench_unbounded_values
 import bench_kset
 import bench_randomized
 import bench_step_complexity
+import bench_faults
 import bench_ablation_memo
 import bench_ablation_historyless
 import bench_ablation_symmetry
@@ -46,6 +47,7 @@ def main() -> None:
         ("E11", bench_kset.main),
         ("E12", bench_randomized.main),
         ("E13", bench_step_complexity.main),
+        ("E14", bench_faults.main),
         ("ablations A/B", bench_ablation_memo.main),
         ("ablation C", bench_ablation_historyless.main),
         ("ablation D", bench_ablation_symmetry.main),

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Hashable, List, Optional, Tuple
+from typing import Dict, FrozenSet, Hashable, Iterator, List, Optional, Tuple
 
 from repro.errors import ExplorationLimitError
 from repro.model.configuration import Configuration
@@ -63,16 +63,25 @@ class Explorer:
         max_configs: int = DEFAULT_MAX_CONFIGS,
         max_depth: Optional[int] = None,
         strict: bool = True,
+        budget=None,
     ):
         """``strict`` explorers raise :class:`ExplorationLimitError` when
         the configuration budget is exceeded; non-strict explorers return
         a truncated (incomplete) result instead.  ``max_depth`` bounds
         the BFS depth (schedule length); a depth-truncated search is
-        never ``complete``."""
+        never ``complete``.
+
+        ``budget`` is an optional global watchdog (an object with a
+        ``tick(cost)`` method, see :class:`repro.faults.budget.Budget`):
+        ticked once per expanded configuration, it turns every
+        exploration -- and therefore every oracle-driven construction --
+        into a run that terminates with
+        :class:`~repro.errors.BudgetExhausted` instead of stalling."""
         self.system = system
         self.max_configs = max_configs
         self.max_depth = max_depth
         self.strict = strict
+        self.budget = budget
 
     def explore(
         self,
@@ -132,6 +141,8 @@ class Explorer:
         sorted_pids = sorted(pid_set)
         while queue:
             config, key, depth = queue.popleft()
+            if self.budget is not None:
+                self.budget.tick()
             if self.max_depth is not None and depth >= self.max_depth:
                 result.truncated = True
                 continue
@@ -180,3 +191,45 @@ class Explorer:
     ) -> int:
         """Number of distinct canonical configurations reachable P-only."""
         return self.explore(root, pids).visited
+
+    def iter_reachable(
+        self, root: Configuration, pids: FrozenSet[int] | Tuple[int, ...]
+    ) -> Iterator[Tuple[Configuration, Schedule]]:
+        """Lazily yield (configuration, schedule-from-root) pairs, BFS order.
+
+        Deduplicated by the protocol's canonical key, bounded by
+        ``max_configs``/``max_depth`` like :meth:`explore`; the generator
+        simply stops at the budget in non-strict mode.  Crash campaigns
+        use this to quantify "for every reachable configuration, for
+        every survivor subset ..." without materialising the graph.
+        """
+        system = self.system
+        protocol = system.protocol
+        pid_set = frozenset(pids)
+        seen = {protocol.canonical_query_key(root, pid_set)}
+        queue = deque([(root, (), 0)])
+        while queue:
+            config, path, depth = queue.popleft()
+            if self.budget is not None:
+                self.budget.tick()
+            yield config, path
+            if self.max_depth is not None and depth >= self.max_depth:
+                continue
+            for pid in sorted(pid_set):
+                if not system.enabled(config, pid):
+                    continue
+                succ, _ = system.step(config, pid)
+                succ_key = protocol.canonical_query_key(succ, pid_set)
+                if succ_key in seen:
+                    continue
+                if len(seen) >= self.max_configs:
+                    if self.strict:
+                        raise ExplorationLimitError(
+                            f"reachable iteration exceeded "
+                            f"{self.max_configs} configurations "
+                            f"(pids={sorted(pid_set)})",
+                            visited=len(seen),
+                        )
+                    return
+                seen.add(succ_key)
+                queue.append((succ, path + (pid,), depth + 1))

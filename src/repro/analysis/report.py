@@ -45,3 +45,15 @@ def print_table(
 ) -> None:
     print(format_table(title, headers, rows, note))
     print()
+
+
+def describe_limit(visited: int, cap: object = None) -> str:
+    """One-line description of a truncated exploration.
+
+    Every surface that reports an :class:`ExplorationLimitError` (or a
+    bounded, non-exhaustive check) goes through here so the visited
+    count is always shown -- "the search gave up" without "after how
+    much work" is not actionable.
+    """
+    suffix = "" if cap is None else f" (cap {cap})"
+    return f"exploration limit: {visited} states visited{suffix}"

@@ -7,6 +7,7 @@ adversary   run the Theorem 1 adversary against a named protocol and
 check       model-check a protocol's agreement/validity
 audit       the combined table: registers declared vs checker verdict
             vs adversary outcome
+faults      crash + register-fault campaigns over the bundled protocols
 perturb     run the JTT covering induction on a long-lived object
 mutex       measure canonical-execution costs of the mutex algorithms
 validate    re-validate a saved certificate JSON against its protocol
@@ -14,20 +15,33 @@ protocols   list the protocols the CLI can name
 
 The CLI names protocols as ``family:n[:extra]``, e.g. ``rounds:4``,
 ``shared:5:3``, ``cas:3``, ``kset:5:2``, ``counter:6``, ``snapshot:4``.
+
+Exit codes are a contract (tests assert them): 0 success, 2 a violation
+was found (with a replayable witness), 3 a budget or exploration limit
+ended the run first, 1 only for unexpected errors -- and expected
+failures never print a raw traceback.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Optional, Sequence
 
-from repro.errors import AdversaryError, CertificateError, ViolationError
+from repro.errors import (
+    AdversaryError,
+    BudgetExhausted,
+    CertificateError,
+    ExplorationLimitError,
+    ReproError,
+    ViolationError,
+)
 from repro.analysis.checker import (
     check_consensus_exhaustive,
     check_consensus_random,
 )
-from repro.analysis.report import print_table
+from repro.analysis.report import describe_limit, print_table
 from repro.core.serialize import certificate_from_json, to_json
 from repro.core.theorem import space_lower_bound
 from repro.model.system import System
@@ -48,6 +62,12 @@ from repro.protocols.consensus import (
     TasConsensus,
     shared_register_rounds,
 )
+
+#: The exit-code contract.  Everything below returns one of these.
+EXIT_OK = 0
+EXIT_ERROR = 1
+EXIT_VIOLATION = 2
+EXIT_BUDGET = 3
 
 _CONSENSUS_FAMILIES = {
     "rounds": ("obstruction-free consensus, n registers", "rounds:n"),
@@ -118,34 +138,95 @@ def cmd_protocols(_args) -> int:
     return 0
 
 
+def _make_budget(args):
+    from repro.faults import Budget
+
+    if args.budget is None and args.deadline is None:
+        return None
+    try:
+        return Budget(max_steps=args.budget, deadline=args.deadline)
+    except ValueError as exc:
+        raise SystemExit(f"bad budget: {exc}")
+
+
+def _load_resume(path: str, spec: str):
+    from repro.faults import PartialProgress
+
+    with open(path, encoding="utf-8") as handle:
+        progress = certificate_from_json(handle.read())
+    if not isinstance(progress, PartialProgress):
+        raise SystemExit(f"{path} is not a partial-progress checkpoint")
+    if progress.protocol != spec:
+        raise SystemExit(
+            f"checkpoint {path} was taken for {progress.protocol!r}, "
+            f"refusing to resume it against {spec!r}"
+        )
+    return progress
+
+
 def cmd_adversary(args) -> int:
     from repro.core.theorem import space_lower_bound_auto
+    from repro.faults import run_adversary_guarded
 
     protocol = parse_protocol(args.protocol)
     system = System(protocol)
-    try:
-        if args.auto:
+    budget = _make_budget(args)
+    guarded = budget is not None or args.resume is not None
+    if args.auto and not guarded:
+        try:
             certificate = space_lower_bound_auto(system)
-        else:
-            certificate = space_lower_bound(
-                system,
-                strict=False,
-                max_configs=args.max_configs,
-                max_depth=args.max_depth,
-            )
-    except ViolationError as exc:
-        print(f"consensus violation instead of a certificate: {exc}")
-        return 2
-    except AdversaryError as exc:
-        print(f"construction failed: {exc}")
-        print("(raise --max-configs/--max-depth, or the protocol is broken)")
-        return 2
-    print(certificate.summary())
-    if args.out:
-        with open(args.out, "w", encoding="utf-8") as handle:
-            handle.write(to_json(certificate))
-        print(f"certificate written to {args.out}")
-    return 0
+        except AdversaryError as exc:
+            print(f"construction failed: {exc}")
+            print("(the protocol is likely broken; try `repro check`)")
+            return EXIT_VIOLATION
+        print(certificate.summary())
+        if args.out:
+            with open(args.out, "w", encoding="utf-8") as handle:
+                handle.write(to_json(certificate))
+            print(f"certificate written to {args.out}")
+        return EXIT_OK
+
+    resume = None
+    if args.resume is not None and os.path.exists(args.resume):
+        resume = _load_resume(args.resume, args.protocol)
+        print(f"resuming: {resume.summary()}")
+    outcome = run_adversary_guarded(
+        system,
+        budget=budget,
+        resume=resume,
+        max_configs=args.max_configs,
+        max_depth=args.max_depth,
+        spec=args.protocol,
+    )
+    if outcome.status == "certificate":
+        print(outcome.certificate.summary())
+        if args.out:
+            with open(args.out, "w", encoding="utf-8") as handle:
+                handle.write(to_json(outcome.certificate))
+            print(f"certificate written to {args.out}")
+        return EXIT_OK
+    if outcome.status == "violation":
+        print(f"consensus violation instead of a certificate: "
+              f"{outcome.violation}")
+        witness = getattr(outcome.violation, "witness", None)
+        if witness is not None:
+            print(f"witness schedule ({len(witness)} steps): {list(witness)}")
+        return EXIT_VIOLATION
+    print(outcome.partial.summary())
+    if resume is not None and len(outcome.partial.queries) <= len(
+        resume.queries
+    ):
+        # Queries journal atomically: a budget smaller than the next
+        # query's exploration cost makes no progress, ever.
+        print("warning: no progress over the resumed checkpoint -- the "
+              "next oracle query needs more steps than --budget allows; "
+              "raise it")
+    if args.resume:
+        with open(args.resume, "w", encoding="utf-8") as handle:
+            handle.write(to_json(outcome.partial))
+        print(f"checkpoint written to {args.resume}; rerun with "
+              f"--resume {args.resume} to continue")
+    return EXIT_BUDGET
 
 
 def cmd_check(args) -> int:
@@ -168,17 +249,23 @@ def cmd_check(args) -> int:
                 f"ok: no violation ({mode}, {result.configs_visited} "
                 f"configurations; {args.random_runs} random runs)"
             )
-            return 0
+            if not result.exhaustive:
+                print(describe_limit(result.configs_visited,
+                                     cap=args.max_configs))
+            return EXIT_OK
         result = random_result
     violation = result.first_violation()
     print(f"VIOLATION ({violation.kind}): {violation.detail}")
     print(f"witness schedule ({len(violation.schedule)} steps): "
           f"{list(violation.schedule)}")
-    return 1
+    return EXIT_VIOLATION
 
 
 def cmd_audit(args) -> int:
+    from repro.faults import run_adversary_guarded
+
     rows = []
+    worst = EXIT_OK
     for spec in args.protocols:
         protocol = parse_protocol(spec)
         system = System(protocol)
@@ -186,15 +273,28 @@ def cmd_audit(args) -> int:
         check = check_consensus_exhaustive(
             system, inputs, max_configs=args.max_configs, strict=False
         )
-        verdict = "ok" if check.ok else check.first_violation().kind
-        try:
-            certificate = space_lower_bound(
-                system, strict=False, max_configs=args.max_configs,
-                max_depth=args.max_depth,
-            )
-            bound = f"{certificate.bound} pinned"
-        except (AdversaryError, ViolationError) as exc:
-            bound = type(exc).__name__
+        if check.ok:
+            verdict = "ok"
+            if not check.exhaustive:
+                verdict = f"ok ({describe_limit(check.configs_visited)})"
+        else:
+            verdict = check.first_violation().kind
+            worst = max(worst, EXIT_VIOLATION)
+        outcome = run_adversary_guarded(
+            system, budget=_make_budget(args), max_configs=args.max_configs,
+            max_depth=args.max_depth, spec=spec,
+        )
+        if outcome.status == "certificate":
+            bound = f"{outcome.certificate.bound} pinned"
+        elif outcome.status == "violation":
+            bound = "ViolationError"
+            worst = max(worst, EXIT_VIOLATION)
+        else:
+            bound = f"budget ({len(outcome.partial.queries)} queries"
+            if outcome.partial.note:
+                bound += f"; {outcome.partial.note}"
+            bound += ")"
+            worst = max(worst, EXIT_BUDGET) if worst == EXIT_OK else worst
         rows.append(
             [protocol.name, protocol.n, protocol.num_objects,
              protocol.n - 1, verdict, bound]
@@ -204,7 +304,7 @@ def cmd_audit(args) -> int:
         ["protocol", "n", "registers", "needed", "checker", "adversary"],
         rows,
     )
-    return 0
+    return worst
 
 
 def cmd_perturb(args) -> int:
@@ -220,7 +320,7 @@ def cmd_perturb(args) -> int:
         )
     except ViolationError as exc:
         print(f"linearizability violation: {exc}")
-        return 2
+        return EXIT_VIOLATION
     print(certificate.summary())
     if args.out:
         with open(args.out, "w", encoding="utf-8") as handle:
@@ -267,9 +367,73 @@ def cmd_validate(args) -> int:
         certificate.validate(System(protocol))
     except CertificateError as exc:
         print(f"INVALID: {exc}")
-        return 1
+        return EXIT_VIOLATION
     print(f"valid: {certificate.summary()}")
-    return 0
+    return EXIT_OK
+
+
+#: Protocols the fault campaigns sweep when none are named.
+_FAULTS_DEFAULT = ["rounds:3", "tas:2", "cas:3"]
+_FAULTS_QUICK = ["rounds:2", "tas:2"]
+
+
+def cmd_faults(args) -> int:
+    from repro.faults import corruption_campaign, crash_campaign
+
+    specs = args.protocols or (_FAULTS_QUICK if args.quick else _FAULTS_DEFAULT)
+    protocols = [parse_protocol(spec) for spec in specs]
+    crash_configs = 120 if args.quick else args.crash_configs
+    corrupt_configs = 2_000 if args.quick else args.max_configs
+
+    crash_rows = crash_campaign(
+        protocols, f=args.crashes, max_configs=crash_configs
+    )
+    print_table(
+        "crash campaign (every <= (n-1)-crash plan over the explored graph)",
+        ["protocol", "n", "plans", "configs", "explored", "verdict"],
+        [
+            [
+                row.name,
+                row.n,
+                row.result.plans_checked,
+                row.result.configs_visited,
+                "full" if row.result.exhaustive
+                else "stopped at violation" if not row.result.ok
+                else describe_limit(row.result.configs_visited),
+                row.verdict,
+            ]
+            for row in crash_rows
+        ],
+    )
+
+    corruption_rows = corruption_campaign(
+        protocols, seed=args.seed, rate=args.rate,
+        max_configs=corrupt_configs,
+    )
+    print_table(
+        "register-fault campaign (checker must catch injected damage)",
+        ["protocol", "fault plan", "caught", "detail"],
+        [
+            [row.name, row.fault, "yes" if row.caught else "no", row.detail]
+            for row in corruption_rows
+        ],
+        note="'caught: no' can be benign (the fault never mattered), but "
+        "at least one plan per run must be caught",
+    )
+
+    crashed = [row for row in crash_rows if row.verdict != "ok"]
+    if crashed:
+        names = ", ".join(row.name for row in crashed)
+        print(f"FAIL: crash-tolerance violations in: {names}")
+        return EXIT_VIOLATION
+    if not any(row.caught for row in corruption_rows):
+        print("FAIL: no injected register fault was caught by the checker "
+              "(negative test of the checker failed)")
+        return EXIT_VIOLATION
+    print(f"ok: {len(crash_rows)} protocols crash-tolerant; "
+          f"{sum(row.caught for row in corruption_rows)}/"
+          f"{len(corruption_rows)} fault plans caught by the checker")
+    return EXIT_OK
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -291,6 +455,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="escalate oracle budgets automatically on failure",
     )
     p.add_argument("--out", help="write the certificate JSON here")
+    p.add_argument(
+        "--budget", type=int, default=None,
+        help="deterministic step budget for the construction",
+    )
+    p.add_argument(
+        "--deadline", type=float, default=None,
+        help="wall-clock deadline in seconds",
+    )
+    p.add_argument(
+        "--resume", default=None, metavar="CHECKPOINT",
+        help="checkpoint file: read it if present, write it on budget "
+        "exhaustion",
+    )
     p.set_defaults(func=cmd_adversary)
 
     p = sub.add_parser("check", help="model-check agreement/validity")
@@ -303,7 +480,39 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("protocols", nargs="+")
     p.add_argument("--max-configs", type=int, default=60_000)
     p.add_argument("--max-depth", type=int, default=60)
+    p.add_argument(
+        "--budget", type=int, default=None,
+        help="per-protocol step budget for the adversary column",
+    )
+    p.add_argument(
+        "--deadline", type=float, default=None,
+        help="per-protocol wall-clock deadline in seconds",
+    )
     p.set_defaults(func=cmd_audit)
+
+    p = sub.add_parser(
+        "faults", help="crash + register-fault campaigns",
+    )
+    p.add_argument(
+        "protocols", nargs="*",
+        help=f"protocol specs (default: {' '.join(_FAULTS_DEFAULT)})",
+    )
+    p.add_argument(
+        "--quick", action="store_true",
+        help="small protocols and tight caps (CI smoke test)",
+    )
+    p.add_argument(
+        "--crashes", type=int, default=None, metavar="F",
+        help="max simultaneous crashes (default: n-1)",
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--rate", type=float, default=1.0,
+        help="fault injection rate for the register campaign",
+    )
+    p.add_argument("--max-configs", type=int, default=20_000)
+    p.add_argument("--crash-configs", type=int, default=600)
+    p.set_defaults(func=cmd_faults)
 
     p = sub.add_parser("perturb", help="JTT covering induction on an object")
     p.add_argument("object", help="e.g. counter:6 or snapshot:4")
@@ -328,7 +537,25 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ViolationError as exc:
+        # A command let a violation escape instead of formatting it --
+        # still honour the exit-code contract, never a raw traceback.
+        print(f"violation: {exc}")
+        witness = getattr(exc, "witness", None)
+        if witness is not None:
+            print(f"witness schedule ({len(witness)} steps): {list(witness)}")
+        return EXIT_VIOLATION
+    except BudgetExhausted as exc:
+        print(f"budget exhausted: {exc}")
+        return EXIT_BUDGET
+    except ExplorationLimitError as exc:
+        print(describe_limit(exc.visited))
+        return EXIT_BUDGET
+    except ReproError as exc:
+        print(f"error: {exc}")
+        return EXIT_ERROR
 
 
 if __name__ == "__main__":  # pragma: no cover

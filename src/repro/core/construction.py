@@ -159,6 +159,7 @@ def lemma4(
     # Main loop: extend the sequence until two covered register sets match.
     max_chain = 2 ** system.protocol.num_objects + 2
     while True:
+        oracle.charge()
         if len(records) > max_chain:
             raise AdversaryError(
                 f"nice-configuration chain exceeded {max_chain} entries "

@@ -19,9 +19,9 @@ the audit.
 from __future__ import annotations
 
 import json
-from typing import Any, Dict
+from typing import Any, Callable, Dict
 
-from repro.errors import ReproError
+from repro.errors import ReproError, ViolationError
 from repro.core.certificate import SpaceBoundCertificate
 from repro.perturbable.adversary import CoveringCertificate
 
@@ -109,14 +109,56 @@ def covering_from_dict(payload: Dict[str, Any]) -> CoveringCertificate:
         ) from exc
 
 
+def violation_to_dict(exc: ViolationError) -> Dict[str, Any]:
+    """A consensus/linearizability violation with its witness schedule."""
+    witness = getattr(exc, "witness", None)
+    return {
+        "format": FORMAT_VERSION,
+        "kind": "violation",
+        "message": str(exc),
+        "witness": None if witness is None else [int(p) for p in witness],
+    }
+
+
+def violation_from_dict(payload: Dict[str, Any]) -> ViolationError:
+    _expect_kind(payload, "violation")
+    try:
+        witness = payload.get("witness")
+        return ViolationError(
+            str(payload["message"]),
+            witness=None if witness is None else tuple(int(p) for p in witness),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SerializationError(f"malformed violation payload: {exc}") from exc
+
+
 _TO_DICT = {
     SpaceBoundCertificate: space_bound_to_dict,
     CoveringCertificate: covering_to_dict,
+    ViolationError: violation_to_dict,
 }
 _FROM_DICT = {
     "space-bound": space_bound_from_dict,
     "jtt-covering": covering_from_dict,
+    "violation": violation_from_dict,
 }
+
+
+def register_codec(
+    klass: type,
+    kind: str,
+    encoder: Callable[[Any], Dict[str, Any]],
+    decoder: Callable[[Dict[str, Any]], Any],
+) -> None:
+    """Register a payload codec for an additional serializable type.
+
+    Higher layers (e.g. :mod:`repro.faults.resume`) plug their payloads
+    in here instead of this core module importing them -- keeps the
+    dependency arrow pointing one way while ``to_json`` /
+    ``certificate_from_json`` stay the single archival entry points.
+    """
+    _TO_DICT[klass] = encoder
+    _FROM_DICT[kind] = decoder
 
 
 def to_json(certificate) -> str:

@@ -33,6 +33,7 @@ def space_lower_bound(
     max_configs: int = 200_000,
     max_depth: Optional[int] = None,
     strict: bool = True,
+    oracle: Optional[ValencyOracle] = None,
 ) -> SpaceBoundCertificate:
     """Run the Theorem 1 adversary and return a validated certificate.
 
@@ -47,17 +48,22 @@ def space_lower_bound(
     NST consensus protocol -- or, for bounded oracles, that the budget
     was too small) and :class:`ViolationError` when the failure comes
     with a concrete consensus-violation witness.
+
+    ``oracle`` lets callers inject a pre-built valency oracle -- a
+    budgeted or journaled one (see :mod:`repro.faults`) -- in which case
+    ``max_configs``/``max_depth``/``strict`` are taken from the oracle.
     """
     protocol = system.protocol
     n = protocol.n
     if n < 2:
         raise AdversaryError("the space bound is about n >= 2 processes")
 
-    initial, _p0, _p1 = initial_bivalent_configuration(system)
+    if oracle is None:
+        oracle = ValencyOracle(
+            system, max_configs=max_configs, max_depth=max_depth, strict=strict
+        )
+    initial, _p0, _p1 = initial_bivalent_configuration(system, oracle=oracle)
     inputs = tuple([0, 1] + [0] * (n - 2))
-    oracle = ValencyOracle(
-        system, max_configs=max_configs, max_depth=max_depth, strict=strict
-    )
 
     if n == 2:
         certificate = _two_process_bound(system, inputs)

@@ -58,6 +58,7 @@ class ValencyOracle:
         strict: bool = True,
         memoize: bool = True,
         solo_probe: bool = True,
+        budget=None,
     ):
         """``strict`` oracles answer exactly: a "cannot decide" is backed
         by an exhausted reachable graph, and budget overruns raise
@@ -83,8 +84,16 @@ class ValencyOracle:
         #: from n=4 to n=6): constructions ask overwhelmingly positive
         #: questions, and solo termination answers them in one path.
         self.solo_probe = solo_probe
+        #: Optional global watchdog (``tick(cost)``); nearly all of a
+        #: construction's work happens inside oracle queries, so ticking
+        #: here bounds the adversaries end to end.
+        self.budget = budget
         self.explorer = Explorer(
-            system, max_configs=max_configs, max_depth=max_depth, strict=strict
+            system,
+            max_configs=max_configs,
+            max_depth=max_depth,
+            strict=strict,
+            budget=budget,
         )
         # (canonical key, pid frozenset) -> value -> witness schedule.
         self._witnesses: Dict[Tuple[Hashable, FrozenSet[int]], Dict[Hashable, Schedule]] = {}
@@ -100,6 +109,19 @@ class ValencyOracle:
         return self.system.protocol.canonical_query_key(
             config, frozenset(pids)
         )
+
+    def charge(self, cost: int = 1) -> None:
+        """Charge construction-level work to the watchdog budget.
+
+        Constructions route their own loop ticks through the oracle so
+        subclasses can refine the accounting -- the journaled resume
+        oracle waives charges while it is replaying logged answers
+        (otherwise a fixed budget could be spent entirely on re-walking
+        the already-journaled prefix, and chained resumes would never
+        make progress).
+        """
+        if self.budget is not None:
+            self.budget.tick(cost)
 
     #: Step cap for the solo-probe fast path (nondeterministic solo
     #: termination makes solo runs decide quickly; this only bounds the
@@ -120,6 +142,8 @@ class ValencyOracle:
         for value in self.system.decided_values(config):
             known.setdefault(value, ())
         for pid in sorted(pids):
+            if self.budget is not None:
+                self.budget.tick()
             cursor = config
             steps = 0
             for _ in range(self.SOLO_PROBE_STEPS):
@@ -288,6 +312,7 @@ class ValencyOracle:
 def initial_bivalent_configuration(
     system: System,
     others_input: Hashable = 0,
+    oracle: Optional[ValencyOracle] = None,
 ) -> Tuple[Configuration, int, int]:
     """Proposition 2: an initial configuration bivalent for a process pair.
 
@@ -307,7 +332,8 @@ def initial_bivalent_configuration(
     inputs[0] = 0
     inputs[1] = 1
     config = system.initial_configuration(inputs)
-    oracle = ValencyOracle(system)
+    if oracle is None:
+        oracle = ValencyOracle(system)
     for pid, value in ((0, 0), (1, 1)):
         if not oracle.can_decide(config, frozenset({pid}), value):
             raise AdversaryError(

@@ -40,6 +40,28 @@ class ExplorationLimitError(ReproError):
         self.visited = visited
 
 
+class BudgetExhausted(ReproError):
+    """A guarded run spent its step budget or wall-clock deadline.
+
+    Unlike :class:`ExplorationLimitError` (one exhaustive search overran
+    its configuration cap), this is the *global* watchdog verdict: the
+    whole construction was stopped.  ``partial`` may carry a
+    resumable partial-progress report (see :mod:`repro.faults.resume`).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        spent_steps: int = 0,
+        elapsed: float = 0.0,
+        partial=None,
+    ):
+        super().__init__(message)
+        self.spent_steps = spent_steps
+        self.elapsed = elapsed
+        self.partial = partial
+
+
 class AdversaryError(ReproError):
     """A lower-bound construction could not complete.
 

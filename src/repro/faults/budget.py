@@ -1,0 +1,85 @@
+"""Deterministic step budgets and wall-clock deadlines.
+
+A :class:`Budget` is the watchdog every guarded entry point runs under:
+model-level work (explored configurations, solo steps, induction steps)
+charges it through ``tick``, and overruns raise
+:class:`~repro.errors.BudgetExhausted` -- so a buggy or non-terminating
+protocol degrades a run into a structured report instead of a stall.
+
+Step budgets are deterministic (the same run spends the same steps),
+which is what makes interrupted constructions resumable; the wall-clock
+deadline is the belt-and-braces guard for hosts where even bounded step
+counts are too slow.  The deadline is checked every ``check_every``
+ticks to keep the hot path cheap.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+from repro.errors import BudgetExhausted
+
+__all__ = ["Budget", "BudgetExhausted"]
+
+
+class Budget:
+    """A consumable allowance of model steps and/or wall-clock seconds."""
+
+    def __init__(
+        self,
+        max_steps: Optional[int] = None,
+        deadline: Optional[float] = None,
+        check_every: int = 256,
+    ):
+        if max_steps is not None and max_steps <= 0:
+            raise ValueError(f"max_steps must be positive, got {max_steps}")
+        if deadline is not None and deadline <= 0:
+            raise ValueError(f"deadline must be positive, got {deadline}")
+        self.max_steps = max_steps
+        self.deadline = deadline
+        self.check_every = max(1, check_every)
+        self.spent = 0
+        self._started = time.monotonic()
+        self._ticks_since_clock = 0
+
+    def elapsed(self) -> float:
+        return time.monotonic() - self._started
+
+    def remaining_steps(self) -> Optional[int]:
+        if self.max_steps is None:
+            return None
+        return max(0, self.max_steps - self.spent)
+
+    def tick(self, cost: int = 1) -> None:
+        """Charge ``cost`` steps; raise when either allowance runs out."""
+        self.spent += cost
+        if self.max_steps is not None and self.spent > self.max_steps:
+            raise BudgetExhausted(
+                f"step budget of {self.max_steps} exhausted",
+                spent_steps=self.spent,
+                elapsed=self.elapsed(),
+            )
+        self._ticks_since_clock += 1
+        if self.deadline is not None and (
+            self._ticks_since_clock >= self.check_every
+        ):
+            self._ticks_since_clock = 0
+            elapsed = self.elapsed()
+            if elapsed > self.deadline:
+                raise BudgetExhausted(
+                    f"wall-clock deadline of {self.deadline:.1f}s exceeded "
+                    f"({elapsed:.1f}s elapsed)",
+                    spent_steps=self.spent,
+                    elapsed=elapsed,
+                )
+
+    def describe(self) -> str:
+        parts = []
+        if self.max_steps is not None:
+            parts.append(f"{self.spent}/{self.max_steps} steps")
+        else:
+            parts.append(f"{self.spent} steps")
+        if self.deadline is not None:
+            parts.append(f"{self.elapsed():.1f}/{self.deadline:.1f}s")
+        return ", ".join(parts)

@@ -1,0 +1,197 @@
+"""Crash faults: kill a process at a chosen step, permanently.
+
+The paper's model charges the adversary with scheduling *and* with up to
+n-1 process crashes; in an asynchronous system a crash is operationally
+the scheduler never picking the process again, so a crash plan lives at
+the schedule layer (:func:`repro.model.schedule.drop_after`) and needs no
+change to the protocol automata.
+
+What crashes add empirically is *liveness*: every safety-relevant prefix
+of a crash-prone execution is also a prefix of a failure-free one, but a
+protocol that waits for its peers passes failure-free model checking and
+still deadlocks the survivors.  :func:`check_consensus_crashes`
+quantifies over crash plans -- for every explored reachable
+configuration and every survivor subset leaving at most ``f`` processes
+dead, the survivors must each finish and the decided values (including
+any made before the crash) must satisfy agreement and validity.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import FrozenSet, Hashable, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.analysis.checker import CheckResult, _config_violations, Violation
+from repro.analysis.explorer import Explorer
+from repro.model.schedule import Schedule, drop_after
+from repro.model.system import System
+
+
+@dataclass(frozen=True)
+class CrashPlan:
+    """Per-process cutoffs: pid -> global schedule index at which it dies.
+
+    A process with cutoff s takes no step at schedule position s or
+    later; per the model the crash is permanent.  Plans are immutable
+    values so campaigns can hash, deduplicate, and serialize them.
+    """
+
+    cutoffs: Tuple[Tuple[int, int], ...] = ()
+
+    @classmethod
+    def at(cls, step: int, pids: Iterable[int]) -> "CrashPlan":
+        """The plan killing every pid in ``pids`` at schedule index ``step``."""
+        return cls(tuple(sorted((pid, step) for pid in set(pids))))
+
+    @property
+    def crashed(self) -> FrozenSet[int]:
+        return frozenset(pid for pid, _ in self.cutoffs)
+
+    def survivors(self, n: int) -> Tuple[int, ...]:
+        dead = self.crashed
+        return tuple(pid for pid in range(n) if pid not in dead)
+
+    def apply(self, schedule: Sequence[int]) -> Schedule:
+        """The schedule with every post-crash step removed."""
+        return drop_after(schedule, dict(self.cutoffs))
+
+    def describe(self) -> str:
+        if not self.cutoffs:
+            return "no crashes"
+        return ", ".join(f"p{pid}+{step}" for pid, step in self.cutoffs)
+
+
+def crash_sets(n: int, f: Optional[int] = None) -> Iterator[FrozenSet[int]]:
+    """All non-empty crash subsets of {0..n-1} leaving a survivor.
+
+    ``f`` caps the number of crashes; the model's maximum (and the
+    default) is n-1, i.e. all but one process may die.
+    """
+    limit = n - 1 if f is None else min(f, n - 1)
+    for size in range(1, limit + 1):
+        for subset in itertools.combinations(range(n), size):
+            yield frozenset(subset)
+
+
+def all_crash_plans(
+    n: int,
+    horizon: int,
+    f: Optional[int] = None,
+    stride: int = 1,
+) -> Iterator[CrashPlan]:
+    """Every ``<= f``-crash plan with a single crash point below ``horizon``."""
+    for step in range(0, horizon, max(1, stride)):
+        for subset in crash_sets(n, f):
+            yield CrashPlan.at(step, subset)
+
+
+@dataclass
+class CrashCheckResult(CheckResult):
+    """A :class:`CheckResult` that also counts the crash plans exercised."""
+
+    plans_checked: int = 0
+    bad_plans: List[CrashPlan] = field(default_factory=list)
+
+
+def check_consensus_crashes(
+    system: System,
+    inputs: Sequence[Hashable],
+    f: Optional[int] = None,
+    k: int = 1,
+    max_configs: int = 2_000,
+    max_depth: Optional[int] = None,
+    solo_bound: int = 10_000,
+    stop_at_first: bool = True,
+    budget=None,
+) -> CrashCheckResult:
+    """Check agreement/validity/termination under every explored crash plan.
+
+    For each reachable configuration C (bounded BFS over all-process
+    steps) and each crash subset of size <= f (default n-1): the
+    surviving processes run to completion one after another -- each run
+    is solo, which is exactly the obstruction-free/NST progress
+    condition -- and the final configuration must show at most ``k``
+    decided values, all of them inputs, with every survivor decided.
+    Decisions made by a process before its crash point count toward
+    agreement: a crash does not un-decide.
+    """
+    n = system.protocol.n
+    result = CrashCheckResult(ok=True)
+    explorer = Explorer(
+        system,
+        max_configs=max_configs,
+        max_depth=max_depth,
+        strict=False,
+        budget=budget,
+    )
+    root = system.initial_configuration(list(inputs))
+    subsets = list(crash_sets(n, f))
+    for config, path in explorer.iter_reachable(root, frozenset(range(n))):
+        result.configs_visited += 1
+        for crashed in subsets:
+            plan = CrashPlan.at(len(path), crashed)
+            result.plans_checked += 1
+            violations = _crash_scenario_violations(
+                system, config, path, plan, inputs, k, solo_bound
+            )
+            if violations:
+                result.ok = False
+                result.violations.extend(violations)
+                result.bad_plans.append(plan)
+                if stop_at_first:
+                    return result
+    result.exhaustive = result.configs_visited < max_configs
+    return result
+
+
+def _crash_scenario_violations(
+    system: System,
+    config,
+    path: Schedule,
+    plan: CrashPlan,
+    inputs: Sequence[Hashable],
+    k: int,
+    solo_bound: int,
+) -> List[Violation]:
+    """Run one crash scenario: survivors finish solo, then check safety."""
+    out: List[Violation] = []
+    survivors = plan.survivors(system.protocol.n)
+    cursor = config
+    tail: List[int] = []
+    for pid in survivors:
+        try:
+            cursor, trace = system.solo_run(cursor, pid, solo_bound)
+        except Exception as exc:  # noqa: BLE001 - report, don't crash the sweep
+            out.append(
+                Violation(
+                    kind="crash-termination",
+                    schedule=path + tuple(tail),
+                    detail=f"[{plan.describe()}] survivor {pid} failed to "
+                    f"finish solo: {exc}",
+                )
+            )
+            return out
+        tail.extend([pid] * len(trace))
+    full = path + tuple(tail)
+    for violation in _config_violations(system, cursor, inputs, full, k):
+        out.append(
+            Violation(
+                kind=violation.kind,
+                schedule=violation.schedule,
+                detail=f"[{plan.describe()}] {violation.detail}",
+            )
+        )
+    undecided = [
+        pid for pid in survivors if system.decision(cursor, pid) is None
+    ]
+    if undecided:
+        out.append(
+            Violation(
+                kind="crash-termination",
+                schedule=full,
+                detail=f"[{plan.describe()}] survivors {undecided} undecided "
+                "after running to completion",
+            )
+        )
+    return out

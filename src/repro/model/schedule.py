@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import itertools
 import random
-from typing import Iterable, Iterator, Sequence, Tuple
+from typing import Iterable, Iterator, Mapping, Sequence, Tuple
 
 Schedule = Tuple[int, ...]
 
@@ -61,6 +61,23 @@ def random_bursty_schedule(
         pid = rng.choice(pids)
         out.extend([pid] * rng.randint(1, max_burst))
     return tuple(out[:length])
+
+
+def drop_after(schedule: Iterable[int], cutoffs: Mapping[int, int]) -> Schedule:
+    """Drop steps of each pid at or after its cutoff position.
+
+    ``cutoffs`` maps a pid to the global schedule index at which it stops
+    taking steps; positions are counted over the *input* schedule, so a
+    process "crashes" at a well-defined point of the adversary's plan and
+    every later entry naming it is removed.  Pids without a cutoff are
+    untouched.  This is the schedule-level semantics of a crash fault:
+    a crashed process is simply never scheduled again.
+    """
+    return tuple(
+        pid
+        for index, pid in enumerate(schedule)
+        if index < cutoffs.get(pid, index + 1)
+    )
 
 
 def restricted_to(schedule: Iterable[int], pids: Iterable[int]) -> Schedule:

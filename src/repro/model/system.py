@@ -89,12 +89,26 @@ class System:
             obj = op.obj
             if obj is None or not 0 <= obj < len(self._kinds):
                 raise ModelError(f"operation {op!r} names bad object {obj!r}")
-            new_value, response = apply_operation(
-                self._kinds[obj], config.memory[obj], op
+            new_value, response = self._apply_shared(
+                obj, config.memory[obj], op
             )
             after = after.with_memory(obj, new_value)
         after = after.with_state(pid, protocol.transition(pid, state, response))
         return after, Step(pid, op, response)
+
+    def _apply_shared(
+        self, obj: int, value: Hashable, op: Operation
+    ) -> Tuple[Hashable, Hashable]:
+        """Apply one shared-memory operation; returns (new value, response).
+
+        The single point where a step touches shared memory -- fault
+        models (e.g. :class:`repro.faults.registers.FaultyMemorySystem`)
+        override this to inject lost writes, stale reads, or corruption
+        while keeping ``step``'s bookkeeping intact.  Overrides must stay
+        pure functions of their arguments: branching explorations replay
+        steps from arbitrary configurations.
+        """
+        return apply_operation(self._kinds[obj], value, op)
 
     # -- schedules ----------------------------------------------------------------
     def run(
@@ -117,6 +131,24 @@ class System:
             config, step = self.step(config, pid)
             trace.append(step)
         return config, trace
+
+    def run_with_crashes(
+        self,
+        config: Configuration,
+        schedule: Iterable[int],
+        plan,
+        skip_halted: bool = True,
+    ) -> Tuple[Configuration, List[Step]]:
+        """Apply a schedule under a crash plan.
+
+        ``plan`` is any object with an ``apply(schedule) -> schedule``
+        method (see :class:`repro.faults.crash.CrashPlan`): steps of a
+        crashed process are removed from the schedule -- in the
+        asynchronous model a crash is indistinguishable from never being
+        scheduled again.  ``skip_halted`` defaults to True because crash
+        campaigns typically drive generated schedules.
+        """
+        return self.run(config, plan.apply(tuple(schedule)), skip_halted)
 
     def solo_run(
         self,

@@ -97,6 +97,7 @@ def covering_induction(
     ops_to_perturb: Callable[[object], int],
     completes_operation: Callable[[Step], bool],
     step_bound: int = DEFAULT_STEP_BOUND,
+    budget=None,
 ) -> CoveringCertificate:
     """Run the JTT covering induction; see the module docstring.
 
@@ -104,7 +105,10 @@ def covering_induction(
     promotes the next worker to a coverer.  Raises
     :class:`ViolationError` with the witness schedule when the hidden
     perturbation goes unnoticed (non-linearizable implementation), and
-    :class:`AdversaryError` when a step bound is exceeded.
+    :class:`AdversaryError` when a step bound is exceeded.  ``budget``
+    is an optional watchdog (``tick(cost)``) charged per worker step, so
+    guarded campaigns end in :class:`~repro.errors.BudgetExhausted`
+    rather than spinning through the full step bound.
     """
     protocol = system.protocol
     initial = system.initial_configuration([None] * protocol.n)
@@ -113,6 +117,8 @@ def covering_induction(
     covered: List[int] = []
 
     for worker in workers:
+        if budget is not None:
+            budget.tick(len(alpha) + 1)
         config, _ = system.run(initial, alpha)
         beta = tuple(coverers)
         blocked, _ = system.run(config, beta)
@@ -133,6 +139,8 @@ def covering_induction(
         done = 0
         fresh: Optional[int] = None
         for _ in range(step_bound):
+            if budget is not None:
+                budget.tick()
             op = system.poised(cursor, worker)
             if op is None:
                 raise AdversaryError(

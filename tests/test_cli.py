@@ -51,7 +51,7 @@ class TestCommands:
         # A certificate for rounds:3 replayed against shared:3:1 must
         # fail (different register layout / behaviour).
         code = main(["validate", str(path), "shared:3:1"])
-        assert code == 1
+        assert code == 2
         assert "INVALID" in capsys.readouterr().out
 
     def test_check_ok_protocol(self, capsys):
@@ -59,7 +59,7 @@ class TestCommands:
         assert "ok:" in capsys.readouterr().out
 
     def test_check_broken_protocol(self, capsys):
-        assert main(["check", "split-brain:2"]) == 1
+        assert main(["check", "split-brain:2"]) == 2
         out = capsys.readouterr().out
         assert "VIOLATION" in out
         assert "witness schedule" in out
@@ -86,7 +86,92 @@ class TestCommands:
         assert "tournament" in out and "peterson" in out
 
     def test_audit_table(self, capsys):
-        assert main(["audit", "rounds:2", "split-brain:2"]) == 0
+        # A broken protocol in the audit makes the run exit 2.
+        assert main(["audit", "rounds:2", "split-brain:2"]) == 2
         out = capsys.readouterr().out
         assert "space audit" in out
         assert "agreement" in out
+
+    def test_audit_all_ok_exits_zero(self, capsys):
+        assert main(["audit", "rounds:2", "tas:2"]) == 0
+        assert "pinned" in capsys.readouterr().out
+
+
+class TestExitCodeContract:
+    """0 success, 2 violation, 3 budget/limit, 1 unexpected -- and no
+    raw tracebacks for the expected failures."""
+
+    def test_success_is_zero(self):
+        assert main(["adversary", "rounds:2"]) == 0
+
+    def test_violation_is_two(self):
+        assert main(["check", "split-brain:2"]) == 2
+
+    def test_budget_exhaustion_is_three(self, capsys):
+        code = main(["adversary", "rounds:3", "--budget", "5"])
+        assert code == 3
+        out = capsys.readouterr().out
+        assert "partial progress" in out
+        assert "Traceback" not in out
+
+    def test_no_traceback_on_violation(self, capsys):
+        main(["adversary", "split-brain:3"])
+        captured = capsys.readouterr()
+        assert "Traceback" not in captured.out
+        assert "Traceback" not in captured.err
+
+
+class TestFaultsCommand:
+    def test_quick_campaign_passes(self, capsys):
+        assert main(["faults", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "crash campaign" in out
+        assert "register-fault campaign" in out
+        assert "ok:" in out
+
+    def test_broken_protocol_fails_campaign(self, capsys):
+        code = main(["faults", "split-brain:2", "--quick"])
+        assert code == 2
+        assert "FAIL" in capsys.readouterr().out
+
+
+class TestBudgetAndResumeFlags:
+    def test_checkpoint_written_then_resumed(self, tmp_path, capsys):
+        ckpt = tmp_path / "ckpt.json"
+        code = main(
+            ["adversary", "rounds:3", "--budget", "5", "--resume", str(ckpt)]
+        )
+        assert code == 3
+        assert ckpt.exists()
+        assert "checkpoint written" in capsys.readouterr().out
+
+        code = main(["adversary", "rounds:3", "--resume", str(ckpt)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "resuming:" in out
+        assert "pins" in out
+
+    def test_resume_refuses_wrong_protocol(self, tmp_path):
+        ckpt = tmp_path / "ckpt.json"
+        main(["adversary", "rounds:3", "--budget", "5", "--resume", str(ckpt)])
+        with pytest.raises(SystemExit):
+            main(["adversary", "tas:2", "--resume", str(ckpt)])
+
+    def test_audit_budget_flag_reports_partial(self, capsys):
+        code = main(["audit", "rounds:3", "--budget", "5"])
+        assert code == 3
+        assert "budget (" in capsys.readouterr().out
+
+    def test_invalid_budget_rejected_cleanly(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["adversary", "rounds:3", "--budget", "0"])
+
+    def test_stalled_resume_warns(self, tmp_path, capsys):
+        """A budget below the next query's cost makes no progress; the
+        CLI must say so instead of silently looping."""
+        ckpt = tmp_path / "ckpt.json"
+        args = ["adversary", "rounds:3", "--budget", "5",
+                "--resume", str(ckpt)]
+        codes = [main(args) for _ in range(3)]
+        assert codes == [3, 3, 3]
+        assert "no progress" in capsys.readouterr().out

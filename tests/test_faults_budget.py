@@ -1,0 +1,177 @@
+"""Watchdog budgets and the resume protocol.
+
+The headline property: a budget-interrupted adversary run, resumed from
+its serialized checkpoint, completes to the *same* certificate as an
+uninterrupted run.  The tests prove the equality end to end, including a
+JSON round trip of the checkpoint.
+"""
+
+import pytest
+
+from repro.errors import BudgetExhausted, ViolationError
+from repro.core.serialize import certificate_from_json, to_json
+from repro.core.theorem import space_lower_bound
+from repro.model.system import System
+from repro.faults import (
+    Budget,
+    PartialProgress,
+    QueryJournal,
+    ResumeError,
+    run_adversary_guarded,
+)
+from repro.protocols.consensus import CommitAdoptRounds, SplitBrainConsensus
+
+
+class TestBudget:
+    def test_step_budget_raises_on_overrun(self):
+        budget = Budget(max_steps=3)
+        budget.tick()
+        budget.tick(2)
+        with pytest.raises(BudgetExhausted) as excinfo:
+            budget.tick()
+        assert excinfo.value.spent_steps == 4
+
+    def test_deadline_raises_once_checked(self):
+        budget = Budget(deadline=1e-9, check_every=1)
+        with pytest.raises(BudgetExhausted):
+            for _ in range(10_000):
+                budget.tick()
+
+    def test_deadline_checked_lazily(self):
+        # With a huge check_every the first few ticks never hit the clock.
+        budget = Budget(deadline=1e-9, check_every=1_000_000)
+        for _ in range(10):
+            budget.tick()
+
+    def test_invalid_budgets_rejected(self):
+        with pytest.raises(ValueError):
+            Budget(max_steps=0)
+        with pytest.raises(ValueError):
+            Budget(deadline=-1.0)
+
+    def test_describe_reports_spending(self):
+        budget = Budget(max_steps=10)
+        budget.tick(4)
+        assert "4/10 steps" in budget.describe()
+
+
+class TestThreeOutcomes:
+    """Every guarded run ends in exactly one of the three outcomes."""
+
+    def test_certificate_outcome(self):
+        outcome = run_adversary_guarded(System(CommitAdoptRounds(2)))
+        assert outcome.status == "certificate"
+        assert outcome.certificate.bound == 1
+        assert "pins" in outcome.describe()
+
+    def test_violation_outcome_carries_witness(self):
+        outcome = run_adversary_guarded(System(SplitBrainConsensus(3)))
+        assert outcome.status == "violation"
+        assert isinstance(outcome.violation, ViolationError)
+        witness = outcome.violation.witness
+        assert witness is not None
+        # The witness replays to the violation it claims.
+        system = System(SplitBrainConsensus(3))
+        config = system.initial_configuration([0, 1, 1])
+        final, _ = system.run(config, witness, skip_halted=True)
+        assert len(system.decided_values(final)) > 1
+
+    def test_budget_outcome_carries_partial_progress(self):
+        outcome = run_adversary_guarded(
+            System(CommitAdoptRounds(3)), budget=Budget(max_steps=5)
+        )
+        assert outcome.status == "budget"
+        assert isinstance(outcome.partial, PartialProgress)
+        assert outcome.partial.queries, "journal must not be empty"
+        assert "resume" in outcome.describe()
+
+
+class TestResume:
+    def test_resume_completes_to_same_certificate(self):
+        """The acceptance criterion: interrupted + resumed == uninterrupted."""
+        uninterrupted = space_lower_bound(System(CommitAdoptRounds(3)))
+
+        first = run_adversary_guarded(
+            System(CommitAdoptRounds(3)), budget=Budget(max_steps=5)
+        )
+        assert first.status == "budget"
+        second = run_adversary_guarded(
+            System(CommitAdoptRounds(3)), resume=first.partial
+        )
+        assert second.status == "certificate"
+        assert second.certificate == uninterrupted
+
+    def test_resume_after_json_round_trip(self):
+        first = run_adversary_guarded(
+            System(CommitAdoptRounds(3)), budget=Budget(max_steps=5),
+            spec="rounds:3",
+        )
+        payload = to_json(first.partial)
+        restored = certificate_from_json(payload)
+        assert isinstance(restored, PartialProgress)
+        assert restored.protocol == "rounds:3"
+        assert restored.queries == first.partial.queries
+
+        second = run_adversary_guarded(
+            System(CommitAdoptRounds(3)), resume=restored
+        )
+        uninterrupted = space_lower_bound(System(CommitAdoptRounds(3)))
+        assert second.status == "certificate"
+        assert second.certificate == uninterrupted
+
+    def test_chained_resumes_converge(self):
+        """Budget too small to finish in one go: keep resuming until done."""
+        uninterrupted = space_lower_bound(System(CommitAdoptRounds(3)))
+        outcome = run_adversary_guarded(
+            System(CommitAdoptRounds(3)), budget=Budget(max_steps=5)
+        )
+        hops = 0
+        while outcome.status == "budget":
+            hops += 1
+            assert hops < 50, "resume chain must converge"
+            outcome = run_adversary_guarded(
+                System(CommitAdoptRounds(3)),
+                budget=Budget(max_steps=5 * (hops + 1)),
+                resume=outcome.partial,
+            )
+        assert outcome.status == "certificate"
+        assert outcome.certificate == uninterrupted
+
+    def test_fixed_budget_chain_converges(self):
+        """Replaying the journaled prefix is free, so even a chain of
+        runs under the SAME small budget converges (provided the budget
+        covers the single most expensive query)."""
+        uninterrupted = space_lower_bound(System(CommitAdoptRounds(3)))
+        outcome = run_adversary_guarded(
+            System(CommitAdoptRounds(3)), budget=Budget(max_steps=25)
+        )
+        hops = 0
+        while outcome.status == "budget":
+            hops += 1
+            assert hops < 20, "fixed-budget resume chain must converge"
+            outcome = run_adversary_guarded(
+                System(CommitAdoptRounds(3)), budget=Budget(max_steps=25),
+                resume=outcome.partial,
+            )
+        assert outcome.certificate == uninterrupted
+
+    def test_journal_refuses_record_while_replaying(self):
+        journal = QueryJournal([{"answer": True, "witness": None}])
+        assert journal.replaying
+        with pytest.raises(ResumeError):
+            journal.record({"answer": False, "witness": None})
+
+    def test_budget_charged_only_for_computed_queries(self):
+        """A resumed run under the same tiny budget gets further than its
+        predecessor did -- replayed answers are free."""
+        first = run_adversary_guarded(
+            System(CommitAdoptRounds(3)), budget=Budget(max_steps=5)
+        )
+        second = run_adversary_guarded(
+            System(CommitAdoptRounds(3)), budget=Budget(max_steps=5),
+            resume=first.partial,
+        )
+        if second.status == "budget":
+            assert len(second.partial.queries) > len(first.partial.queries)
+        else:
+            assert second.status == "certificate"

@@ -1,0 +1,137 @@
+"""Crash-fault scheduling: plans, schedule filtering, the crash checker."""
+
+import pytest
+
+from repro.model.schedule import drop_after
+from repro.model.system import System
+from repro.faults import (
+    CrashPlan,
+    all_crash_plans,
+    check_consensus_crashes,
+    crash_sets,
+)
+from repro.protocols.consensus import (
+    CasConsensus,
+    CommitAdoptRounds,
+    RacingCounters,
+    RandomizedRounds,
+    SplitBrainConsensus,
+    TasConsensus,
+)
+
+#: The correct bundled consensus protocols at n=3 (tas is 2-process by
+#: construction).  The acceptance bar: each survives *every* explored
+#: <= (n-1)-crash plan.
+CORRECT_AT_3 = [
+    CommitAdoptRounds(3),
+    RacingCounters(3),
+    RandomizedRounds(3),
+    CasConsensus(3),
+]
+
+
+class TestDropAfter:
+    def test_truncates_per_pid(self):
+        schedule = (0, 1, 0, 1, 2, 0, 1)
+        # p1 dies at global index 3: its steps at 3 and 6 vanish.
+        assert drop_after(schedule, {1: 3}) == (0, 1, 0, 2, 0)
+
+    def test_cutoff_zero_removes_all_steps(self):
+        assert drop_after((0, 1, 0, 1), {0: 0}) == (1, 1)
+
+    def test_no_cutoffs_is_identity(self):
+        schedule = (2, 0, 1, 1, 0)
+        assert drop_after(schedule, {}) == schedule
+
+
+class TestCrashPlan:
+    def test_apply_removes_post_crash_steps(self):
+        plan = CrashPlan.at(2, [0])
+        assert plan.apply((0, 1, 0, 1, 0)) == (0, 1, 1)
+        assert plan.crashed == frozenset({0})
+        assert plan.survivors(3) == (1, 2)
+
+    def test_plans_are_hashable_values(self):
+        assert CrashPlan.at(1, [0, 2]) == CrashPlan.at(1, [2, 0])
+        assert len({CrashPlan.at(1, [0]), CrashPlan.at(1, [0])}) == 1
+
+    def test_describe_names_pids_and_steps(self):
+        assert "p0" in CrashPlan.at(4, [0]).describe()
+        assert CrashPlan().describe() == "no crashes"
+
+    def test_crash_sets_leave_a_survivor(self):
+        subsets = list(crash_sets(3))
+        # All non-empty subsets of {0,1,2} of size <= 2.
+        assert len(subsets) == 6
+        assert all(len(s) <= 2 for s in subsets)
+        assert frozenset({0, 1, 2}) not in subsets
+
+    def test_crash_sets_respect_f(self):
+        assert all(len(s) == 1 for s in crash_sets(3, f=1))
+
+    def test_all_crash_plans_enumerates_grid(self):
+        plans = list(all_crash_plans(3, horizon=4, f=1))
+        assert len(plans) == 4 * 3
+        assert len(set(plans)) == len(plans)
+
+
+class TestCrashChecker:
+    @pytest.mark.parametrize(
+        "protocol", CORRECT_AT_3, ids=lambda p: p.name
+    )
+    def test_correct_protocols_survive_all_crash_plans(self, protocol):
+        system = System(protocol)
+        inputs = [0] + [1] * (protocol.n - 1)
+        result = check_consensus_crashes(
+            system, inputs, max_configs=300, solo_bound=5_000
+        )
+        assert result.ok, result.first_violation()
+        # Every reachable config was paired with every <= 2-crash subset.
+        assert result.plans_checked == result.configs_visited * 6
+
+    def test_tas_survives_crashes_at_two_processes(self):
+        system = System(TasConsensus(2))
+        result = check_consensus_crashes(system, [0, 1], max_configs=300)
+        assert result.ok
+        assert result.exhaustive
+
+    def test_split_brain_fails_under_crash_quantification(self):
+        system = System(SplitBrainConsensus(2))
+        result = check_consensus_crashes(system, [0, 1], max_configs=300)
+        assert not result.ok
+        violation = result.first_violation()
+        assert violation.kind in {"agreement", "crash-termination"}
+        assert result.bad_plans, "the failing crash plan must be reported"
+        # The violation detail names the plan it happened under.
+        assert "[" in violation.detail
+
+    def test_violation_schedule_replays(self):
+        """The reported schedule re-runs to a config showing the damage."""
+        system = System(SplitBrainConsensus(2))
+        result = check_consensus_crashes(system, [0, 1], max_configs=300)
+        violation = result.first_violation()
+        assert violation.kind == "agreement"
+        config = system.initial_configuration([0, 1])
+        final, _ = system.run(config, violation.schedule, skip_halted=True)
+        assert len(system.decided_values(final)) > 1
+
+    def test_f_caps_the_plan_grid(self):
+        system = System(CommitAdoptRounds(3))
+        narrow = check_consensus_crashes(
+            system, [0, 1, 1], f=1, max_configs=100
+        )
+        wide = check_consensus_crashes(system, [0, 1, 1], max_configs=100)
+        assert narrow.ok and wide.ok
+        assert narrow.plans_checked < wide.plans_checked
+
+    def test_run_with_crashes_matches_plan_apply(self):
+        protocol = CommitAdoptRounds(2)
+        system = System(protocol)
+        config = system.initial_configuration([0, 1])
+        schedule = (0, 1, 0, 1, 0, 1, 0, 1)
+        plan = CrashPlan.at(3, [1])
+        via_helper, _ = system.run_with_crashes(config, schedule, plan)
+        via_apply, _ = system.run(
+            config, plan.apply(schedule), skip_halted=True
+        )
+        assert via_helper == via_apply
