@@ -27,6 +27,31 @@ from repro.model.system import System
 DEFAULT_MAX_CONFIGS = 200_000
 
 
+def reconstruct_path(
+    parents: Dict[Hashable, Optional[Tuple[Hashable, int]]],
+    key: Hashable,
+) -> Schedule:
+    """Read the root-to-``key`` schedule off a BFS parent-pointer map.
+
+    Shared by the sequential explorer and the sharded engine
+    (:mod:`repro.parallel.sharded`): both record, for every canonical
+    key, the (parent key, pid) edge over which the key was *first*
+    discovered, so the reconstructed schedule is always a genuine
+    concrete execution from the root configuration -- it replays
+    deterministically in a fresh sequential
+    :class:`~repro.model.system.System` regardless of which engine (or
+    which worker process) discovered it.
+    """
+    steps: List[int] = []
+    cursor = parents[key]
+    while cursor is not None:
+        parent_key, pid = cursor
+        steps.append(pid)
+        cursor = parents[parent_key]
+    steps.reverse()
+    return tuple(steps)
+
+
 @dataclass
 class ExplorationResult:
     """Outcome of one P-only exploration.
@@ -52,6 +77,21 @@ class ExplorationResult:
 
     def witness(self, value: Hashable) -> Schedule:
         return self.decided[value]
+
+    def witnesses_replay(self, system: System) -> bool:
+        """Replay every witness from the root on ``system``.
+
+        True iff each recorded schedule, applied to the root
+        configuration, reaches a configuration where its value is
+        decided.  Used by the differential tests to check that sharded
+        and cached runs hand out schedules a fresh sequential system
+        accepts.
+        """
+        for value, schedule in self.decided.items():
+            final, _ = system.run(self.root, schedule)
+            if value not in system.decided_values(final):
+                return False
+        return True
 
 
 class Explorer:
@@ -177,14 +217,7 @@ class Explorer:
         key: Hashable,
     ) -> Schedule:
         """Reconstruct the schedule from the root to ``key``."""
-        steps: List[int] = []
-        cursor = parents[key]
-        while cursor is not None:
-            parent_key, pid = cursor
-            steps.append(pid)
-            cursor = parents[parent_key]
-        steps.reverse()
-        return tuple(steps)
+        return reconstruct_path(parents, key)
 
     def reachable_count(
         self, root: Configuration, pids: FrozenSet[int] | Tuple[int, ...]

@@ -12,9 +12,15 @@ perturb     run the JTT covering induction on a long-lived object
 mutex       measure canonical-execution costs of the mutex algorithms
 validate    re-validate a saved certificate JSON against its protocol
 protocols   list the protocols the CLI can name
+cache       inspect or clear the persistent valency cache
 
 The CLI names protocols as ``family:n[:extra]``, e.g. ``rounds:4``,
 ``shared:5:3``, ``cas:3``, ``kset:5:2``, ``counter:6``, ``snapshot:4``.
+
+``adversary`` and ``audit`` accept ``--workers N`` (sharded parallel
+exploration, results bit-identical to sequential) and ``--cache-dir``
+(persistent valency cache; defaults to ``~/.cache/repro`` when the
+``cache`` command manages it explicitly).
 
 Exit codes are a contract (tests assert them): 0 success, 2 a violation
 was found (with a replayable witness), 3 a budget or exploration limit
@@ -174,7 +180,9 @@ def cmd_adversary(args) -> int:
     guarded = budget is not None or args.resume is not None
     if args.auto and not guarded:
         try:
-            certificate = space_lower_bound_auto(system)
+            certificate = space_lower_bound_auto(
+                system, workers=args.workers, cache_dir=args.cache_dir
+            )
         except AdversaryError as exc:
             print(f"construction failed: {exc}")
             print("(the protocol is likely broken; try `repro check`)")
@@ -197,6 +205,8 @@ def cmd_adversary(args) -> int:
         max_configs=args.max_configs,
         max_depth=args.max_depth,
         spec=args.protocol,
+        workers=args.workers,
+        cache_dir=args.cache_dir,
     )
     if outcome.status == "certificate":
         print(outcome.certificate.summary())
@@ -283,6 +293,7 @@ def cmd_audit(args) -> int:
         outcome = run_adversary_guarded(
             system, budget=_make_budget(args), max_configs=args.max_configs,
             max_depth=args.max_depth, spec=spec,
+            workers=args.workers, cache_dir=args.cache_dir,
         )
         if outcome.status == "certificate":
             bound = f"{outcome.certificate.bound} pinned"
@@ -436,6 +447,36 @@ def cmd_faults(args) -> int:
     return EXIT_OK
 
 
+def cmd_cache(args) -> int:
+    from repro.parallel import ValencyCache
+
+    cache = ValencyCache(args.cache_dir)
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"cleared {removed} cache files from {cache.base}")
+        return EXIT_OK
+    stats = cache.stats()
+    print_table(
+        "valency cache",
+        ["key", "value"],
+        [[key, stats[key]] for key in sorted(stats)],
+    )
+    return EXIT_OK
+
+
+def _add_parallel_flags(p) -> None:
+    p.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="explore with N sharded worker processes (results are "
+        "bit-identical to sequential)",
+    )
+    p.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="persist valency results under DIR so reruns skip "
+        "re-exploration",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -468,6 +509,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="checkpoint file: read it if present, write it on budget "
         "exhaustion",
     )
+    _add_parallel_flags(p)
     p.set_defaults(func=cmd_adversary)
 
     p = sub.add_parser("check", help="model-check agreement/validity")
@@ -488,6 +530,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--deadline", type=float, default=None,
         help="per-protocol wall-clock deadline in seconds",
     )
+    _add_parallel_flags(p)
     p.set_defaults(func=cmd_audit)
 
     p = sub.add_parser(
@@ -530,6 +573,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("certificate", help="path to the JSON file")
     p.add_argument("protocol", help="the protocol spec it was issued for")
     p.set_defaults(func=cmd_validate)
+
+    p = sub.add_parser("cache", help="persistent valency cache admin")
+    p.add_argument("action", choices=["stats", "clear"])
+    p.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="cache directory (default: $REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
+    p.set_defaults(func=cmd_cache)
 
     return parser
 

@@ -34,6 +34,8 @@ def space_lower_bound(
     max_depth: Optional[int] = None,
     strict: bool = True,
     oracle: Optional[ValencyOracle] = None,
+    workers: int = 1,
+    cache_dir=None,
 ) -> SpaceBoundCertificate:
     """Run the Theorem 1 adversary and return a validated certificate.
 
@@ -58,19 +60,31 @@ def space_lower_bound(
     if n < 2:
         raise AdversaryError("the space bound is about n >= 2 processes")
 
+    owns_oracle = oracle is None
     if oracle is None:
         oracle = ValencyOracle(
-            system, max_configs=max_configs, max_depth=max_depth, strict=strict
+            system,
+            max_configs=max_configs,
+            max_depth=max_depth,
+            strict=strict,
+            workers=workers,
+            cache_dir=cache_dir,
         )
-    initial, _p0, _p1 = initial_bivalent_configuration(system, oracle=oracle)
-    inputs = tuple([0, 1] + [0] * (n - 2))
+    try:
+        initial, _p0, _p1 = initial_bivalent_configuration(
+            system, oracle=oracle
+        )
+        inputs = tuple([0, 1] + [0] * (n - 2))
 
-    if n == 2:
-        certificate = _two_process_bound(system, inputs)
-    else:
-        certificate = _general_bound(
-            system, oracle, initial, inputs, verify, stats
-        )
+        if n == 2:
+            certificate = _two_process_bound(system, inputs)
+        else:
+            certificate = _general_bound(
+                system, oracle, initial, inputs, verify, stats
+            )
+    finally:
+        if owns_oracle:
+            oracle.close()
     certificate.validate(system)
     return certificate
 
@@ -80,6 +94,8 @@ def space_lower_bound_auto(
     attempts: int = 4,
     initial_configs: int = 10_000,
     initial_depth: int = 40,
+    workers: int = 1,
+    cache_dir=None,
 ) -> SpaceBoundCertificate:
     """Run the adversary with escalating oracle budgets.
 
@@ -98,6 +114,8 @@ def space_lower_bound_auto(
                 strict=False,
                 max_configs=configs,
                 max_depth=depth,
+                workers=workers,
+                cache_dir=cache_dir,
             )
         except ViolationError:
             raise

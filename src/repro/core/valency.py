@@ -59,6 +59,10 @@ class ValencyOracle:
         memoize: bool = True,
         solo_probe: bool = True,
         budget=None,
+        workers: int = 1,
+        cache=None,
+        cache_dir=None,
+        pool=None,
     ):
         """``strict`` oracles answer exactly: a "cannot decide" is backed
         by an exhausted reachable graph, and budget overruns raise
@@ -72,6 +76,13 @@ class ValencyOracle:
         exact either way.  Constructions guided by a bounded oracle can
         take a wrong turn and fail -- but any certificate they *do*
         produce is validated by pure replay, independent of valency.
+
+        ``workers > 1`` explores with the sharded engine
+        (:class:`repro.parallel.ShardedExplorer`, bit-identical results;
+        ``pool`` optionally shares one worker pool between oracles).
+        ``cache`` (a :class:`repro.parallel.ValencyCache`) or
+        ``cache_dir`` enables the persistent on-disk result cache;
+        disk-loaded witnesses are replay-validated before use.
         """
         self.system = system
         self.values = tuple(values)
@@ -88,21 +99,78 @@ class ValencyOracle:
         #: construction's work happens inside oracle queries, so ticking
         #: here bounds the adversaries end to end.
         self.budget = budget
-        self.explorer = Explorer(
-            system,
-            max_configs=max_configs,
-            max_depth=max_depth,
-            strict=strict,
-            budget=budget,
-        )
+        self.workers = workers
+        if workers > 1:
+            from repro.parallel.sharded import ShardedExplorer
+
+            self.explorer = ShardedExplorer(
+                system,
+                workers=workers,
+                max_configs=max_configs,
+                max_depth=max_depth,
+                strict=strict,
+                budget=budget,
+                pool=pool,
+            )
+        else:
+            self.explorer = Explorer(
+                system,
+                max_configs=max_configs,
+                max_depth=max_depth,
+                strict=strict,
+                budget=budget,
+            )
+        if cache is None and cache_dir is not None:
+            from repro.parallel.cache import ValencyCache
+
+            cache = ValencyCache(cache_dir)
+        #: Optional persistent result cache (None = memory-only memo).
+        self.cache = cache
+        self._fingerprint: Optional[str] = None
+        if cache is not None:
+            from repro.parallel.fingerprint import oracle_fingerprint
+
+            self._fingerprint = oracle_fingerprint(
+                system,
+                self.values,
+                strict=strict,
+                max_configs=max_configs,
+                max_depth=max_depth,
+            )
+        # Memo of stable digests per query key (None = not addressable).
+        self._disk_digest: Dict[Hashable, Optional[str]] = {}
+        # Keys whose disk entry has already been consulted this run.
+        self._disk_checked: set = set()
         # (canonical key, pid frozenset) -> value -> witness schedule.
         self._witnesses: Dict[Tuple[Hashable, FrozenSet[int]], Dict[Hashable, Schedule]] = {}
         # (canonical key, pid frozenset) -> full decidable value set.
         self._complete: Dict[Tuple[Hashable, FrozenSet[int]], FrozenSet[Hashable]] = {}
         # Bounded mode only: values searched for and not found (heuristic).
         self._bounded_negative: Dict[Tuple[Hashable, FrozenSet[int]], set] = {}
-        #: Query counters, exposed for the memoisation ablation benchmark.
-        self.stats = {"queries": 0, "cache_hits": 0, "explored_configs": 0}
+        #: Query counters, exposed for the memoisation ablation benchmark
+        #: and the parallel/cache benchmarks: ``explorations`` counts
+        #: actual graph searches, ``disk_hits`` the searches avoided by
+        #: the persistent cache.
+        self.stats = {
+            "queries": 0,
+            "cache_hits": 0,
+            "explored_configs": 0,
+            "explorations": 0,
+            "disk_hits": 0,
+            "disk_stores": 0,
+        }
+
+    def close(self) -> None:
+        """Release pooled resources (sharded explorer workers)."""
+        close = getattr(self.explorer, "close", None)
+        if close is not None:
+            close()
+
+    def __enter__(self) -> "ValencyOracle":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # -- internals ------------------------------------------------------------
     def _key(self, config: Configuration, pids: Iterable[int]) -> Hashable:
@@ -156,26 +224,111 @@ class ValencyOracle:
                     known.setdefault(value, (pid,) * steps)
                     break
 
+    # -- persistent cache plumbing -----------------------------------------
+    def _digest_for(self, key: Hashable) -> Optional[str]:
+        """The stable on-disk address of a query key (memoised)."""
+        if key in self._disk_digest:
+            return self._disk_digest[key]
+        from repro.parallel.fingerprint import UnstableKeyError, stable_digest
+
+        try:
+            digest: Optional[str] = stable_digest(key)
+        except UnstableKeyError:
+            digest = None
+        self._disk_digest[key] = digest
+        return digest
+
+    def _disk_load(
+        self, config: Configuration, pids: FrozenSet[int], key: Hashable
+    ) -> bool:
+        """Populate the memo caches from disk; True if an entry was used.
+
+        Loaded witnesses are replay-validated from *this* configuration
+        before anything is believed -- an entry that fails replay (a
+        permuted symmetry sibling, or a semantically stale file that
+        still passed its checksum) is ignored and recomputed.
+        """
+        if self.cache is None or key in self._disk_checked:
+            return False
+        self._disk_checked.add(key)
+        digest = self._digest_for(key)
+        if digest is None:
+            return False
+        body = self.cache.load(self._fingerprint, digest)
+        if body is None:
+            return False
+        from repro.parallel.cache import decode_entry
+
+        try:
+            witnesses, complete, negative = decode_entry(body)
+        except (KeyError, TypeError, ValueError):
+            return False
+        for value, schedule in witnesses.items():
+            if not self._witness_replays(config, schedule, value):
+                return False
+        known = self._witnesses.setdefault(key, {})
+        for value, schedule in witnesses.items():
+            known.setdefault(value, schedule)
+        if complete:
+            self._complete[key] = frozenset(witnesses)
+        if not self.strict and negative:
+            self._bounded_negative.setdefault(key, set()).update(negative)
+        return True
+
+    def _disk_store(self, key: Hashable) -> None:
+        """Snapshot the memo state for ``key`` to the on-disk cache."""
+        if self.cache is None:
+            return
+        digest = self._digest_for(key)
+        if digest is None:
+            return
+        from repro.parallel.cache import encode_entry
+
+        body = encode_entry(
+            self._witnesses.get(key, {}),
+            key in self._complete,
+            self._bounded_negative.get(key, set()) if not self.strict else (),
+        )
+        if body is None:
+            return
+        self.cache.store(self._fingerprint, digest, body)
+        self.stats["disk_stores"] += 1
+
     def _explore(
         self,
         config: Configuration,
         pids: FrozenSet[int],
         stop_when: Optional[FrozenSet[Hashable]],
-    ) -> None:
+    ) -> bool:
+        """Answer ``stop_when`` for this key; True if a search ran."""
         key = self._key(config, pids)
+        if self._disk_load(config, pids, key) and stop_when is not None:
+            known = set(self._witnesses.get(key, {}))
+            if key in self._complete or stop_when <= known:
+                self.stats["disk_hits"] += 1
+                return False
+            if not self.strict and stop_when <= (
+                known | self._bounded_negative.get(key, set())
+            ):
+                # Bounded mode: the cold run also answered "not found"
+                # for these values under the same budgets.
+                self.stats["disk_hits"] += 1
+                return False
         if self.solo_probe:
             self._solo_probe(config, pids)
             if stop_when is not None and stop_when <= set(
                 self._witnesses.get(key, {})
             ):
-                return
+                return False
         result = self.explorer.explore(config, pids, stop_when=stop_when)
+        self.stats["explorations"] += 1
         self.stats["explored_configs"] += result.visited
         known = self._witnesses.setdefault(key, {})
         for value, witness in result.decided.items():
             known.setdefault(value, witness)
         if result.complete:
             self._complete[key] = frozenset(result.decided)
+        return True
 
     # -- queries -----------------------------------------------------------------
     def can_decide(
@@ -198,12 +351,16 @@ class ValencyOracle:
             if value in self._bounded_negative.get(key, ()):
                 self.stats["cache_hits"] += 1
                 return False
-        self._explore(config, pid_set, stop_when=frozenset({value}))
+        explored = self._explore(config, pid_set, stop_when=frozenset({value}))
         known = self._witnesses.get(key, {})
         if value in known:
+            if explored:
+                self._disk_store(key)
             return True
         if not self.strict:
             self._bounded_negative.setdefault(key, set()).add(value)
+        if explored:
+            self._disk_store(key)
         return False
 
     def witness(
@@ -229,6 +386,7 @@ class ValencyOracle:
         result = self.explorer.explore(
             config, pid_set, stop_when=frozenset({value})
         )
+        self.stats["explorations"] += 1
         self.stats["explored_configs"] += result.visited
         fresh = result.decided.get(value)
         if fresh is None or not self._witness_replays(config, fresh, value):

@@ -39,6 +39,11 @@ class ExplorationLimitError(ReproError):
         super().__init__(message)
         self.visited = visited
 
+    def __reduce__(self):
+        # Default exception pickling only replays ``args`` -- crossing a
+        # worker-process boundary would drop ``visited``.
+        return (type(self), (self.args[0], self.visited))
+
 
 class BudgetExhausted(ReproError):
     """A guarded run spent its step budget or wall-clock deadline.
@@ -61,6 +66,14 @@ class BudgetExhausted(ReproError):
         self.elapsed = elapsed
         self.partial = partial
 
+    def __reduce__(self):
+        # Preserve the accounting (and any partial-progress report) when
+        # the exception is marshalled back from a worker process.
+        return (
+            type(self),
+            (self.args[0], self.spent_steps, self.elapsed, self.partial),
+        )
+
 
 class AdversaryError(ReproError):
     """A lower-bound construction could not complete.
@@ -77,6 +90,12 @@ class ViolationError(ReproError):
     def __init__(self, message: str, witness=None):
         super().__init__(message)
         self.witness = witness
+
+    def __reduce__(self):
+        # Keep the witness schedule across a worker-process boundary --
+        # the exit-code contract (exit 2 with a replayable witness)
+        # must hold no matter which process found the violation.
+        return (type(self), (self.args[0], self.witness))
 
 
 class CertificateError(ReproError):

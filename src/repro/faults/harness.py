@@ -72,6 +72,8 @@ def run_adversary_guarded(
     strict: bool = False,
     verify: bool = True,
     spec: str = "",
+    workers: int = 1,
+    cache_dir=None,
 ) -> AdversaryOutcome:
     """Run the Theorem 1 adversary to one of the three outcomes.
 
@@ -80,6 +82,12 @@ def run_adversary_guarded(
     answers are only reproducible under the parameters that produced
     them).  ``spec`` labels the partial-progress report so the CLI can
     refuse to resume a checkpoint against a different protocol.
+
+    ``workers``/``cache_dir`` configure the oracle's sharded exploration
+    engine and persistent valency cache (:mod:`repro.parallel`); both are
+    transparent to the three-outcome contract -- errors raised inside
+    worker processes keep their types, payloads and therefore their exit
+    codes.
     """
     if resume is not None:
         journal = resume.journal()
@@ -95,6 +103,8 @@ def run_adversary_guarded(
         max_configs=max_configs,
         max_depth=max_depth,
         strict=strict,
+        workers=workers,
+        cache_dir=cache_dir,
     )
 
     def partial(note: str) -> PartialProgress:
@@ -134,6 +144,8 @@ def run_adversary_guarded(
         return AdversaryOutcome(
             status="budget", partial=partial(f"construction failed: {exc}")
         )
+    finally:
+        oracle.close()
 
 
 def find_violation(

@@ -20,6 +20,7 @@ most protocols in this library are written in the instruction DSL of
 
 from __future__ import annotations
 
+import functools
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from typing import Hashable, Optional, Tuple, TYPE_CHECKING
@@ -48,6 +49,32 @@ class DecidedState:
 HALTED = DecidedState(value=None, halted=True)
 
 
+def _reconstruct_protocol(cls, args, kwargs):
+    """Unpickle hook: rebuild a protocol by re-running its constructor."""
+    return cls(*args, **kwargs)
+
+
+def _recording_init(init):
+    """Wrap ``__init__`` to remember the outermost constructor call.
+
+    Protocols compiled from the instruction DSL hold closures and are
+    not picklable structurally, but they *are* reproducible: the class
+    plus the constructor arguments rebuild an equivalent instance.  The
+    sharded explorer (:mod:`repro.parallel`) ships protocols to spawned
+    worker processes this way.  Only the outermost call is recorded, so
+    ``super().__init__`` chains keep the most-derived reconstruction.
+    """
+
+    @functools.wraps(init)
+    def wrapper(self, *args, **kwargs):
+        if not hasattr(self, "_ctor_args"):
+            self._ctor_args = (args, dict(kwargs))
+        init(self, *args, **kwargs)
+
+    wrapper._records_ctor_args = True
+    return wrapper
+
+
 class Protocol(ABC):
     """An n-process protocol over a fixed family of shared objects."""
 
@@ -55,9 +82,26 @@ class Protocol(ABC):
     name: str = "protocol"
 
     def __init__(self, n: int):
+        if not hasattr(self, "_ctor_args"):
+            self._ctor_args = ((n,), {})
         if n < 1:
             raise ValueError(f"need at least one process, got n={n}")
         self.n = n
+
+    def __init_subclass__(cls, **kwargs):
+        super().__init_subclass__(**kwargs)
+        init = cls.__dict__.get("__init__")
+        if init is not None and not getattr(init, "_records_ctor_args", False):
+            cls.__init__ = _recording_init(init)
+
+    def __reduce__(self):
+        """Pickle by construction recipe, not by (closure-laden) state.
+
+        The constructor arguments must themselves be picklable; protocol
+        attributes mutated after construction are not preserved.
+        """
+        args, kwargs = self._ctor_args
+        return (_reconstruct_protocol, (type(self), args, kwargs))
 
     # -- required interface -------------------------------------------------
     @abstractmethod

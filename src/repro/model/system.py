@@ -28,16 +28,29 @@ def zero_tape(pid: int, index: int) -> int:
     return 0
 
 
-def tape_from_bits(bits_per_pid: Sequence[Sequence[int]], default: int = 0) -> Tape:
-    """A tape reading from explicit per-process bit lists, then ``default``."""
+class BitTape:
+    """A tape reading from explicit per-process bit lists, then ``default``.
 
-    def tape(pid: int, index: int) -> int:
-        bits = bits_per_pid[pid] if pid < len(bits_per_pid) else ()
+    A class (not a closure) so systems carrying explicit tapes stay
+    picklable for the sharded explorer's spawned workers.
+    """
+
+    def __init__(self, bits_per_pid: Sequence[Sequence[int]], default: int = 0):
+        self.bits_per_pid = tuple(tuple(bits) for bits in bits_per_pid)
+        self.default = default
+
+    def __call__(self, pid: int, index: int) -> int:
+        bits = (
+            self.bits_per_pid[pid] if pid < len(self.bits_per_pid) else ()
+        )
         if index < len(bits):
             return int(bits[index])
-        return default
+        return self.default
 
-    return tape
+
+def tape_from_bits(bits_per_pid: Sequence[Sequence[int]], default: int = 0) -> Tape:
+    """A tape reading from explicit per-process bit lists, then ``default``."""
+    return BitTape(bits_per_pid, default)
 
 
 class System:

@@ -1,0 +1,44 @@
+"""Parallel sharded exploration and the persistent valency cache.
+
+The scaling substrate for the adversary constructions: the valency
+oracle's reachability queries dominate every lemma driver, so this
+package makes them (a) parallel -- :class:`ShardedExplorer` partitions
+BFS frontiers by canonical-key hash across a spawn-safe
+``multiprocessing`` pool with a deterministic merge that is bit-identical
+to the sequential explorer -- and (b) persistent --
+:class:`ValencyCache` content-addresses exploration results on disk so
+repeated ``can_decide`` queries across runs become lookups.
+
+Wire-up points: ``ValencyOracle(system, workers=N, cache_dir=...)``,
+``space_lower_bound(..., workers=N, cache_dir=...)``, the
+``--workers``/``--cache-dir`` CLI flags, and ``repro cache stats|clear``.
+"""
+
+from repro.parallel.cache import (
+    CACHE_FORMAT,
+    ValencyCache,
+    decode_entry,
+    default_cache_dir,
+    encode_entry,
+)
+from repro.parallel.fingerprint import (
+    UnstableKeyError,
+    oracle_fingerprint,
+    protocol_fingerprint,
+    stable_digest,
+)
+from repro.parallel.sharded import ShardedExplorer, WorkerPool
+
+__all__ = [
+    "CACHE_FORMAT",
+    "ShardedExplorer",
+    "UnstableKeyError",
+    "ValencyCache",
+    "WorkerPool",
+    "decode_entry",
+    "default_cache_dir",
+    "encode_entry",
+    "oracle_fingerprint",
+    "protocol_fingerprint",
+    "stable_digest",
+]

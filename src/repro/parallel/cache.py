@@ -1,0 +1,280 @@
+"""Content-addressed on-disk cache of valency exploration results.
+
+Repeated adversary runs (and journaled resumes) ask the valency oracle
+the same questions about the same protocols; the answers are pure
+functions of (protocol, tape, oracle budgets, canonical configuration
+key).  This module persists them: one JSON file per canonical query key,
+filed under the oracle fingerprint, so a warm rerun answers
+``can_decide`` without re-exploring.
+
+Trust model
+-----------
+The cache is an accelerator, never an authority:
+
+* every file carries a SHA-256 checksum of its body; a truncated or
+  bit-flipped file fails verification, is **quarantined** (renamed to
+  ``*.corrupt``) and recomputed -- never silently trusted;
+* witness schedules loaded from disk are replay-validated against the
+  live configuration by the oracle before they are believed;
+* the tree is versioned (``v1/``): format changes abandon old entries
+  instead of misreading them.
+
+The store is bounded: ``max_bytes`` (default 256 MB) is enforced by
+least-recently-used eviction on file mtimes, which ``load`` refreshes.
+Writes are atomic (temp file + ``os.replace``), so a crashed writer
+leaves no half-written entry under the final name.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
+
+#: On-disk layout version; bumping it orphans (ignores) older trees.
+CACHE_FORMAT = 1
+
+#: Default size bound for the cache tree.
+DEFAULT_MAX_BYTES = 256 * 1024 * 1024
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR`` if set, else ``~/.cache/repro``."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "repro"
+
+
+def _body_checksum(body: Dict[str, Any]) -> str:
+    canonical = json.dumps(body, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def _json_native(value) -> bool:
+    """True if ``value`` round-trips through JSON unchanged."""
+    return value is None or type(value) in (bool, int, float, str)
+
+
+class ValencyCache:
+    """A bounded, checksummed, content-addressed store of query results.
+
+    Entries are addressed by ``(fingerprint, key_digest)`` -- the oracle
+    fingerprint (protocol x tape x value domain x budgets) and the
+    stable digest of the canonical query key.  The entry body is the
+    oracle's accumulated knowledge for that key: witness schedules per
+    decidable value, whether the reachable graph was exhausted, and (in
+    bounded mode) the values searched for and not found.
+    """
+
+    def __init__(
+        self,
+        root: Optional[os.PathLike] = None,
+        max_bytes: int = DEFAULT_MAX_BYTES,
+    ):
+        base = Path(root) if root is not None else default_cache_dir()
+        self.base = base
+        self.root = base / f"v{CACHE_FORMAT}"
+        self.max_bytes = max_bytes
+        self.counters = {
+            "hits": 0,
+            "misses": 0,
+            "stores": 0,
+            "corrupt": 0,
+            "evicted": 0,
+        }
+
+    # -- addressing ---------------------------------------------------------
+    def _path(self, fingerprint: str, key_digest: str) -> Path:
+        return self.root / fingerprint[:2] / f"{fingerprint}-{key_digest}.json"
+
+    # -- read ---------------------------------------------------------------
+    def load(
+        self, fingerprint: str, key_digest: str
+    ) -> Optional[Dict[str, Any]]:
+        """The stored body for this address, or None.
+
+        Any defect -- unreadable file, bad JSON, checksum mismatch,
+        wrong address inside the file -- quarantines the file and
+        reports a miss, so a later ``store`` recomputes the entry.
+        """
+        path = self._path(fingerprint, key_digest)
+        try:
+            raw = path.read_text(encoding="utf-8")
+        except OSError:
+            self.counters["misses"] += 1
+            return None
+        try:
+            payload = json.loads(raw)
+            if not isinstance(payload, dict):
+                raise ValueError("payload is not an object")
+            body = payload["body"]
+            if payload.get("format") != CACHE_FORMAT:
+                raise ValueError("format version mismatch")
+            if payload.get("fingerprint") != fingerprint:
+                raise ValueError("fingerprint mismatch")
+            if payload.get("key") != key_digest:
+                raise ValueError("key digest mismatch")
+            if payload.get("checksum") != _body_checksum(body):
+                raise ValueError("checksum mismatch")
+        except (KeyError, TypeError, ValueError):
+            self._quarantine(path)
+            self.counters["corrupt"] += 1
+            self.counters["misses"] += 1
+            return None
+        try:
+            os.utime(path)  # refresh the LRU clock
+        except OSError:
+            pass
+        self.counters["hits"] += 1
+        return body
+
+    # -- write --------------------------------------------------------------
+    def store(
+        self, fingerprint: str, key_digest: str, body: Dict[str, Any]
+    ) -> None:
+        """Atomically write (or overwrite) the entry for this address."""
+        path = self._path(fingerprint, key_digest)
+        payload = {
+            "format": CACHE_FORMAT,
+            "fingerprint": fingerprint,
+            "key": key_digest,
+            "checksum": _body_checksum(body),
+            "body": body,
+        }
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=path.parent, prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, sort_keys=True)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.counters["stores"] += 1
+        self._evict_to_bound()
+
+    # -- maintenance --------------------------------------------------------
+    def _quarantine(self, path: Path) -> None:
+        """Move a defective file aside (never delete evidence silently)."""
+        try:
+            os.replace(path, path.with_suffix(".corrupt"))
+        except OSError:
+            pass
+
+    def _entries(self) -> List[Tuple[Path, os.stat_result]]:
+        if not self.root.is_dir():
+            return []
+        out = []
+        for path in self.root.rglob("*.json"):
+            try:
+                out.append((path, path.stat()))
+            except OSError:
+                continue
+        return out
+
+    def _evict_to_bound(self) -> None:
+        entries = self._entries()
+        total = sum(stat.st_size for _, stat in entries)
+        if total <= self.max_bytes:
+            return
+        # Oldest access first: load() refreshes mtime, so this is LRU.
+        entries.sort(key=lambda item: item[1].st_mtime)
+        for path, stat in entries:
+            if total <= self.max_bytes:
+                break
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            total -= stat.st_size
+            self.counters["evicted"] += 1
+
+    def clear(self) -> int:
+        """Delete every cache file (entries and quarantined ones).
+
+        Returns the number of files removed.  Empty shard directories
+        are pruned too, so a cleared cache directory is actually empty.
+        """
+        removed = 0
+        if self.root.is_dir():
+            for path in self.root.rglob("*"):
+                if path.is_file():
+                    try:
+                        path.unlink()
+                        removed += 1
+                    except OSError:
+                        continue
+            for path in sorted(
+                self.root.rglob("*"), key=lambda p: len(p.parts), reverse=True
+            ):
+                if path.is_dir():
+                    try:
+                        path.rmdir()
+                    except OSError:
+                        continue
+            try:
+                self.root.rmdir()
+            except OSError:
+                pass
+        return removed
+
+    def stats(self) -> Dict[str, Any]:
+        """Live counters plus an on-disk census of the cache tree."""
+        entries = self._entries()
+        corrupt = (
+            len(list(self.root.rglob("*.corrupt")))
+            if self.root.is_dir()
+            else 0
+        )
+        return {
+            "dir": str(self.base),
+            "entries": len(entries),
+            "bytes": sum(stat.st_size for _, stat in entries),
+            "quarantined": corrupt,
+            **self.counters,
+        }
+
+
+def encode_entry(
+    witnesses: Dict, complete: bool, negative
+) -> Optional[Dict[str, Any]]:
+    """Encode one oracle key's knowledge as a JSON-safe cache body.
+
+    Returns None when any decided value is not JSON-native -- such
+    entries are simply not cached (correct, just never accelerated).
+    """
+    values = list(witnesses) + list(negative)
+    if not all(_json_native(value) for value in values):
+        return None
+    return {
+        "decided": [
+            [value, [int(pid) for pid in schedule]]
+            for value, schedule in witnesses.items()
+        ],
+        "complete": bool(complete),
+        "negative": sorted(negative, key=repr),
+    }
+
+
+def decode_entry(body: Dict[str, Any]):
+    """Decode a cache body into ``(witnesses, complete, negative)``.
+
+    Raises ``KeyError``/``TypeError``/``ValueError`` on malformed
+    bodies; callers treat that as a miss.
+    """
+    witnesses = {
+        value: tuple(int(pid) for pid in schedule)
+        for value, schedule in body["decided"]
+    }
+    return witnesses, bool(body["complete"]), set(body["negative"])

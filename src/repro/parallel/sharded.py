@@ -1,0 +1,274 @@
+"""Sharded state-space exploration: parallel expansion, sequential truth.
+
+``ShardedExplorer`` is a drop-in replacement for
+:class:`repro.analysis.explorer.Explorer` that fans the expensive part
+of each BFS level -- stepping configurations, computing canonical keys
+and decisions -- out to a pool of worker processes, partitioned by
+canonical-key hash.  The merge then replays the *exact* bookkeeping loop
+of the sequential explorer over the pre-computed expansion events in
+discovery order: deduplication against earlier keys, decision recording,
+``stop_when`` early exit, configuration budgets and per-configuration
+budget ticks all happen at the same logical points.  The returned
+:class:`ExplorationResult` is therefore bit-identical to the sequential
+one -- decision sets, witness schedules, ``visited`` counts, truncation
+flags, even the tick count at which a budget exhausts.
+
+Why this preserves the proofs: canonical keys are configuration-local
+(a pure function of one configuration and the queried process set), so
+any partition of the frontier explores the same quotient graph; and
+because the merge consumes events in the sequential discovery order,
+witnesses are the same lexicographically-least shortest schedules the
+sequential explorer returns, and they replay in a fresh sequential
+:class:`~repro.model.system.System` by construction -- every recorded
+path is a genuine concrete execution from the root.
+
+Workers are spawn-safe (module-level endpoints, pickled payloads; see
+:mod:`repro.parallel.worker`).  Budget exhaustion, exploration limits
+and model errors raised during expansion cross the process boundary
+with their types and attributes intact (the :mod:`repro.errors`
+hierarchy pickles losslessly), so the CLI exit-code contract holds no
+matter where the error originated.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import pickle
+from typing import Dict, FrozenSet, Hashable, Iterator, List, Optional, Tuple
+
+from repro.errors import ExplorationLimitError, ModelError
+from repro.analysis.explorer import (
+    DEFAULT_MAX_CONFIGS,
+    ExplorationResult,
+    Explorer,
+    reconstruct_path,
+)
+from repro.model.configuration import Configuration
+from repro.model.schedule import Schedule
+from repro.model.system import System
+from repro.parallel.worker import expand_batch
+
+#: Default start method; ``spawn`` works everywhere and inherits nothing.
+DEFAULT_MP_CONTEXT = "spawn"
+
+
+class WorkerPool:
+    """A lazily-started, reusable pool of expansion workers.
+
+    Creating spawn workers is expensive (each one boots an interpreter
+    and imports the library), so the pool is created on first use and
+    reused across explorations -- share one pool between oracles or
+    tests via the ``pool`` argument of :class:`ShardedExplorer`.
+    """
+
+    def __init__(self, workers: int, mp_context: str = DEFAULT_MP_CONTEXT):
+        if workers < 1:
+            raise ValueError(f"need at least one worker, got {workers}")
+        self.workers = workers
+        self.mp_context = mp_context
+        self._pool = None
+
+    def _ensure(self):
+        if self._pool is None:
+            context = multiprocessing.get_context(self.mp_context)
+            self._pool = context.Pool(processes=self.workers)
+        return self._pool
+
+    def map(self, fn, tasks):
+        return self._ensure().map(fn, tasks)
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class ShardedExplorer:
+    """Explores P-only reachable configurations with a worker pool.
+
+    Same constructor contract as :class:`Explorer` (``strict``,
+    ``max_depth``, ``budget`` behave identically), plus ``workers`` and
+    an optional externally-owned ``pool``.  With ``workers=1`` the
+    sequential explorer is used directly.  The system must be picklable
+    (protocols pickle by constructor recipe; see
+    :meth:`repro.model.process.Protocol.__reduce__`).
+    """
+
+    def __init__(
+        self,
+        system: System,
+        workers: int = 2,
+        max_configs: int = DEFAULT_MAX_CONFIGS,
+        max_depth: Optional[int] = None,
+        strict: bool = True,
+        budget=None,
+        pool: Optional[WorkerPool] = None,
+        mp_context: str = DEFAULT_MP_CONTEXT,
+    ):
+        self.system = system
+        self.workers = workers
+        self.max_configs = max_configs
+        self.max_depth = max_depth
+        self.strict = strict
+        self.budget = budget
+        self._sequential = Explorer(
+            system,
+            max_configs=max_configs,
+            max_depth=max_depth,
+            strict=strict,
+            budget=budget,
+        )
+        if workers > 1:
+            try:
+                self._blob = pickle.dumps(system)
+            except Exception as exc:
+                raise ModelError(
+                    f"cannot shard exploration of {system.protocol.name!r}: "
+                    f"the system is not picklable ({exc}); protocols must "
+                    "reconstruct from their constructor arguments"
+                ) from exc
+            self._pool = pool if pool is not None else WorkerPool(
+                workers, mp_context
+            )
+            self._owns_pool = pool is None
+        else:
+            self._blob = None
+            self._pool = None
+            self._owns_pool = False
+
+    # -- lifecycle ----------------------------------------------------------
+    def close(self) -> None:
+        """Shut down the worker pool (only if this explorer owns it)."""
+        if self._owns_pool and self._pool is not None:
+            self._pool.close()
+
+    def __enter__(self) -> "ShardedExplorer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- exploration --------------------------------------------------------
+    def explore(
+        self,
+        root: Configuration,
+        pids: FrozenSet[int] | Tuple[int, ...],
+        stop_when: Optional[FrozenSet[Hashable]] = None,
+    ) -> ExplorationResult:
+        """Level-synchronous BFS, bit-identical to ``Explorer.explore``."""
+        if self.workers <= 1:
+            return self._sequential.explore(root, pids, stop_when=stop_when)
+
+        system = self.system
+        protocol = system.protocol
+        pid_set = frozenset(pids)
+        result = ExplorationResult(root=root, pids=pid_set)
+
+        root_key = protocol.canonical_query_key(root, pid_set)
+        parents: Dict[Hashable, Optional[Tuple[Hashable, int]]] = {
+            root_key: None
+        }
+        found: Dict[Hashable, Hashable] = {}
+
+        def record_decisions(
+            decided: Tuple[Hashable, ...], key: Hashable
+        ) -> None:
+            for value in decided:
+                if value not in found:
+                    found[value] = key
+
+        def finish(complete: bool) -> ExplorationResult:
+            result.decided = {
+                v: reconstruct_path(parents, k) for v, k in found.items()
+            }
+            result.visited = len(parents)
+            result.complete = complete and not result.truncated
+            return result
+
+        record_decisions(tuple(system.decided_values(root)), root_key)
+        if stop_when is not None and stop_when <= set(found):
+            return finish(complete=False)
+
+        sorted_pids = tuple(sorted(pid_set))
+        level: List[Tuple[Configuration, Hashable]] = [(root, root_key)]
+        depth = 0
+        while level:
+            if self.max_depth is not None and depth >= self.max_depth:
+                # The sequential explorer still pops (and bills) each
+                # configuration at the depth bound before skipping it.
+                if self.budget is not None:
+                    for _ in level:
+                        self.budget.tick()
+                result.truncated = True
+                return finish(complete=True)
+
+            rows = self._expand_level(level, sorted_pids)
+            next_level: List[Tuple[Configuration, Hashable]] = []
+            for index, (_config, key) in enumerate(level):
+                if self.budget is not None:
+                    self.budget.tick()
+                for pid, succ, succ_key, decided in rows.get(index, ()):
+                    if succ_key in parents:
+                        continue
+                    parents[succ_key] = (key, pid)
+                    if len(parents) > self.max_configs:
+                        if self.strict:
+                            raise ExplorationLimitError(
+                                f"exploration from root exceeded "
+                                f"{self.max_configs} configurations "
+                                f"(pids={sorted(pid_set)})",
+                                visited=len(parents),
+                            )
+                        result.truncated = True
+                        return finish(complete=False)
+                    record_decisions(decided, succ_key)
+                    if stop_when is not None and stop_when <= set(found):
+                        return finish(complete=False)
+                    next_level.append((succ, succ_key))
+            level = next_level
+            depth += 1
+
+        return finish(complete=True)
+
+    def _expand_level(
+        self,
+        level: List[Tuple[Configuration, Hashable]],
+        sorted_pids: Tuple[int, ...],
+    ) -> Dict[int, list]:
+        """Fan one level out to the pool, partitioned by key hash."""
+        shards: List[List[Tuple[int, Configuration]]] = [
+            [] for _ in range(self.workers)
+        ]
+        for index, (config, key) in enumerate(level):
+            shards[hash(key) % self.workers].append((index, config))
+        tasks = [
+            (self._blob, sorted_pids, tuple(shard))
+            for shard in shards
+            if shard
+        ]
+        rows: Dict[int, list] = {}
+        if not tasks:
+            return rows
+        for batch in self._pool.map(expand_batch, tasks):
+            for index, events in batch:
+                rows[index] = events
+        return rows
+
+    # -- conveniences mirrored from Explorer --------------------------------
+    def reachable_count(
+        self, root: Configuration, pids: FrozenSet[int] | Tuple[int, ...]
+    ) -> int:
+        return self.explore(root, pids).visited
+
+    def iter_reachable(
+        self, root: Configuration, pids: FrozenSet[int] | Tuple[int, ...]
+    ) -> Iterator[Tuple[Configuration, Schedule]]:
+        """Lazy iteration stays sequential (callers consume it lazily)."""
+        return self._sequential.iter_reachable(root, pids)

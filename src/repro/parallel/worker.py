@@ -1,0 +1,82 @@
+"""Spawn-safe worker endpoints for the sharded explorer.
+
+Everything here is a module-level function operating on picklable
+payloads, so it works under the ``spawn`` start method (no reliance on
+fork-inherited state).  Workers are stateless with respect to the
+search: they expand configurations and compute canonical keys and
+decisions -- the expensive, embarrassingly parallel part -- while the
+deterministic bookkeeping (deduplication, decision recording, budgets)
+stays in the coordinating process.
+
+Systems are shipped as pickle blobs and memoised per worker process by
+blob identity, so a long exploration deserializes its protocol once per
+worker, not once per task.
+"""
+
+from __future__ import annotations
+
+import pickle
+from typing import Dict, Hashable, List, Tuple
+
+from repro.model.configuration import Configuration
+from repro.model.system import System
+
+#: Per-process memo of deserialized systems, keyed by the pickle blob.
+_SYSTEMS: Dict[bytes, System] = {}
+_MAX_CACHED_SYSTEMS = 8
+
+#: One worker task: the system blob, the sorted pid tuple, and the
+#: (level-index, configuration) items of this shard's slice.
+Task = Tuple[bytes, Tuple[int, ...], Tuple[Tuple[int, Configuration], ...]]
+
+#: One expansion event: (pid, successor, canonical key, decided values).
+Event = Tuple[int, Configuration, Hashable, Tuple[Hashable, ...]]
+
+
+def system_from_blob(blob: bytes) -> System:
+    """Deserialize (with per-process memoisation) a pickled system."""
+    system = _SYSTEMS.get(blob)
+    if system is None:
+        if len(_SYSTEMS) >= _MAX_CACHED_SYSTEMS:
+            _SYSTEMS.clear()
+        system = pickle.loads(blob)
+        _SYSTEMS[blob] = system
+    return system
+
+
+def expand_batch(task: Task) -> List[Tuple[int, List[Event]]]:
+    """Expand one shard's slice of a BFS level.
+
+    For each (index, configuration) item, step every enabled pid in
+    sorted order and report ``(pid, successor, key, decided values)``
+    events, preserving item order.  Successor keys already produced
+    earlier in this batch are dropped: batch items are a subsequence of
+    the level's discovery order, so the first in-batch producer of a key
+    is also the first the sequential merge would accept -- later
+    duplicates could never win and only cost transfer.
+
+    Exceptions (model errors, halted-process steps on malformed
+    protocols) propagate to the coordinator via the pool, preserving
+    their types and attributes.
+    """
+    blob, pids, items = task
+    system = system_from_blob(blob)
+    protocol = system.protocol
+    pid_set = frozenset(pids)
+    seen_in_batch = set()
+    out: List[Tuple[int, List[Event]]] = []
+    for index, config in items:
+        events: List[Event] = []
+        for pid in pids:
+            if not system.enabled(config, pid):
+                continue
+            succ, _ = system.step(config, pid)
+            succ_key = protocol.canonical_query_key(succ, pid_set)
+            if succ_key in seen_in_batch:
+                continue
+            seen_in_batch.add(succ_key)
+            events.append(
+                (pid, succ, succ_key, tuple(system.decided_values(succ)))
+            )
+        out.append((index, events))
+    return out

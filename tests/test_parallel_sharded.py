@@ -1,0 +1,287 @@
+"""The sharded explorer must be indistinguishable from the sequential one.
+
+Equality here means *bit-identical* exploration results -- decision
+sets, witness schedules, visited counts, completeness/truncation flags
+-- plus the operational contracts around them: witnesses replay in a
+fresh sequential system, certificates produced under ``workers > 1``
+equal the sequential ones, and errors raised anywhere in the pipeline
+keep their types, payloads and CLI exit codes.
+"""
+
+import pickle
+
+import pytest
+
+from repro.errors import (
+    BudgetExhausted,
+    ExplorationLimitError,
+    ModelError,
+    ViolationError,
+)
+from repro.analysis.explorer import Explorer
+from repro.cli import main
+from repro.core.theorem import space_lower_bound
+from repro.model.system import System
+from repro.parallel import ShardedExplorer
+from repro.protocols.consensus import (
+    CasConsensus,
+    CommitAdoptRounds,
+    TasConsensus,
+)
+
+BOUNDED = dict(max_configs=20_000, max_depth=12, strict=False)
+
+
+def result_tuple(result):
+    return (
+        dict(result.decided),
+        result.visited,
+        result.complete,
+        result.truncated,
+    )
+
+
+class TestShardedEqualsSequential:
+    @pytest.mark.parametrize(
+        "protocol, inputs, kwargs",
+        [
+            (CommitAdoptRounds(3), [0, 1, 0], BOUNDED),
+            (CasConsensus(3), [0, 1, 1], dict(max_configs=50_000)),
+            (TasConsensus(2), [0, 1], dict(max_configs=50_000)),
+        ],
+        ids=["rounds", "cas", "tas"],
+    )
+    def test_full_exploration_identical(
+        self, protocol, inputs, kwargs, worker_pool, workers
+    ):
+        system = System(protocol)
+        root = system.initial_configuration(inputs)
+        pids = frozenset(range(protocol.n))
+        seq = Explorer(system, **kwargs).explore(root, pids)
+        par = ShardedExplorer(
+            system, workers=workers, pool=worker_pool, **kwargs
+        ).explore(root, pids)
+        assert result_tuple(seq) == result_tuple(par)
+        assert par.witnesses_replay(System(protocol))
+
+    def test_stop_when_early_exit_identical(self, worker_pool, workers):
+        system = System(CommitAdoptRounds(3))
+        root = system.initial_configuration([0, 1, 0])
+        pids = frozenset({0, 1, 2})
+        for target in (frozenset({0}), frozenset({1}), frozenset({0, 1})):
+            seq = Explorer(system, **BOUNDED).explore(
+                root, pids, stop_when=target
+            )
+            par = ShardedExplorer(
+                system, workers=workers, pool=worker_pool, **BOUNDED
+            ).explore(root, pids, stop_when=target)
+            assert result_tuple(seq) == result_tuple(par)
+
+    def test_subset_queries_identical(self, worker_pool, workers):
+        system = System(CasConsensus(3))
+        root = system.initial_configuration([0, 1, 1])
+        sharded = ShardedExplorer(
+            system, workers=workers, pool=worker_pool, max_configs=50_000
+        )
+        sequential = Explorer(system, max_configs=50_000)
+        for pids in [frozenset({0}), frozenset({1, 2}), frozenset({0, 2})]:
+            seq = sequential.explore(root, pids)
+            par = sharded.explore(root, pids)
+            assert result_tuple(seq) == result_tuple(par)
+
+    def test_workers_one_is_plain_sequential(self):
+        system = System(TasConsensus(2))
+        root = system.initial_configuration([0, 1])
+        solo = ShardedExplorer(system, workers=1, max_configs=50_000)
+        seq = Explorer(system, max_configs=50_000)
+        pids = frozenset({0, 1})
+        assert result_tuple(solo.explore(root, pids)) == result_tuple(
+            seq.explore(root, pids)
+        )
+
+    def test_unpicklable_system_rejected_loudly(self):
+        system = System(TasConsensus(2))
+        system.tape = lambda pid, index: 0  # closures cannot cross spawn
+        with pytest.raises(ModelError, match="not picklable"):
+            ShardedExplorer(system, workers=2)
+
+
+class TestWitnessReplayRegression:
+    # Pinned: BFS with sorted-pid child order always discovers these
+    # exact lexicographically-least witness schedules for rounds:3 under
+    # the bounded budgets -- any engine change that reorders discovery
+    # breaks this test before it breaks a proof.
+    PINNED = {0: (0,) * 8, 1: (1,) * 8}
+
+    def test_sharded_witnesses_are_the_pinned_schedules(
+        self, worker_pool, workers
+    ):
+        system = System(CommitAdoptRounds(3))
+        root = system.initial_configuration([0, 1, 0])
+        par = ShardedExplorer(
+            system, workers=workers, pool=worker_pool, **BOUNDED
+        ).explore(root, frozenset({0, 1, 2}))
+        assert par.decided == self.PINNED
+
+    def test_pinned_schedules_replay_in_a_fresh_system(self):
+        fresh = System(CommitAdoptRounds(3))
+        root = fresh.initial_configuration([0, 1, 0])
+        for value, schedule in self.PINNED.items():
+            final, _ = fresh.run(root, schedule)
+            assert value in fresh.decided_values(final)
+
+
+class TestWorkerEndpoint:
+    """``expand_batch`` is a pure function -- exercised in-process here
+    (spawned children run the same code but escape coverage tracing)."""
+
+    def test_expand_batch_events_match_sequential_stepping(self):
+        from repro.parallel.worker import expand_batch
+
+        system = System(TasConsensus(2))
+        root = system.initial_configuration([0, 1])
+        pids = (0, 1)
+        blob = pickle.dumps(system)
+        [(index, events)] = expand_batch((blob, pids, ((4, root),)))
+        assert index == 4
+        assert [pid for pid, *_ in events] == [0, 1]
+        for pid, succ, succ_key, decided in events:
+            expected, _ = system.step(root, pid)
+            assert succ == expected
+            assert succ_key == system.protocol.canonical_query_key(
+                succ, frozenset(pids)
+            )
+            assert decided == tuple(system.decided_values(succ))
+
+    def test_expand_batch_drops_intra_batch_duplicates(self):
+        from repro.parallel.worker import expand_batch
+
+        system = System(TasConsensus(2))
+        root = system.initial_configuration([0, 1])
+        blob = pickle.dumps(system)
+        batch = expand_batch((blob, (0, 1), ((0, root), (1, root))))
+        first_keys = {key for _, _, key, _ in batch[0][1]}
+        second_keys = {key for _, _, key, _ in batch[1][1]}
+        assert not (first_keys & second_keys)
+
+    def test_system_blob_memo_is_bounded(self):
+        from repro.parallel import worker
+
+        worker._SYSTEMS.clear()
+        for n in range(2, 2 + worker._MAX_CACHED_SYSTEMS + 1):
+            worker.system_from_blob(pickle.dumps(System(CasConsensus(n))))
+        assert len(worker._SYSTEMS) <= worker._MAX_CACHED_SYSTEMS
+
+
+class TestExplorerConveniences:
+    def test_reachable_count_matches_sequential(self, worker_pool, workers):
+        system = System(TasConsensus(2))
+        root = system.initial_configuration([0, 1])
+        pids = frozenset({0, 1})
+        sharded = ShardedExplorer(
+            system, workers=workers, pool=worker_pool, max_configs=50_000
+        )
+        sequential = Explorer(system, max_configs=50_000)
+        assert sharded.reachable_count(root, pids) == (
+            sequential.reachable_count(root, pids)
+        )
+
+    def test_iter_reachable_delegates_to_sequential(self):
+        system = System(TasConsensus(2))
+        root = system.initial_configuration([0, 1])
+        pids = frozenset({0, 1})
+        sharded = ShardedExplorer(system, workers=1, max_configs=50_000)
+        sequential = Explorer(system, max_configs=50_000)
+        assert [
+            (config, path) for config, path in sharded.iter_reachable(
+                root, pids
+            )
+        ] == list(sequential.iter_reachable(root, pids))
+
+
+def _raise_in_worker(kind):
+    """Module-level so spawned workers can import and run it."""
+    if kind == "budget":
+        raise BudgetExhausted(
+            "spent inside a worker", spent_steps=7, elapsed=1.5
+        )
+    if kind == "violation":
+        raise ViolationError("found inside a worker", witness=(0, 1, 1, 0))
+    raise ExplorationLimitError("overran inside a worker", visited=123)
+
+
+class TestErrorMarshalling:
+    def test_errors_pickle_losslessly(self):
+        budget = BudgetExhausted("b", spent_steps=9, elapsed=2.5)
+        budget2 = pickle.loads(pickle.dumps(budget))
+        assert (budget2.spent_steps, budget2.elapsed) == (9, 2.5)
+        violation = pickle.loads(
+            pickle.dumps(ViolationError("v", witness=(1, 0)))
+        )
+        assert violation.witness == (1, 0)
+        limit = pickle.loads(
+            pickle.dumps(ExplorationLimitError("l", visited=42))
+        )
+        assert limit.visited == 42
+
+    @pytest.mark.parametrize("kind", ["budget", "violation", "limit"])
+    def test_errors_cross_the_process_boundary_intact(
+        self, worker_pool, kind
+    ):
+        expected = {
+            "budget": BudgetExhausted,
+            "violation": ViolationError,
+            "limit": ExplorationLimitError,
+        }[kind]
+        with pytest.raises(expected) as excinfo:
+            worker_pool.map(_raise_in_worker, [kind])
+        exc = excinfo.value
+        if kind == "budget":
+            assert (exc.spent_steps, exc.elapsed) == (7, 1.5)
+        elif kind == "violation":
+            assert exc.witness == (0, 1, 1, 0)
+        else:
+            assert exc.visited == 123
+
+
+class TestCertificateEquality:
+    def test_sequential_and_parallel_certificates_equal(self, workers):
+        system = System(CommitAdoptRounds(3))
+        seq = space_lower_bound(
+            system, strict=False, max_configs=20_000, max_depth=40
+        )
+        par = space_lower_bound(
+            System(CommitAdoptRounds(3)),
+            strict=False,
+            max_configs=20_000,
+            max_depth=40,
+            workers=workers,
+        )
+        assert seq == par
+        par.validate(System(CommitAdoptRounds(3)))
+
+
+class TestCliExitCodesWithWorkers:
+    def test_budget_exhaustion_keeps_exit_code_3(self, capsys):
+        code = main(
+            ["adversary", "rounds:3", "--workers", "2", "--budget", "5"]
+        )
+        assert code == 3
+        assert "partial progress" in capsys.readouterr().out
+
+    def test_violation_keeps_exit_code_2(self, capsys):
+        code = main(["adversary", "split-brain:3", "--workers", "2"])
+        assert code == 2
+        out = capsys.readouterr().out
+        assert "violation" in out
+        assert "witness schedule" in out
+
+    def test_certificate_with_workers_exits_0(self, capsys, tmp_path):
+        out_path = tmp_path / "cert.json"
+        code = main(
+            ["adversary", "rounds:3", "--workers", "2", "--out",
+             str(out_path)]
+        )
+        assert code == 0
+        assert out_path.exists()
+        assert main(["validate", str(out_path), "rounds:3"]) == 0
