@@ -22,6 +22,11 @@ from repro.errors import ExplorationLimitError
 from repro.model.configuration import Configuration
 from repro.model.schedule import Schedule
 from repro.model.system import System
+from repro.obs.runtime import get_metrics, get_tracer
+
+#: Bucket edges for the successors-per-configuration histogram: the
+#: branching factor is bounded by n, so fine low buckets tell the story.
+BRANCHING_EDGES = (0, 1, 2, 3, 4, 6, 8, 12, 16, 32)
 
 #: Default budget on distinct canonical configurations per exploration.
 DEFAULT_MAX_CONFIGS = 200_000
@@ -148,6 +153,18 @@ class Explorer:
         pid_set = frozenset(pids)
         result = ExplorationResult(root=root, pids=pid_set)
 
+        # Metric handles are hoisted once per exploration; under the
+        # default observation each is one attribute increment.  The
+        # quantities are engine-independent (see docs/THEORY.md):
+        # edges = enabled steps taken, dedup hits = steps whose target
+        # was already discovered, branching = enabled successors per
+        # expanded configuration, frontier = discoveries per BFS depth.
+        metrics = get_metrics()
+        edges_c = metrics.counter("explorer.edges")
+        dedup_c = metrics.counter("explorer.dedup_hits")
+        branching_h = metrics.histogram("explorer.branching", BRANCHING_EDGES)
+        level_sizes: Dict[int, int] = {0: 1}
+
         # Deduplicate on the *query* key: configurations interchangeable
         # for P-only reachability (for symmetric protocols this quotients
         # by permutations fixing P setwise).
@@ -172,6 +189,23 @@ class Explorer:
             }
             result.visited = len(parents)
             result.complete = complete and not result.truncated
+            metrics.counter("explorer.explorations").inc()
+            metrics.counter("explorer.visited").inc(result.visited)
+            frontier_h = metrics.histogram("explorer.frontier")
+            for depth_level in sorted(level_sizes):
+                frontier_h.observe(level_sizes[depth_level])
+            metrics.gauge("explorer.frontier_peak").set_max(
+                max(level_sizes.values())
+            )
+            get_tracer().event(
+                "explore.done",
+                engine="sequential",
+                pids=sorted(pid_set),
+                visited=result.visited,
+                complete=result.complete,
+                truncated=result.truncated,
+                decided=sorted(found, key=repr),
+            )
             return result
 
         record_decisions(root, root_key)
@@ -186,16 +220,26 @@ class Explorer:
             if self.max_depth is not None and depth >= self.max_depth:
                 result.truncated = True
                 continue
+            branch = 0
             for pid in sorted_pids:
                 if not system.enabled(config, pid):
                     continue
+                branch += 1
+                edges_c.inc()
                 succ, _ = system.step(config, pid)
                 succ_key = key_of(succ)
                 if succ_key in parents:
+                    dedup_c.inc()
                     continue
                 parents[succ_key] = (key, pid)
                 if len(parents) > self.max_configs:
                     if self.strict:
+                        get_tracer().event(
+                            "exploration_limit",
+                            visited=len(parents),
+                            max_configs=self.max_configs,
+                            pids=sorted(pid_set),
+                        )
                         raise ExplorationLimitError(
                             f"exploration from root exceeded "
                             f"{self.max_configs} configurations "
@@ -207,7 +251,9 @@ class Explorer:
                 record_decisions(succ, succ_key)
                 if stop_when is not None and stop_when <= set(found):
                     return finish(complete=False)
+                level_sizes[depth + 1] = level_sizes.get(depth + 1, 0) + 1
                 queue.append((succ, succ_key, depth + 1))
+            branching_h.observe(branch)
 
         return finish(complete=True)
 
@@ -257,6 +303,12 @@ class Explorer:
                     continue
                 if len(seen) >= self.max_configs:
                     if self.strict:
+                        get_tracer().event(
+                            "exploration_limit",
+                            visited=len(seen),
+                            max_configs=self.max_configs,
+                            pids=sorted(pid_set),
+                        )
                         raise ExplorationLimitError(
                             f"reachable iteration exceeded "
                             f"{self.max_configs} configurations "

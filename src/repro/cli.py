@@ -13,6 +13,8 @@ mutex       measure canonical-execution costs of the mutex algorithms
 validate    re-validate a saved certificate JSON against its protocol
 protocols   list the protocols the CLI can name
 cache       inspect or clear the persistent valency cache
+stats       render the metrics record of a trace journal as tables
+trace       filter and pretty-print a trace journal's spans and events
 
 The CLI names protocols as ``family:n[:extra]``, e.g. ``rounds:4``,
 ``shared:5:3``, ``cas:3``, ``kset:5:2``, ``counter:6``, ``snapshot:4``.
@@ -21,6 +23,12 @@ The CLI names protocols as ``family:n[:extra]``, e.g. ``rounds:4``,
 exploration, results bit-identical to sequential) and ``--cache-dir``
 (persistent valency cache; defaults to ``~/.cache/repro`` when the
 ``cache`` command manages it explicitly).
+
+``adversary``, ``check``, ``audit`` and ``faults`` accept
+``--trace-out JOURNAL`` (record a JSONL trace journal; see
+:mod:`repro.obs`) and ``--metrics-out FILE`` (dump the final metrics
+snapshot as JSON).  Journals flush per record, so they are complete and
+parseable even when the run exits 2 (violation) or 3 (budget).
 
 Exit codes are a contract (tests assert them): 0 success, 2 a violation
 was found (with a replayable witness), 3 a budget or exploration limit
@@ -31,6 +39,8 @@ failures never print a raw traceback.
 from __future__ import annotations
 
 import argparse
+import contextlib
+import json
 import os
 import sys
 from typing import Optional, Sequence
@@ -447,6 +457,103 @@ def cmd_faults(args) -> int:
     return EXIT_OK
 
 
+def cmd_stats(args) -> int:
+    """Render the final metrics record of a journal as tables."""
+    from repro.obs import parse_journal
+
+    records = parse_journal(args.journal)
+    snapshots = [r for r in records if r["type"] == "metrics"]
+    if not snapshots:
+        print(f"no metrics record in {args.journal} (was the run traced "
+              "with --trace-out?)")
+        return EXIT_ERROR
+    data = snapshots[-1]["data"]
+    counters = data.get("counters", {})
+    gauges = data.get("gauges", {})
+    histograms = data.get("histograms", {})
+
+    rows = [["counter", name, value] for name, value in sorted(counters.items())]
+    rows += [["gauge", name, value] for name, value in sorted(gauges.items())]
+    if rows:
+        print_table("metrics", ["kind", "name", "value"], rows)
+    hrows = [
+        [name, h["count"], h["sum"], h["min"], h["max"]]
+        for name, h in sorted(histograms.items())
+    ]
+    if hrows:
+        print_table(
+            "histograms", ["name", "count", "sum", "min", "max"], hrows
+        )
+
+    derived = []
+    queries = counters.get("oracle.queries", 0)
+    if queries:
+        hits = counters.get("oracle.cache_hits", 0)
+        derived.append(["oracle memo hit rate", f"{hits / queries:.1%}"])
+    probes = (
+        counters.get("valency_cache.hits", 0)
+        + counters.get("valency_cache.misses", 0)
+    )
+    if probes:
+        hits = counters.get("valency_cache.hits", 0)
+        derived.append(["valency-cache hit rate", f"{hits / probes:.1%}"])
+    if gauges.get("explorer.frontier_peak") is not None:
+        derived.append(["frontier peak", gauges["explorer.frontier_peak"]])
+    if gauges.get("construction.covered_registers") is not None:
+        derived.append(
+            ["covered registers", gauges["construction.covered_registers"]]
+        )
+    if derived:
+        print_table("derived", ["quantity", "value"], derived)
+    return EXIT_OK
+
+
+def cmd_trace(args) -> int:
+    """Filter and pretty-print a journal's spans and events."""
+    from repro.obs import parse_journal
+
+    records = parse_journal(args.journal)
+    starts = {
+        record["id"]: record
+        for record in records
+        if record["type"] == "span_start"
+    }
+    rows = []
+    shown = 0
+    for record in records:
+        kind = record["type"]
+        if args.type is not None and kind != args.type:
+            continue
+        name = record.get("name", "")
+        if args.name is not None and name != args.name:
+            continue
+        if kind == "span_end":
+            detail = f"status={record['status']}"
+            start = starts.get(record["id"])
+            if start is not None:
+                detail += f" took={(record['t'] - start['t']) * 1000:.2f}ms"
+            if record.get("error"):
+                detail += f" error={record['error']}"
+        elif kind == "metrics":
+            counters = record.get("data", {}).get("counters", {})
+            detail = f"{len(counters)} counters (see `repro stats`)"
+        else:
+            data = record.get("data", {})
+            detail = " ".join(
+                f"{key}={data[key]!r}" for key in sorted(data)
+            )
+        rows.append([f"{record['t']:.6f}", kind, name, detail[:100]])
+        shown += 1
+        if args.limit is not None and shown >= args.limit:
+            break
+    print_table(
+        f"trace journal ({len(records)} records, {shown} shown)",
+        ["t", "type", "name", "detail"],
+        rows,
+    )
+    return EXIT_OK
+
+
 def cmd_cache(args) -> int:
     from repro.parallel import ValencyCache
 
@@ -462,6 +569,52 @@ def cmd_cache(args) -> int:
         [[key, stats[key]] for key in sorted(stats)],
     )
     return EXIT_OK
+
+
+def _add_obs_flags(p) -> None:
+    p.add_argument(
+        "--trace-out", default=None, metavar="JOURNAL",
+        help="record a JSONL trace journal (render it with `repro stats` "
+        "or `repro trace`)",
+    )
+    p.add_argument(
+        "--metrics-out", default=None, metavar="FILE",
+        help="write the final metrics snapshot as JSON",
+    )
+
+
+@contextlib.contextmanager
+def _observed(args):
+    """Route a command through a recording observation when asked to.
+
+    The journal and the metrics file are finalised in ``finally`` -- the
+    metrics record lands as the journal's last line and the sink is
+    closed *before* ``main`` maps the exception to an exit code, so runs
+    ending 2 (violation) or 3 (budget) still leave complete journals.
+    """
+    trace_out = getattr(args, "trace_out", None)
+    metrics_out = getattr(args, "metrics_out", None)
+    if trace_out is None and metrics_out is None:
+        yield
+        return
+    from repro.obs import JsonlSink, MetricsRegistry, Tracer, observe
+
+    tracer = Tracer(JsonlSink(trace_out)) if trace_out else Tracer()
+    registry = MetricsRegistry()
+    try:
+        with observe(tracer=tracer, metrics=registry):
+            yield
+    finally:
+        try:
+            tracer.emit_metrics(registry)
+        finally:
+            tracer.close()
+        if metrics_out:
+            with open(metrics_out, "w", encoding="utf-8") as handle:
+                json.dump(
+                    registry.snapshot(), handle, indent=2, sort_keys=True
+                )
+                handle.write("\n")
 
 
 def _add_parallel_flags(p) -> None:
@@ -510,12 +663,14 @@ def build_parser() -> argparse.ArgumentParser:
         "exhaustion",
     )
     _add_parallel_flags(p)
+    _add_obs_flags(p)
     p.set_defaults(func=cmd_adversary)
 
     p = sub.add_parser("check", help="model-check agreement/validity")
     p.add_argument("protocol")
     p.add_argument("--max-configs", type=int, default=120_000)
     p.add_argument("--random-runs", type=int, default=20)
+    _add_obs_flags(p)
     p.set_defaults(func=cmd_check)
 
     p = sub.add_parser("audit", help="audit several protocols at once")
@@ -531,6 +686,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-protocol wall-clock deadline in seconds",
     )
     _add_parallel_flags(p)
+    _add_obs_flags(p)
     p.set_defaults(func=cmd_audit)
 
     p = sub.add_parser(
@@ -555,6 +711,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--max-configs", type=int, default=20_000)
     p.add_argument("--crash-configs", type=int, default=600)
+    _add_obs_flags(p)
     p.set_defaults(func=cmd_faults)
 
     p = sub.add_parser("perturb", help="JTT covering induction on an object")
@@ -582,6 +739,31 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.set_defaults(func=cmd_cache)
 
+    p = sub.add_parser(
+        "stats", help="render a trace journal's metrics as tables"
+    )
+    p.add_argument("journal", help="JSONL journal written by --trace-out")
+    p.set_defaults(func=cmd_stats)
+
+    p = sub.add_parser(
+        "trace", help="filter and pretty-print a trace journal"
+    )
+    p.add_argument("journal", help="JSONL journal written by --trace-out")
+    p.add_argument(
+        "--type", default=None,
+        choices=["span_start", "span_end", "event", "metrics"],
+        help="show only records of this type",
+    )
+    p.add_argument(
+        "--name", default=None,
+        help="show only records with this exact name",
+    )
+    p.add_argument(
+        "--limit", type=int, default=None, metavar="N",
+        help="stop after N matching records",
+    )
+    p.set_defaults(func=cmd_trace)
+
     return parser
 
 
@@ -589,7 +771,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
-        return args.func(args)
+        with _observed(args):
+            return args.func(args)
     except ViolationError as exc:
         # A command let a violation escape instead of formatting it --
         # still honour the exit-code contract, never a raw traceback.

@@ -45,6 +45,11 @@ from repro.core.valency import ValencyOracle
 from repro.model.configuration import Configuration
 from repro.model.schedule import Schedule, concat
 from repro.model.system import System
+from repro.obs.runtime import get_metrics, get_tracer
+
+#: Bucket edges for per-round covered-register counts: bounded by the
+#: protocol's register count, which Theorem 1 keeps below n.
+COVER_EDGES = (0, 1, 2, 3, 4, 6, 8, 12, 16, 32)
 
 
 @dataclass(frozen=True)
@@ -104,6 +109,23 @@ def lemma4(
     are re-checked; disable only in benchmarks that time the bare
     construction.
     """
+    with get_tracer().span(
+        "lemma4", depth=_depth, pids=sorted(processes)
+    ):
+        return _lemma4_impl(
+            system, oracle, config, processes, verify, stats, _depth
+        )
+
+
+def _lemma4_impl(
+    system: System,
+    oracle: ValencyOracle,
+    config: Configuration,
+    processes: FrozenSet[int],
+    verify: bool,
+    stats: Optional[ConstructionStats],
+    _depth: int,
+) -> Lemma4Result:
     processes = frozenset(processes)
     if len(processes) < 2:
         raise AdversaryError("Lemma 4 needs |P| >= 2")
@@ -224,12 +246,18 @@ def _make_record(
             f"induction postcondition failed: {sorted(covering)} do not "
             "cover distinct registers"
         )
-    return _NiceRecord(
+    record = _NiceRecord(
         config=config,
         pair=pair,
         covering=covering,
         covered=covered_registers(system, config, covering),
     )
+    metrics = get_metrics()
+    metrics.counter("construction.nice_configs").inc()
+    metrics.histogram(
+        "construction.covered_per_round", COVER_EDGES
+    ).observe(len(record.covered))
+    return record
 
 
 def _insert_z(
@@ -248,6 +276,13 @@ def _insert_z(
     """Steps 3-4: pigeonhole matched (i, j); insert z invisibly at D_i."""
     record_i = records[i]
     covered = record_i.covered
+    get_tracer().event(
+        "construction.pigeonhole",
+        i=i,
+        j=j,
+        z=z,
+        covered=sorted(covered, key=repr),
+    )
 
     # z's solo deciding run from D_i.phi_i must write outside the covered
     # set (Lemma 2; preconditions: R_i covers those registers, beta_i is

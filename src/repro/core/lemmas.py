@@ -23,6 +23,7 @@ from repro.core.valency import ValencyOracle
 from repro.model.configuration import Configuration
 from repro.model.schedule import Schedule, concat
 from repro.model.system import System
+from repro.obs.runtime import get_tracer
 
 #: Bound on solo executions used when materialising deciding runs.
 DEFAULT_SOLO_BOUND = 100_000
@@ -68,6 +69,7 @@ def lemma1(
     for z, q in ((z1, q1), (z2, q2)):
         if any(oracle.can_decide(config, q, u) for u in others):
             _require_bivalent(oracle, config, q, "Lemma 1 fast path")
+            get_tracer().event("lemma1", phi_len=0, z=z, fast_path=True)
             return Lemma1Result(phi=(), z=z)
 
     # Both Q1, Q2 are v-univalent from C.  P is bivalent, so take a
@@ -91,10 +93,16 @@ def lemma1(
             if q2_flipped and oracle.can_decide(nxt, q2, v):
                 result = Lemma1Result(phi=phi, z=z2)
                 _require_bivalent(oracle, nxt, q2, "Lemma 1")
+                get_tracer().event(
+                    "lemma1", phi_len=len(phi), z=z2, fast_path=False
+                )
                 return result
             if q1_flipped and oracle.can_decide(nxt, q1, v):
                 result = Lemma1Result(phi=phi, z=z1)
                 _require_bivalent(oracle, nxt, q1, "Lemma 1")
+                get_tracer().event(
+                    "lemma1", phi_len=len(phi), z=z1, fast_path=False
+                )
                 return result
             raise AdversaryError(
                 "Lemma 1: a set flipped to vbar but lost v; this "
@@ -218,6 +226,13 @@ def lemma3(
 
     # Fast path: R already bivalent from C.beta -- any q will do.
     if oracle.is_bivalent(after_block, covering):
+        get_tracer().event(
+            "lemma3",
+            phi_len=0,
+            q=min(quiet),
+            beta_len=len(beta),
+            fast_path=True,
+        )
         return Lemma3Result(phi=(), q=min(quiet), beta=beta)
 
     vbar = _pick_complement(oracle, config, quiet, v)
@@ -236,6 +251,13 @@ def lemma3(
             base, _ = system.run(config, concat(phi, beta))
             _require_bivalent(
                 oracle, base, covering | {pid}, "Lemma 3"
+            )
+            get_tracer().event(
+                "lemma3",
+                phi_len=len(phi),
+                q=pid,
+                beta_len=len(beta),
+                fast_path=False,
             )
             return result
         current = nxt

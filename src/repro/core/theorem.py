@@ -24,6 +24,7 @@ from repro.core.lemmas import lemma3, truncate_before_uncovered_write
 from repro.core.valency import ValencyOracle, initial_bivalent_configuration
 from repro.model.schedule import solo
 from repro.model.system import System
+from repro.obs.runtime import get_metrics, get_tracer
 
 
 def space_lower_bound(
@@ -70,22 +71,36 @@ def space_lower_bound(
             workers=workers,
             cache_dir=cache_dir,
         )
-    try:
-        initial, _p0, _p1 = initial_bivalent_configuration(
-            system, oracle=oracle
-        )
-        inputs = tuple([0, 1] + [0] * (n - 2))
-
-        if n == 2:
-            certificate = _two_process_bound(system, inputs)
-        else:
-            certificate = _general_bound(
-                system, oracle, initial, inputs, verify, stats
+    with get_tracer().span(
+        "theorem1", protocol=protocol.name, n=n
+    ):
+        try:
+            initial, _p0, _p1 = initial_bivalent_configuration(
+                system, oracle=oracle
             )
-    finally:
-        if owns_oracle:
-            oracle.close()
-    certificate.validate(system)
+            inputs = tuple([0, 1] + [0] * (n - 2))
+
+            if n == 2:
+                certificate = _two_process_bound(system, inputs)
+            else:
+                certificate = _general_bound(
+                    system, oracle, initial, inputs, verify, stats
+                )
+        finally:
+            if owns_oracle:
+                oracle.close()
+        certificate.validate(system)
+        get_metrics().gauge("construction.covered_registers").set_max(
+            len(certificate.registers)
+        )
+        get_tracer().event(
+            "theorem1.certificate",
+            protocol=protocol.name,
+            n=n,
+            registers=sorted(certificate.registers, key=repr),
+            alpha_len=len(certificate.alpha),
+            zeta_len=len(certificate.zeta),
+        )
     return certificate
 
 

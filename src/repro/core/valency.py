@@ -28,6 +28,7 @@ from repro.analysis.explorer import Explorer
 from repro.model.configuration import Configuration
 from repro.model.schedule import Schedule
 from repro.model.system import System
+from repro.obs.runtime import get_metrics, get_tracer
 
 
 class Valence(enum.Enum):
@@ -159,6 +160,17 @@ class ValencyOracle:
             "disk_hits": 0,
             "disk_stores": 0,
         }
+
+    def _bump(self, name: str, amount: int = 1) -> None:
+        """Advance a stats counter and its ``oracle.*`` registry mirror."""
+        self.stats[name] += amount
+        get_metrics().counter(f"oracle.{name}").inc(amount)
+
+    def _observe_exploration(self, visited: int) -> None:
+        """Account one graph search (the oracle's unit of real work)."""
+        self._bump("explorations")
+        self._bump("explored_configs", visited)
+        get_metrics().histogram("oracle.search_size").observe(visited)
 
     def close(self) -> None:
         """Release pooled resources (sharded explorer workers)."""
@@ -292,7 +304,7 @@ class ValencyOracle:
         if body is None:
             return
         self.cache.store(self._fingerprint, digest, body)
-        self.stats["disk_stores"] += 1
+        self._bump("disk_stores")
 
     def _explore(
         self,
@@ -305,14 +317,14 @@ class ValencyOracle:
         if self._disk_load(config, pids, key) and stop_when is not None:
             known = set(self._witnesses.get(key, {}))
             if key in self._complete or stop_when <= known:
-                self.stats["disk_hits"] += 1
+                self._bump("disk_hits")
                 return False
             if not self.strict and stop_when <= (
                 known | self._bounded_negative.get(key, set())
             ):
                 # Bounded mode: the cold run also answered "not found"
                 # for these values under the same budgets.
-                self.stats["disk_hits"] += 1
+                self._bump("disk_hits")
                 return False
         if self.solo_probe:
             self._solo_probe(config, pids)
@@ -320,9 +332,13 @@ class ValencyOracle:
                 self._witnesses.get(key, {})
             ):
                 return False
-        result = self.explorer.explore(config, pids, stop_when=stop_when)
-        self.stats["explorations"] += 1
-        self.stats["explored_configs"] += result.visited
+        with get_tracer().span(
+            "oracle.explore",
+            pids=sorted(pids),
+            stop_when=None if stop_when is None else sorted(stop_when, key=repr),
+        ):
+            result = self.explorer.explore(config, pids, stop_when=stop_when)
+        self._observe_exploration(result.visited)
         known = self._witnesses.setdefault(key, {})
         for value, witness in result.decided.items():
             known.setdefault(value, witness)
@@ -338,18 +354,18 @@ class ValencyOracle:
         pid_set = frozenset(pids)
         if not pid_set:
             raise ValueError("valency is defined for non-empty process sets")
-        self.stats["queries"] += 1
+        self._bump("queries")
         key = self._key(config, pid_set)
         if self.memoize:
             known = self._witnesses.get(key, {})
             if value in known:
-                self.stats["cache_hits"] += 1
+                self._bump("cache_hits")
                 return True
             if key in self._complete:
-                self.stats["cache_hits"] += 1
+                self._bump("cache_hits")
                 return value in self._complete[key]
             if value in self._bounded_negative.get(key, ()):
-                self.stats["cache_hits"] += 1
+                self._bump("cache_hits")
                 return False
         explored = self._explore(config, pid_set, stop_when=frozenset({value}))
         known = self._witnesses.get(key, {})
@@ -383,11 +399,14 @@ class ValencyOracle:
         schedule = self._witnesses[self._key(config, pid_set)][value]
         if self._witness_replays(config, schedule, value):
             return schedule
-        result = self.explorer.explore(
-            config, pid_set, stop_when=frozenset({value})
-        )
-        self.stats["explorations"] += 1
-        self.stats["explored_configs"] += result.visited
+        with get_tracer().span(
+            "oracle.explore", pids=sorted(pid_set), stop_when=[value],
+            reason="witness-replay-mismatch",
+        ):
+            result = self.explorer.explore(
+                config, pid_set, stop_when=frozenset({value})
+            )
+        self._observe_exploration(result.visited)
         fresh = result.decided.get(value)
         if fresh is None or not self._witness_replays(config, fresh, value):
             raise AdversaryError(

@@ -100,3 +100,7 @@ class ViolationError(ReproError):
 
 class CertificateError(ReproError):
     """A lower-bound certificate failed re-validation by replay."""
+
+
+class JournalError(ReproError):
+    """A trace journal is malformed (bad JSON line, schema violation)."""

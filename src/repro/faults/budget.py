@@ -19,6 +19,7 @@ import time
 from typing import Optional
 
 from repro.errors import BudgetExhausted
+from repro.obs.runtime import get_tracer
 
 __all__ = ["Budget", "BudgetExhausted"]
 
@@ -55,6 +56,12 @@ class Budget:
         """Charge ``cost`` steps; raise when either allowance runs out."""
         self.spent += cost
         if self.max_steps is not None and self.spent > self.max_steps:
+            get_tracer().event(
+                "budget.exhausted",
+                kind="steps",
+                spent_steps=self.spent,
+                max_steps=self.max_steps,
+            )
             raise BudgetExhausted(
                 f"step budget of {self.max_steps} exhausted",
                 spent_steps=self.spent,
@@ -67,6 +74,13 @@ class Budget:
             self._ticks_since_clock = 0
             elapsed = self.elapsed()
             if elapsed > self.deadline:
+                get_tracer().event(
+                    "budget.exhausted",
+                    kind="deadline",
+                    spent_steps=self.spent,
+                    deadline=self.deadline,
+                    elapsed=elapsed,
+                )
                 raise BudgetExhausted(
                     f"wall-clock deadline of {self.deadline:.1f}s exceeded "
                     f"({elapsed:.1f}s elapsed)",

@@ -44,6 +44,7 @@ from repro.faults.registers import (
     stale_read_plan,
 )
 from repro.faults.resume import JournaledOracle, PartialProgress, QueryJournal
+from repro.obs.runtime import get_tracer
 
 
 @dataclass
@@ -120,32 +121,73 @@ def run_adversary_guarded(
             note=note,
         )
 
-    try:
-        certificate = space_lower_bound(system, verify=verify, oracle=oracle)
-        return AdversaryOutcome(status="certificate", certificate=certificate)
-    except ViolationError as exc:
-        return AdversaryOutcome(status="violation", violation=exc)
-    except BudgetExhausted as exc:
-        report = partial(str(exc))
-        exc.partial = report
-        return AdversaryOutcome(status="budget", partial=report)
-    except ExplorationLimitError as exc:
-        return AdversaryOutcome(
-            status="budget",
-            partial=partial(f"{exc} ({exc.visited} states visited)"),
-        )
-    except AdversaryError as exc:
-        # No witness came with the failure: either the protocol is broken
-        # (hunt a concrete violation) or the oracle budgets misled the
-        # construction (report partial progress for a bigger-budget retry).
-        found = find_violation(system)
-        if found is not None:
-            return AdversaryOutcome(status="violation", violation=found)
-        return AdversaryOutcome(
-            status="budget", partial=partial(f"construction failed: {exc}")
-        )
-    finally:
-        oracle.close()
+    tracer = get_tracer()
+
+    def outcome_event(status: str, **fields) -> None:
+        """Terminal event: every guarded run emits exactly one of these,
+        whatever branch it exits through."""
+        tracer.event("adversary.outcome", status=status, **fields)
+
+    with tracer.span(
+        "adversary",
+        protocol=system.protocol.name,
+        n=system.protocol.n,
+        workers=workers,
+        strict=strict,
+        resumed=resume is not None,
+    ):
+        try:
+            certificate = space_lower_bound(
+                system, verify=verify, oracle=oracle
+            )
+            outcome_event(
+                "certificate", registers=len(certificate.registers)
+            )
+            return AdversaryOutcome(
+                status="certificate", certificate=certificate
+            )
+        except ViolationError as exc:
+            outcome_event(
+                "violation",
+                detail=str(exc),
+                witness_len=len(exc.witness or ()),
+            )
+            return AdversaryOutcome(status="violation", violation=exc)
+        except BudgetExhausted as exc:
+            report = partial(str(exc))
+            exc.partial = report
+            outcome_event(
+                "budget", detail=str(exc), queries=len(journal.entries)
+            )
+            return AdversaryOutcome(status="budget", partial=report)
+        except ExplorationLimitError as exc:
+            outcome_event(
+                "budget", detail=str(exc), visited=exc.visited
+            )
+            return AdversaryOutcome(
+                status="budget",
+                partial=partial(f"{exc} ({exc.visited} states visited)"),
+            )
+        except AdversaryError as exc:
+            # No witness came with the failure: either the protocol is
+            # broken (hunt a concrete violation) or the oracle budgets
+            # misled the construction (report partial progress for a
+            # bigger-budget retry).
+            found = find_violation(system)
+            if found is not None:
+                outcome_event(
+                    "violation",
+                    detail=str(found),
+                    witness_len=len(found.witness or ()),
+                )
+                return AdversaryOutcome(status="violation", violation=found)
+            outcome_event("budget", detail=f"construction failed: {exc}")
+            return AdversaryOutcome(
+                status="budget",
+                partial=partial(f"construction failed: {exc}"),
+            )
+        finally:
+            oracle.close()
 
 
 def find_violation(

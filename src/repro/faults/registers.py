@@ -26,6 +26,7 @@ from repro.model.operations import Operation, Read
 from repro.model.process import Protocol
 from repro.model.registers import apply_operation
 from repro.model.system import System, Tape, zero_tape
+from repro.obs.runtime import get_metrics
 
 
 def _corrupt(value: Hashable) -> Hashable:
@@ -79,25 +80,35 @@ class RegisterFaultPlan:
         response: Hashable,
         initial: Hashable,
     ) -> Tuple[Hashable, Hashable]:
-        """Map a faithful (new value, response) to a possibly-faulty one."""
+        """Map a faithful (new value, response) to a possibly-faulty one.
+
+        Fault decisions are counted in the metrics registry
+        (``faults.stale_read`` / ``faults.lost_write`` /
+        ``faults.corrupt_write`` for injections, ``faults.passed`` for
+        rolls that spared the operation) -- but only on paths where a
+        roll actually happens, so all-zero-rate plans (the overhead
+        benchmark's identity plan) touch no instruments at all."""
         if not self.active_on(obj):
             return new_value, response
         if isinstance(op, Read):
-            if self.stale_read_rate > 0.0 and (
-                self._roll("stale", obj, state, op) < self.stale_read_rate
-            ):
-                return new_value, initial
+            if self.stale_read_rate > 0.0:
+                if self._roll("stale", obj, state, op) < self.stale_read_rate:
+                    get_metrics().counter("faults.stale_read").inc()
+                    return new_value, initial
+                get_metrics().counter("faults.passed").inc()
             return new_value, response
         if not op.is_write:
             return new_value, response
-        if self.lost_write_rate > 0.0 and (
-            self._roll("lost", obj, state, op) < self.lost_write_rate
-        ):
-            return state, response
-        if self.corrupt_rate > 0.0 and (
-            self._roll("corrupt", obj, state, op) < self.corrupt_rate
-        ):
-            return _corrupt(new_value), response
+        if self.lost_write_rate > 0.0:
+            if self._roll("lost", obj, state, op) < self.lost_write_rate:
+                get_metrics().counter("faults.lost_write").inc()
+                return state, response
+            get_metrics().counter("faults.passed").inc()
+        if self.corrupt_rate > 0.0:
+            if self._roll("corrupt", obj, state, op) < self.corrupt_rate:
+                get_metrics().counter("faults.corrupt_write").inc()
+                return _corrupt(new_value), response
+            get_metrics().counter("faults.passed").inc()
         return new_value, response
 
     def describe(self) -> str:

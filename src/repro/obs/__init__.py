@@ -1,0 +1,68 @@
+"""Observability for the adversary stack: metrics, traces, profiling.
+
+Zero-dependency and off-by-default: the ambient tracer is a
+:class:`~repro.obs.trace.NullSink` (spans and events cost one attribute
+check) while metrics accumulate into a cheap in-process registry.  The
+CLI's ``--trace-out``/``--metrics-out`` flags, ``repro stats`` and
+``repro trace`` are the user surface; :func:`~repro.obs.runtime.observe`
+and :func:`~repro.obs.runtime.unobserved` are the programmatic one.
+
+See ``docs/THEORY.md`` ("Observability") for the mapping from each
+metric to the proof quantity it measures.
+"""
+
+from repro.obs.metrics import (
+    DEFAULT_EDGES,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+)
+from repro.obs.runtime import (
+    Observation,
+    current,
+    get_metrics,
+    get_tracer,
+    observe,
+    unobserved,
+)
+from repro.obs.trace import (
+    REQUIRED_KEYS,
+    SCHEMA_VERSION,
+    JsonlSink,
+    MemorySink,
+    NullSink,
+    Tracer,
+    jsonable,
+    new_run_id,
+    parse_journal,
+    validate_record,
+)
+from repro.errors import JournalError
+
+__all__ = [
+    "DEFAULT_EDGES",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "JournalError",
+    "JsonlSink",
+    "MemorySink",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NullSink",
+    "Observation",
+    "REQUIRED_KEYS",
+    "SCHEMA_VERSION",
+    "Tracer",
+    "current",
+    "get_metrics",
+    "get_tracer",
+    "jsonable",
+    "new_run_id",
+    "observe",
+    "parse_journal",
+    "unobserved",
+    "validate_record",
+]

@@ -1,0 +1,243 @@
+"""Process-safe metrics: counters, gauges, fixed-bucket histograms.
+
+The adversary stack is a tree of engines (oracle -> explorer -> worker
+processes), so the registry is built around *mergeable snapshots*: a
+worker accumulates into its own :class:`MetricsRegistry`, ships a plain
+``snapshot()`` dict across the process boundary, and the coordinator
+folds it in with :meth:`MetricsRegistry.merge`.  Every merge operation
+commutes -- counters add, gauges take the max, histograms have bucket
+edges fixed at creation so their count vectors add element-wise --
+which makes the merged result deterministic no matter how the pool
+interleaves worker completions.
+
+Instrumented hot loops hoist their handles once
+(``registry.counter("explorer.edges")``) and pay one attribute
+increment per event.  When observability is disabled entirely
+(:func:`repro.obs.runtime.unobserved`), the same call sites receive
+shared no-op instruments from :class:`NullRegistry`, so the residual
+cost is a single no-op method call.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Sequence, Tuple
+
+#: Default histogram bucket edges: powers of two spanning the scales the
+#: explorers actually produce (branching factors through visited-config
+#: counts).  Edges are upper bounds; the last bucket is unbounded.
+DEFAULT_EDGES: Tuple[float, ...] = (
+    1, 2, 4, 8, 16, 32, 64, 128, 256, 1024, 4096, 16384, 65536,
+)
+
+
+class Counter:
+    """A monotonically increasing integer."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """A last-written (or maximum) value; ``None`` until first set."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: Optional[float] = None
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def set_max(self, value: float) -> None:
+        if self.value is None or value > self.value:
+            self.value = value
+
+
+class Histogram:
+    """Fixed-bucket histogram: ``counts[i]`` tallies values <= ``edges[i]``,
+    with one final unbounded bucket.  The edges never change after
+    construction, so two histograms of the same name always merge by
+    element-wise addition."""
+
+    __slots__ = ("edges", "counts", "count", "sum", "min", "max")
+
+    def __init__(self, edges: Sequence[float] = DEFAULT_EDGES):
+        self.edges: Tuple[float, ...] = tuple(edges)
+        self.counts = [0] * (len(self.edges) + 1)
+        self.count = 0
+        self.sum = 0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        index = 0
+        for edge in self.edges:
+            if value <= edge:
+                break
+            index += 1
+        self.counts[index] += 1
+        self.count += 1
+        self.sum += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+
+class MetricsRegistry:
+    """Create-or-get instrument store with deterministic snapshot/merge."""
+
+    #: Distinguishes live registries from :class:`NullRegistry`.
+    enabled = True
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # -- instruments --------------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        instrument = self._counters.get(name)
+        if instrument is None:
+            instrument = self._counters[name] = Counter()
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            instrument = self._gauges[name] = Gauge()
+        return instrument
+
+    def histogram(
+        self, name: str, edges: Sequence[float] = DEFAULT_EDGES
+    ) -> Histogram:
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            instrument = self._histograms[name] = Histogram(edges)
+        elif tuple(edges) != instrument.edges:
+            raise ValueError(
+                f"histogram {name!r} already exists with edges "
+                f"{instrument.edges}, cannot re-register with {tuple(edges)}"
+            )
+        return instrument
+
+    # -- snapshot / merge ---------------------------------------------------
+    def snapshot(self) -> Dict[str, Any]:
+        """A plain, picklable, JSON-safe dict of every instrument.
+
+        Keys are sorted so identical registries serialize identically.
+        """
+        return {
+            "counters": {
+                name: self._counters[name].value
+                for name in sorted(self._counters)
+            },
+            "gauges": {
+                name: self._gauges[name].value
+                for name in sorted(self._gauges)
+            },
+            "histograms": {
+                name: {
+                    "edges": list(hist.edges),
+                    "counts": list(hist.counts),
+                    "count": hist.count,
+                    "sum": hist.sum,
+                    "min": hist.min,
+                    "max": hist.max,
+                }
+                for name, hist in sorted(self._histograms.items())
+            },
+        }
+
+    def merge(self, snapshot: Dict[str, Any]) -> None:
+        """Fold a ``snapshot()`` dict (e.g. a worker shard) into this
+        registry.  Commutative and associative: merging shards in any
+        completion order yields the same totals."""
+        for name, value in snapshot.get("counters", {}).items():
+            self.counter(name).inc(int(value))
+        for name, value in snapshot.get("gauges", {}).items():
+            if value is not None:
+                self.gauge(name).set_max(value)
+        for name, body in snapshot.get("histograms", {}).items():
+            hist = self.histogram(name, tuple(body["edges"]))
+            if list(hist.edges) != list(body["edges"]):
+                raise ValueError(
+                    f"histogram {name!r} merge with mismatched edges"
+                )
+            for index, count in enumerate(body["counts"]):
+                hist.counts[index] += int(count)
+            hist.count += int(body["count"])
+            hist.sum += body["sum"]
+            if body["min"] is not None and (
+                hist.min is None or body["min"] < hist.min
+            ):
+                hist.min = body["min"]
+            if body["max"] is not None and (
+                hist.max is None or body["max"] > hist.max
+            ):
+                hist.max = body["max"]
+
+    def reset(self) -> None:
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+
+
+class _NullInstrument:
+    """One shared do-nothing counter/gauge/histogram."""
+
+    __slots__ = ()
+    value = 0
+    count = 0
+    sum = 0
+
+    def inc(self, amount: int = 1) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def set_max(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class NullRegistry:
+    """A registry whose instruments discard everything.
+
+    Installed by :func:`repro.obs.runtime.unobserved`; the baseline leg
+    of ``benchmarks/bench_obs.py`` runs under it to approximate the
+    uninstrumented stack.
+    """
+
+    enabled = False
+
+    def counter(self, name: str) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def gauge(self, name: str) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def histogram(
+        self, name: str, edges: Sequence[float] = DEFAULT_EDGES
+    ) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def merge(self, snapshot: Dict[str, Any]) -> None:
+        pass
+
+    def reset(self) -> None:
+        pass

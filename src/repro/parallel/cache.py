@@ -34,6 +34,8 @@ import tempfile
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro.obs.runtime import get_metrics, get_tracer
+
 #: On-disk layout version; bumping it orphans (ignores) older trees.
 CACHE_FORMAT = 1
 
@@ -107,7 +109,7 @@ class ValencyCache:
         try:
             raw = path.read_text(encoding="utf-8")
         except OSError:
-            self.counters["misses"] += 1
+            self._bump("misses")
             return None
         try:
             payload = json.loads(raw)
@@ -122,16 +124,19 @@ class ValencyCache:
                 raise ValueError("key digest mismatch")
             if payload.get("checksum") != _body_checksum(body):
                 raise ValueError("checksum mismatch")
-        except (KeyError, TypeError, ValueError):
+        except (KeyError, TypeError, ValueError) as defect:
             self._quarantine(path)
-            self.counters["corrupt"] += 1
-            self.counters["misses"] += 1
+            self._bump("corrupt")
+            self._bump("misses")
+            get_tracer().event(
+                "cache.quarantine", path=str(path), defect=str(defect)
+            )
             return None
         try:
             os.utime(path)  # refresh the LRU clock
         except OSError:
             pass
-        self.counters["hits"] += 1
+        self._bump("hits")
         return body
 
     # -- write --------------------------------------------------------------
@@ -161,8 +166,13 @@ class ValencyCache:
             except OSError:
                 pass
             raise
-        self.counters["stores"] += 1
+        self._bump("stores")
         self._evict_to_bound()
+
+    def _bump(self, name: str) -> None:
+        """Advance a local counter and its ``valency_cache.*`` mirror."""
+        self.counters[name] += 1
+        get_metrics().counter(f"valency_cache.{name}").inc()
 
     # -- maintenance --------------------------------------------------------
     def _quarantine(self, path: Path) -> None:
@@ -198,7 +208,7 @@ class ValencyCache:
             except OSError:
                 continue
             total -= stat.st_size
-            self.counters["evicted"] += 1
+            self._bump("evicted")
 
     def clear(self) -> int:
         """Delete every cache file (entries and quarantined ones).

@@ -46,7 +46,8 @@ from repro.analysis.explorer import (
 from repro.model.configuration import Configuration
 from repro.model.schedule import Schedule
 from repro.model.system import System
-from repro.parallel.worker import expand_batch
+from repro.obs.runtime import get_metrics, get_tracer
+from repro.parallel.worker import expand_batch_metered
 
 #: Default start method; ``spawn`` works everywhere and inherits nothing.
 DEFAULT_MP_CONTEXT = "spawn"
@@ -171,6 +172,13 @@ class ShardedExplorer:
         pid_set = frozenset(pids)
         result = ExplorationResult(root=root, pids=pid_set)
 
+        # Same instrument names and logical points as the sequential
+        # explorer; edge/branching counts arrive as worker shards, the
+        # coordinator adds its dedup decisions and frontier widths.
+        metrics = get_metrics()
+        dedup_c = metrics.counter("explorer.dedup_hits")
+        level_sizes: Dict[int, int] = {0: 1}
+
         root_key = protocol.canonical_query_key(root, pid_set)
         parents: Dict[Hashable, Optional[Tuple[Hashable, int]]] = {
             root_key: None
@@ -190,6 +198,24 @@ class ShardedExplorer:
             }
             result.visited = len(parents)
             result.complete = complete and not result.truncated
+            metrics.counter("explorer.explorations").inc()
+            metrics.counter("explorer.visited").inc(result.visited)
+            frontier_h = metrics.histogram("explorer.frontier")
+            for depth_level in sorted(level_sizes):
+                frontier_h.observe(level_sizes[depth_level])
+            metrics.gauge("explorer.frontier_peak").set_max(
+                max(level_sizes.values())
+            )
+            get_tracer().event(
+                "explore.done",
+                engine="sharded",
+                workers=self.workers,
+                pids=sorted(pid_set),
+                visited=result.visited,
+                complete=result.complete,
+                truncated=result.truncated,
+                decided=sorted(found, key=repr),
+            )
             return result
 
         record_decisions(tuple(system.decided_values(root)), root_key)
@@ -216,10 +242,17 @@ class ShardedExplorer:
                     self.budget.tick()
                 for pid, succ, succ_key, decided in rows.get(index, ()):
                     if succ_key in parents:
+                        dedup_c.inc()
                         continue
                     parents[succ_key] = (key, pid)
                     if len(parents) > self.max_configs:
                         if self.strict:
+                            get_tracer().event(
+                                "exploration_limit",
+                                visited=len(parents),
+                                max_configs=self.max_configs,
+                                pids=sorted(pid_set),
+                            )
                             raise ExplorationLimitError(
                                 f"exploration from root exceeded "
                                 f"{self.max_configs} configurations "
@@ -231,6 +264,9 @@ class ShardedExplorer:
                     record_decisions(decided, succ_key)
                     if stop_when is not None and stop_when <= set(found):
                         return finish(complete=False)
+                    level_sizes[depth + 1] = (
+                        level_sizes.get(depth + 1, 0) + 1
+                    )
                     next_level.append((succ, succ_key))
             level = next_level
             depth += 1
@@ -256,7 +292,9 @@ class ShardedExplorer:
         rows: Dict[int, list] = {}
         if not tasks:
             return rows
-        for batch in self._pool.map(expand_batch, tasks):
+        metrics = get_metrics()
+        for batch, shard in self._pool.map(expand_batch_metered, tasks):
+            metrics.merge(shard)
             for index, events in batch:
                 rows[index] = events
         return rows

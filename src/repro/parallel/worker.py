@@ -16,10 +16,11 @@ worker, not once per task.
 from __future__ import annotations
 
 import pickle
-from typing import Dict, Hashable, List, Tuple
+from typing import Any, Dict, Hashable, List, Tuple
 
 from repro.model.configuration import Configuration
 from repro.model.system import System
+from repro.obs.metrics import MetricsRegistry
 
 #: Per-process memo of deserialized systems, keyed by the pickle blob.
 _SYSTEMS: Dict[bytes, System] = {}
@@ -44,8 +45,10 @@ def system_from_blob(blob: bytes) -> System:
     return system
 
 
-def expand_batch(task: Task) -> List[Tuple[int, List[Event]]]:
-    """Expand one shard's slice of a BFS level.
+def expand_batch_metered(
+    task: Task,
+) -> Tuple[List[Tuple[int, List[Event]]], Dict[str, Any]]:
+    """Expand one shard's slice of a BFS level, with a metrics shard.
 
     For each (index, configuration) item, step every enabled pid in
     sorted order and report ``(pid, successor, key, decided values)``
@@ -55,10 +58,23 @@ def expand_batch(task: Task) -> List[Tuple[int, List[Event]]]:
     is also the first the sequential merge would accept -- later
     duplicates could never win and only cost transfer.
 
+    The second return value is a per-worker metrics shard
+    (:meth:`repro.obs.metrics.MetricsRegistry.snapshot`): the edge,
+    branching and in-batch-dedup counts the sequential explorer would
+    have recorded for the same expansions.  The coordinator merges the
+    shards (addition commutes, histogram edges are fixed), so for a
+    completed exploration the merged totals equal the sequential run's.
+
     Exceptions (model errors, halted-process steps on malformed
     protocols) propagate to the coordinator via the pool, preserving
     their types and attributes.
     """
+    from repro.analysis.explorer import BRANCHING_EDGES
+
+    registry = MetricsRegistry()
+    edges_c = registry.counter("explorer.edges")
+    dedup_c = registry.counter("explorer.dedup_hits")
+    branching_h = registry.histogram("explorer.branching", BRANCHING_EDGES)
     blob, pids, items = task
     system = system_from_blob(blob)
     protocol = system.protocol
@@ -67,16 +83,30 @@ def expand_batch(task: Task) -> List[Tuple[int, List[Event]]]:
     out: List[Tuple[int, List[Event]]] = []
     for index, config in items:
         events: List[Event] = []
+        branch = 0
         for pid in pids:
             if not system.enabled(config, pid):
                 continue
+            branch += 1
+            edges_c.inc()
             succ, _ = system.step(config, pid)
             succ_key = protocol.canonical_query_key(succ, pid_set)
             if succ_key in seen_in_batch:
+                # An earlier in-batch event claims this key, so whatever
+                # the coordinator decides about that event, this one is
+                # a duplicate -- the sequential loop would count it as a
+                # dedup hit at the same logical point.
+                dedup_c.inc()
                 continue
             seen_in_batch.add(succ_key)
             events.append(
                 (pid, succ, succ_key, tuple(system.decided_values(succ)))
             )
+        branching_h.observe(branch)
         out.append((index, events))
-    return out
+    return out, registry.snapshot()
+
+
+def expand_batch(task: Task) -> List[Tuple[int, List[Event]]]:
+    """The un-metered view of :func:`expand_batch_metered` (same events)."""
+    return expand_batch_metered(task)[0]

@@ -1,0 +1,135 @@
+"""CLI observability surface: --trace-out/--metrics-out on the run
+commands, and the stats/trace renderers against real journals.
+
+The load-bearing property: journals are complete, parseable JSONL for
+*every* exit code -- 0 (certificate), 2 (violation) and 3 (budget) --
+because the sink flushes per record and ``main`` finalises the journal
+before mapping exceptions to exit codes.
+"""
+
+import json
+
+from repro.cli import main
+from repro.core.serialize import certificate_from_json
+from repro.faults import run_adversary_guarded
+from repro.model.system import System
+from repro.obs import parse_journal
+from repro.protocols.consensus import CommitAdoptRounds
+
+
+def outcome_statuses(records):
+    return [
+        record["data"]["status"]
+        for record in records
+        if record["type"] == "event"
+        and record["name"] == "adversary.outcome"
+    ]
+
+
+def test_adversary_success_journal_and_metrics(tmp_path, capsys):
+    journal = tmp_path / "run.jsonl"
+    metrics = tmp_path / "metrics.json"
+    rc = main([
+        "adversary", "rounds:3",
+        "--trace-out", str(journal),
+        "--metrics-out", str(metrics),
+    ])
+    assert rc == 0
+    records = parse_journal(journal)
+    assert records[-1]["type"] == "metrics"
+    assert outcome_statuses(records) == ["certificate"]
+
+    snapshot = json.loads(metrics.read_text("utf-8"))
+    assert snapshot["counters"]["oracle.queries"] > 0
+    assert snapshot["gauges"]["construction.covered_registers"] == 2
+    # The journal's metrics record and the metrics file agree.
+    assert records[-1]["data"]["counters"] == snapshot["counters"]
+
+
+def test_adversary_violation_exit_2_flushed_journal(tmp_path, capsys):
+    journal = tmp_path / "violation.jsonl"
+    rc = main([
+        "adversary", "split-brain:3", "--trace-out", str(journal),
+    ])
+    assert rc == 2
+    records = parse_journal(journal)  # complete despite the violation
+    assert records[-1]["type"] == "metrics"
+    assert outcome_statuses(records) == ["violation"]
+
+
+def test_adversary_budget_exit_3_flushed_journal(tmp_path, capsys):
+    journal = tmp_path / "budget.jsonl"
+    rc = main([
+        "adversary", "rounds:3", "--budget", "5",
+        "--trace-out", str(journal),
+    ])
+    assert rc == 3
+    records = parse_journal(journal)  # complete despite the exhaustion
+    assert records[-1]["type"] == "metrics"
+    assert outcome_statuses(records) == ["budget"]
+    events = [r["name"] for r in records if r["type"] == "event"]
+    assert "budget.exhausted" in events
+
+
+def test_check_supports_trace_out(tmp_path, capsys):
+    journal = tmp_path / "check.jsonl"
+    rc = main(["check", "tas:2", "--trace-out", str(journal)])
+    assert rc == 0
+    records = parse_journal(journal)
+    assert records[-1]["type"] == "metrics"
+
+
+def test_stats_matches_certificate(tmp_path, capsys):
+    """Acceptance: a traced Theorem 1 run's stats agree with its
+    certificate."""
+    journal = tmp_path / "run.jsonl"
+    cert_path = tmp_path / "cert.json"
+    rc = main([
+        "adversary", "rounds:3",
+        "--trace-out", str(journal),
+        "--out", str(cert_path),
+    ])
+    assert rc == 0
+    capsys.readouterr()
+
+    certificate = certificate_from_json(cert_path.read_text("utf-8"))
+    outcome = run_adversary_guarded(System(CommitAdoptRounds(3)))
+    assert outcome.certificate.registers == certificate.registers
+
+    assert main(["stats", str(journal)]) == 0
+    out = capsys.readouterr().out
+    assert "covered registers" in out
+    # The derived row equals the certificate's register count.
+    line = next(
+        l for l in out.splitlines() if l.startswith("covered registers")
+    )
+    assert line.split()[-1] == str(len(certificate.registers))
+    assert "oracle memo hit rate" in out
+    assert "frontier peak" in out
+
+
+def test_stats_without_metrics_record(tmp_path, capsys):
+    journal = tmp_path / "empty.jsonl"
+    journal.write_text("", "utf-8")
+    assert main(["stats", str(journal)]) == 1
+    assert "no metrics record" in capsys.readouterr().out
+
+
+def test_trace_filters_by_name(tmp_path, capsys):
+    journal = tmp_path / "run.jsonl"
+    assert main(
+        ["adversary", "rounds:3", "--trace-out", str(journal)]
+    ) == 0
+    capsys.readouterr()
+    assert main(
+        ["trace", str(journal), "--name", "adversary.outcome"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "adversary.outcome" in out
+    assert "lemma1" not in out
+
+
+def test_untraced_runs_write_no_files(tmp_path, capsys):
+    rc = main(["adversary", "tas:2"])
+    assert rc == 0
+    assert list(tmp_path.iterdir()) == []

@@ -1,0 +1,91 @@
+"""Observability must not change results: instrumented runs produce
+bit-identical certificates, witnesses and checker verdicts.
+
+The trace/metrics layer rides along every hot path of the adversary
+stack; these tests run the same tier-1 scenarios once under a recording
+observation and once under the default NullSink and compare the
+*serialized* outputs, so any instrumentation that leaked into control
+flow (an event that consumed an iterator, a span that swallowed an
+exception, a counter that perturbed dict order) fails loudly here.
+"""
+
+from repro.analysis.checker import check_consensus_exhaustive
+from repro.core.serialize import to_json
+from repro.faults import Budget, run_adversary_guarded
+from repro.model.system import System
+from repro.obs import (
+    MemorySink,
+    MetricsRegistry,
+    Tracer,
+    observe,
+)
+from repro.protocols.consensus import (
+    CommitAdoptRounds,
+    SplitBrainConsensus,
+    TasConsensus,
+)
+
+
+def recording():
+    """A fully-live observation: memory-backed tracer, fresh registry."""
+    return observe(tracer=Tracer(MemorySink()), metrics=MetricsRegistry())
+
+
+def test_certificate_identical_under_instrumentation():
+    plain = run_adversary_guarded(System(CommitAdoptRounds(3)))
+    with recording() as obs:
+        traced = run_adversary_guarded(System(CommitAdoptRounds(3)))
+    assert plain.status == traced.status == "certificate"
+    assert to_json(plain.certificate) == to_json(traced.certificate)
+    # The instrumented run actually recorded something.
+    assert obs.tracer.sink.records
+    assert obs.metrics.snapshot()["counters"]["oracle.queries"] > 0
+
+
+def test_violation_witness_identical_under_instrumentation():
+    plain = run_adversary_guarded(System(SplitBrainConsensus(3)))
+    with recording():
+        traced = run_adversary_guarded(System(SplitBrainConsensus(3)))
+    assert plain.status == traced.status == "violation"
+    assert plain.violation.witness == traced.violation.witness
+    assert str(plain.violation) == str(traced.violation)
+
+
+def test_budget_partial_identical_under_instrumentation():
+    def run():
+        return run_adversary_guarded(
+            System(CommitAdoptRounds(3)), budget=Budget(max_steps=5)
+        )
+
+    plain = run()
+    with recording() as obs:
+        traced = run()
+    assert plain.status == traced.status == "budget"
+    assert plain.partial.queries == traced.partial.queries
+    assert plain.partial.spent_steps == traced.partial.spent_steps
+    events = [
+        r["name"] for r in obs.tracer.sink.records if r["type"] == "event"
+    ]
+    assert "budget.exhausted" in events
+    assert "adversary.outcome" in events
+
+
+def test_checker_verdict_identical_under_instrumentation():
+    def run():
+        system = System(TasConsensus(2))
+        return check_consensus_exhaustive(system, [0, 1], max_configs=50_000)
+
+    plain = run()
+    with recording():
+        traced = run()
+    assert plain.ok == traced.ok
+    assert plain.configs_visited == traced.configs_visited
+    assert plain.exhaustive == traced.exhaustive
+
+
+def test_tas2_base_case_certificate_identical():
+    plain = run_adversary_guarded(System(TasConsensus(2)))
+    with recording():
+        traced = run_adversary_guarded(System(TasConsensus(2)))
+    assert plain.status == traced.status == "certificate"
+    assert to_json(plain.certificate) == to_json(traced.certificate)

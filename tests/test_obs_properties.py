@@ -1,0 +1,128 @@
+"""Property-based tests: sharded metric shards merge to the sequential
+run's metrics.
+
+The sharded explorer counts edges, branching and in-batch dedup inside
+worker processes and merges the snapshot shards at the pool join; the
+coordinator adds its own dedup decisions and frontier widths.  For any
+completed exploration this decomposition must be exact: each enabled
+step is counted exactly once -- as an accepted edge, a worker-side
+in-batch duplicate, or a coordinator-side duplicate -- and frontier
+bookkeeping replays the sequential order.  Hypothesis drives arbitrary
+small table protocols through both engines (1 worker = the sequential
+fast path, N workers = real shards) under separate registries and
+demands equal counters and histograms.
+"""
+
+from hypothesis import HealthCheck, given, settings
+import hypothesis.strategies as st
+
+from repro.analysis.explorer import Explorer
+from repro.model.system import System
+from repro.obs import MetricsRegistry, observe
+from repro.parallel import ShardedExplorer
+
+from tests.test_parallel_differential import table_protocols
+
+PROPERTY = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+#: The engine-independent instruments the equality argument covers.
+COMPARED_COUNTERS = (
+    "explorer.edges",
+    "explorer.dedup_hits",
+    "explorer.explorations",
+    "explorer.visited",
+)
+COMPARED_HISTOGRAMS = ("explorer.branching", "explorer.frontier")
+
+
+def explore_with_metrics(make_explorer, root, pids):
+    registry = MetricsRegistry()
+    with observe(metrics=registry):
+        result = make_explorer().explore(root, pids)
+    return result, registry.snapshot()
+
+
+def assert_metrics_equal(seq_snap, par_snap):
+    for name in COMPARED_COUNTERS:
+        assert par_snap["counters"].get(name) == seq_snap["counters"].get(
+            name
+        ), name
+    for name in COMPARED_HISTOGRAMS:
+        seq_h = seq_snap["histograms"].get(name)
+        par_h = par_snap["histograms"].get(name)
+        assert (seq_h is None) == (par_h is None), name
+        if seq_h is not None:
+            assert par_h["counts"] == seq_h["counts"], name
+            assert par_h["count"] == seq_h["count"], name
+            assert par_h["sum"] == seq_h["sum"], name
+    assert par_snap["gauges"].get("explorer.frontier_peak") == seq_snap[
+        "gauges"
+    ].get("explorer.frontier_peak")
+
+
+@given(protocol=table_protocols(), inputs_seed=st.integers(0, 7))
+@PROPERTY
+def test_sharded_metrics_equal_sequential(
+    protocol, inputs_seed, worker_pool, workers
+):
+    system = System(protocol)
+    inputs = [(inputs_seed >> pid) & 1 for pid in range(protocol.n)]
+    root = system.initial_configuration(inputs)
+    pids = frozenset(range(protocol.n))
+
+    _, seq_snap = explore_with_metrics(
+        lambda: Explorer(system, max_configs=50_000), root, pids
+    )
+    _, par_snap = explore_with_metrics(
+        lambda: ShardedExplorer(
+            system, workers=workers, pool=worker_pool, max_configs=50_000
+        ),
+        root,
+        pids,
+    )
+    assert_metrics_equal(seq_snap, par_snap)
+
+
+@given(protocol=table_protocols(), inputs_seed=st.integers(0, 3))
+@PROPERTY
+def test_one_worker_metrics_equal_sequential(protocol, inputs_seed):
+    system = System(protocol)
+    inputs = [(inputs_seed >> pid) & 1 for pid in range(protocol.n)]
+    root = system.initial_configuration(inputs)
+    pids = frozenset(range(protocol.n))
+
+    _, seq_snap = explore_with_metrics(
+        lambda: Explorer(system, max_configs=50_000), root, pids
+    )
+    _, one_snap = explore_with_metrics(
+        lambda: ShardedExplorer(system, workers=1, max_configs=50_000),
+        root,
+        pids,
+    )
+    assert one_snap == seq_snap
+
+
+@given(protocol=table_protocols())
+@PROPERTY
+def test_metrics_are_deterministic_across_repeats(
+    protocol, worker_pool, workers
+):
+    system = System(protocol)
+    root = system.initial_configuration([0, 1] + [0] * (protocol.n - 2))
+    pids = frozenset(range(protocol.n))
+
+    def once():
+        _, snap = explore_with_metrics(
+            lambda: ShardedExplorer(
+                system, workers=workers, pool=worker_pool, max_configs=50_000
+            ),
+            root,
+            pids,
+        )
+        return snap
+
+    assert once() == once()

@@ -1,0 +1,133 @@
+"""Schema regression tests: the journal format is a compatibility
+contract.
+
+``SCHEMA_VERSION`` and ``REQUIRED_KEYS`` are pinned against literal
+values -- changing either is a breaking change to every saved journal
+and must be a deliberate version bump, not a drive-by edit.  The
+round-trip tests record a real adversary run and feed the journal back
+through ``repro trace`` / ``repro stats``.
+"""
+
+import pytest
+
+from repro.cli import main
+from repro.errors import JournalError
+from repro.faults import run_adversary_guarded
+from repro.model.system import System
+from repro.obs import (
+    REQUIRED_KEYS,
+    SCHEMA_VERSION,
+    JsonlSink,
+    MetricsRegistry,
+    Tracer,
+    observe,
+    parse_journal,
+    validate_record,
+)
+from repro.protocols.consensus import CommitAdoptRounds
+
+
+def test_schema_version_is_pinned():
+    # Bumping this is a format break: update parse_journal and the docs,
+    # and keep readers for old journals (or document the abandonment).
+    assert SCHEMA_VERSION == 1
+
+
+def test_required_keys_are_pinned():
+    assert REQUIRED_KEYS == {
+        "span_start": (
+            "v", "t", "run", "type", "name", "id", "parent", "data",
+        ),
+        "span_end": ("v", "t", "run", "type", "name", "id", "status"),
+        "event": ("v", "t", "run", "type", "name", "parent", "data"),
+        "metrics": ("v", "t", "run", "type", "name", "data"),
+    }
+
+
+def test_validate_record_rejects_bad_records():
+    with pytest.raises(JournalError):
+        validate_record([])  # not an object
+    with pytest.raises(JournalError):
+        validate_record({"v": 2, "type": "event"})  # wrong version
+    with pytest.raises(JournalError):
+        validate_record({"v": 1, "type": "nope"})  # unknown type
+    with pytest.raises(JournalError):
+        validate_record({"v": 1, "type": "event", "t": 0.0})  # missing keys
+
+
+@pytest.fixture(scope="module")
+def recorded_journal(tmp_path_factory):
+    """One real traced adversary run, shared by the round-trip tests."""
+    path = tmp_path_factory.mktemp("obs") / "journal.jsonl"
+    tracer = Tracer(JsonlSink(path))
+    registry = MetricsRegistry()
+    try:
+        with observe(tracer=tracer, metrics=registry):
+            outcome = run_adversary_guarded(System(CommitAdoptRounds(3)))
+            assert outcome.status == "certificate"
+        tracer.emit_metrics(registry)
+    finally:
+        tracer.close()
+    return path
+
+
+def test_recorded_journal_validates_line_by_line(recorded_journal):
+    records = parse_journal(recorded_journal)
+    assert records
+    for record in records:
+        kind = validate_record(record)
+        assert kind in REQUIRED_KEYS
+    # One run id throughout.
+    assert len({record["run"] for record in records}) == 1
+    # Timestamps are monotone non-decreasing (a monotonic clock).
+    times = [record["t"] for record in records]
+    assert times == sorted(times)
+
+
+def test_recorded_spans_pair_up(recorded_journal):
+    records = parse_journal(recorded_journal)
+    starts = {
+        r["id"]: r for r in records if r["type"] == "span_start"
+    }
+    ends = {r["id"]: r for r in records if r["type"] == "span_end"}
+    assert starts and set(starts) == set(ends)
+    for span_id, end in ends.items():
+        assert end["status"] == "ok"
+        assert end["t"] >= starts[span_id]["t"]
+    # Parent pointers reference real spans (or the root).
+    for record in records:
+        parent = record.get("parent")
+        assert parent is None or parent in starts
+
+
+def test_metrics_record_is_last(recorded_journal):
+    records = parse_journal(recorded_journal)
+    assert records[-1]["type"] == "metrics"
+    data = records[-1]["data"]
+    assert data["counters"]["oracle.queries"] > 0
+    assert "explorer.frontier" in data["histograms"]
+
+
+def test_trace_command_round_trips(recorded_journal, capsys):
+    assert main(["trace", str(recorded_journal)]) == 0
+    out = capsys.readouterr().out
+    assert "theorem1" in out
+    assert main(
+        ["trace", str(recorded_journal), "--type", "event", "--limit", "3"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "span_start" not in out
+
+
+def test_stats_command_round_trips(recorded_journal, capsys):
+    assert main(["stats", str(recorded_journal)]) == 0
+    out = capsys.readouterr().out
+    assert "oracle.queries" in out
+    assert "oracle memo hit rate" in out
+
+
+def test_cli_rejects_malformed_journal(tmp_path, capsys):
+    bad = tmp_path / "bad.jsonl"
+    bad.write_text('{"v": 99}\n', "utf-8")
+    assert main(["stats", str(bad)]) == 1
+    assert main(["trace", str(bad)]) == 1
