@@ -27,6 +27,7 @@ import bench_step_complexity
 import bench_faults
 import bench_parallel
 import bench_obs
+import bench_lint
 import bench_ablation_memo
 import bench_ablation_historyless
 import bench_ablation_symmetry
@@ -52,6 +53,7 @@ def main() -> None:
         ("E14", bench_faults.main),
         ("E15", lambda: bench_parallel.main(1 if quick else 3)),
         ("E16", lambda: bench_obs.main(3 if quick else 7)),
+        ("E17", lambda: bench_lint.main(3 if quick else 9)),
         ("ablations A/B", bench_ablation_memo.main),
         ("ablation C", bench_ablation_historyless.main),
         ("ablation D", bench_ablation_symmetry.main),

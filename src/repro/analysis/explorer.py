@@ -10,6 +10,36 @@ parent pointer per configuration so witness schedules can be read back.
 Exploration is exact: if the (canonical) reachable graph is larger than
 the configured budget, :class:`~repro.errors.ExplorationLimitError` is
 raised rather than returning a possibly-wrong answer.
+
+Partial-order reduction (``por=True``)
+--------------------------------------
+The BFS wastes much of its time stepping *commuting diamonds*: if
+processes p and q are poised at independent operations in C (disjoint
+registers, or read/read on one register -- see
+:mod:`repro.lint.independence`), then ``C.p.q`` and ``C.q.p`` are the
+same configuration, and the second derivation is pure re-computation
+that deduplication discards only after paying for the step and the
+canonical key.  With ``por=True`` the explorer skips exactly those
+derivations: when expanding a configuration X first discovered via pid
+``p`` from parent C, a pid ``q < p`` whose poised operation commutes
+with the one p took is not stepped.
+
+Why the pruned search is *bit-identical* (not merely equivalent): q's
+local state in X equals its state in C (only p moved), so q was enabled
+at C with the same operation, and commutation gives ``X.q = (C.q).p``
+as configurations.  ``C.q`` was discovered while expanding C *before* X
+was (pids are expanded in ascending order and q < p), so it precedes X
+in the FIFO queue and ``(C.q).p`` -- or its canonical-key equivalent,
+key-equality being preserved by transitions per the
+:meth:`~repro.model.process.Protocol.canonical_key` soundness contract
+-- is recorded in ``parents`` before X is expanded.  Inductively the
+lexicographically-first shortest derivation of every configuration is
+never pruned (were it pruned, the commuted derivation through the
+earlier sibling would be first, a contradiction), so the parent-pointer
+map, the discovery order, the decision sets, the witness schedules, the
+visited count, the budget tick sequence and every early-exit point are
+exactly those of the unpruned search.  Only the pruned step/key
+computations are saved; ``explorer.por_pruned`` counts them.
 """
 
 from __future__ import annotations
@@ -109,6 +139,7 @@ class Explorer:
         max_depth: Optional[int] = None,
         strict: bool = True,
         budget=None,
+        por: bool = False,
     ):
         """``strict`` explorers raise :class:`ExplorationLimitError` when
         the configuration budget is exceeded; non-strict explorers return
@@ -121,12 +152,17 @@ class Explorer:
         ticked once per expanded configuration, it turns every
         exploration -- and therefore every oracle-driven construction --
         into a run that terminates with
-        :class:`~repro.errors.BudgetExhausted` instead of stalling."""
+        :class:`~repro.errors.BudgetExhausted` instead of stalling.
+
+        ``por`` enables the sound partial-order reduction described in
+        the module docstring: results are bit-identical, redundant
+        commuting-diamond derivations are skipped."""
         self.system = system
         self.max_configs = max_configs
         self.max_depth = max_depth
         self.strict = strict
         self.budget = budget
+        self.por = por
 
     def explore(
         self,
@@ -162,6 +198,7 @@ class Explorer:
         metrics = get_metrics()
         edges_c = metrics.counter("explorer.edges")
         dedup_c = metrics.counter("explorer.dedup_hits")
+        pruned_c = metrics.counter("explorer.por_pruned")
         branching_h = metrics.histogram("explorer.branching", BRANCHING_EDGES)
         level_sizes: Dict[int, int] = {0: 1}
 
@@ -175,7 +212,10 @@ class Explorer:
         parents: Dict[Hashable, Optional[Tuple[Hashable, int]]] = {}
         root_key = key_of(root)
         parents[root_key] = None
-        queue = deque([(root, root_key, 0)])
+        # Queue entries carry the (pid, operation) edge over which the
+        # configuration was first discovered (None at the root); the POR
+        # skip condition is evaluated against it.
+        queue = deque([(root, root_key, 0, None)])
         found: Dict[Hashable, Hashable] = {}  # value -> deciding key
 
         def record_decisions(config: Configuration, key: Hashable) -> None:
@@ -212,9 +252,13 @@ class Explorer:
         if stop_when is not None and stop_when <= set(found):
             return finish(complete=False)
 
+        por = self.por
+        if por:
+            from repro.lint.independence import operations_commute
+
         sorted_pids = sorted(pid_set)
         while queue:
-            config, key, depth = queue.popleft()
+            config, key, depth, via = queue.popleft()
             if self.budget is not None:
                 self.budget.tick()
             if self.max_depth is not None and depth >= self.max_depth:
@@ -222,7 +266,19 @@ class Explorer:
                 continue
             branch = 0
             for pid in sorted_pids:
-                if not system.enabled(config, pid):
+                op = system.poised(config, pid)
+                if op is None:
+                    continue
+                if (
+                    por
+                    and via is not None
+                    and pid < via[0]
+                    and operations_commute(via[1], op)
+                ):
+                    # Commuting diamond: this successor was already
+                    # derived through the earlier sibling (see module
+                    # docstring); skip the step and the key.
+                    pruned_c.inc()
                     continue
                 branch += 1
                 edges_c.inc()
@@ -252,7 +308,7 @@ class Explorer:
                 if stop_when is not None and stop_when <= set(found):
                     return finish(complete=False)
                 level_sizes[depth + 1] = level_sizes.get(depth + 1, 0) + 1
-                queue.append((succ, succ_key, depth + 1))
+                queue.append((succ, succ_key, depth + 1, (pid, op)))
             branching_h.observe(branch)
 
         return finish(complete=True)
@@ -285,17 +341,28 @@ class Explorer:
         system = self.system
         protocol = system.protocol
         pid_set = frozenset(pids)
+        por = self.por
+        if por:
+            from repro.lint.independence import operations_commute
         seen = {protocol.canonical_query_key(root, pid_set)}
-        queue = deque([(root, (), 0)])
+        queue = deque([(root, (), 0, None)])
         while queue:
-            config, path, depth = queue.popleft()
+            config, path, depth, via = queue.popleft()
             if self.budget is not None:
                 self.budget.tick()
             yield config, path
             if self.max_depth is not None and depth >= self.max_depth:
                 continue
             for pid in sorted(pid_set):
-                if not system.enabled(config, pid):
+                op = system.poised(config, pid)
+                if op is None:
+                    continue
+                if (
+                    por
+                    and via is not None
+                    and pid < via[0]
+                    and operations_commute(via[1], op)
+                ):
                     continue
                 succ, _ = system.step(config, pid)
                 succ_key = protocol.canonical_query_key(succ, pid_set)
@@ -317,4 +384,4 @@ class Explorer:
                         )
                     return
                 seen.add(succ_key)
-                queue.append((succ, path + (pid,), depth + 1))
+                queue.append((succ, path + (pid,), depth + 1, (pid, op)))

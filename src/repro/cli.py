@@ -12,6 +12,7 @@ perturb     run the JTT covering induction on a long-lived object
 mutex       measure canonical-execution costs of the mutex algorithms
 validate    re-validate a saved certificate JSON against its protocol
 protocols   list the protocols the CLI can name
+lint        static protocol analysis and repository self-lint
 cache       inspect or clear the persistent valency cache
 stats       render the metrics record of a trace journal as tables
 trace       filter and pretty-print a trace journal's spans and events
@@ -20,9 +21,16 @@ The CLI names protocols as ``family:n[:extra]``, e.g. ``rounds:4``,
 ``shared:5:3``, ``cas:3``, ``kset:5:2``, ``counter:6``, ``snapshot:4``.
 
 ``adversary`` and ``audit`` accept ``--workers N`` (sharded parallel
-exploration, results bit-identical to sequential) and ``--cache-dir``
+exploration, results bit-identical to sequential), ``--cache-dir``
 (persistent valency cache; defaults to ``~/.cache/repro`` when the
-``cache`` command manages it explicitly).
+``cache`` command manages it explicitly) and ``--por`` (partial-order
+reduction: prune exploration edges whose targets are provably already
+known, results still bit-identical; see :mod:`repro.lint`).
+
+``lint`` has its own exit-code nuance within the same contract: 0 means
+no diagnostics beyond ``info``, 2 means warnings or errors were
+reported (each with a stable code; ``--json`` emits them machine
+readably), and 1 is reserved for the lint itself failing.
 
 ``adversary``, ``check``, ``audit`` and ``faults`` accept
 ``--trace-out JOURNAL`` (record a JSONL trace journal; see
@@ -191,7 +199,8 @@ def cmd_adversary(args) -> int:
     if args.auto and not guarded:
         try:
             certificate = space_lower_bound_auto(
-                system, workers=args.workers, cache_dir=args.cache_dir
+                system, workers=args.workers, cache_dir=args.cache_dir,
+                por=args.por,
             )
         except AdversaryError as exc:
             print(f"construction failed: {exc}")
@@ -217,6 +226,7 @@ def cmd_adversary(args) -> int:
         spec=args.protocol,
         workers=args.workers,
         cache_dir=args.cache_dir,
+        por=args.por,
     )
     if outcome.status == "certificate":
         print(outcome.certificate.summary())
@@ -304,6 +314,7 @@ def cmd_audit(args) -> int:
             system, budget=_make_budget(args), max_configs=args.max_configs,
             max_depth=args.max_depth, spec=spec,
             workers=args.workers, cache_dir=args.cache_dir,
+            por=args.por,
         )
         if outcome.status == "certificate":
             bound = f"{outcome.certificate.bound} pinned"
@@ -554,6 +565,49 @@ def cmd_trace(args) -> int:
     return EXIT_OK
 
 
+def cmd_lint(args) -> int:
+    """Static protocol analysis and/or the repository self-lint.
+
+    Exit codes refine the global contract: 0 no diagnostics beyond
+    ``info``, 2 at least one warning/error, 1 the lint itself failed
+    (:class:`repro.errors.LintError` reaches the generic handler).
+    """
+    from repro.lint import LintReport, lint_protocol, lint_repository
+
+    if not args.protocols and not args.self_check:
+        raise SystemExit(
+            "nothing to lint: name protocol specs (e.g. rounds:3) and/or "
+            "pass --self"
+        )
+    report = LintReport()
+    if args.self_check:
+        from pathlib import Path
+
+        root = Path(args.root) if args.root is not None else None
+        report.extend(lint_repository(root))
+    for spec in args.protocols:
+        report.extend(lint_protocol(parse_protocol(spec)))
+
+    if args.json:
+        sys.stdout.write(report.to_json())
+    elif not len(report):
+        print("ok: no diagnostics")
+    else:
+        rows = [
+            [d.severity, d.code, d.location(), d.message]
+            for d in report
+        ]
+        print_table(
+            f"lint ({len(report)} diagnostics)",
+            ["severity", "code", "location", "message"],
+            rows,
+        )
+        blocking = sum(1 for d in report if d.blocking)
+        if blocking:
+            print(f"{blocking} blocking diagnostic(s) (warning or error)")
+    return EXIT_VIOLATION if report.blocking else EXIT_OK
+
+
 def cmd_cache(args) -> int:
     from repro.parallel import ValencyCache
 
@@ -627,6 +681,11 @@ def _add_parallel_flags(p) -> None:
         "--cache-dir", default=None, metavar="DIR",
         help="persist valency results under DIR so reruns skip "
         "re-exploration",
+    )
+    p.add_argument(
+        "--por", action="store_true",
+        help="prune commuting exploration edges (partial-order "
+        "reduction; results are bit-identical either way)",
     )
 
 
@@ -730,6 +789,29 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("certificate", help="path to the JSON file")
     p.add_argument("protocol", help="the protocol spec it was issued for")
     p.set_defaults(func=cmd_validate)
+
+    p = sub.add_parser(
+        "lint", help="static protocol analysis + repository self-lint"
+    )
+    p.add_argument(
+        "protocols", nargs="*",
+        help="protocol specs to analyze statically (e.g. rounds:3)",
+    )
+    p.add_argument(
+        "--self", dest="self_check", action="store_true",
+        help="lint the repro codebase invariants (determinism of proof "
+        "paths, picklable errors, pinned trace schema)",
+    )
+    p.add_argument(
+        "--root", default=None, metavar="DIR",
+        help="package tree for --self (default: the installed repro "
+        "package; used by tests to lint seeded broken trees)",
+    )
+    p.add_argument(
+        "--json", action="store_true",
+        help="emit the diagnostics as JSON instead of a table",
+    )
+    p.set_defaults(func=cmd_lint)
 
     p = sub.add_parser("cache", help="persistent valency cache admin")
     p.add_argument("action", choices=["stats", "clear"])

@@ -37,6 +37,7 @@ def space_lower_bound(
     oracle: Optional[ValencyOracle] = None,
     workers: int = 1,
     cache_dir=None,
+    por: bool = False,
 ) -> SpaceBoundCertificate:
     """Run the Theorem 1 adversary and return a validated certificate.
 
@@ -70,6 +71,7 @@ def space_lower_bound(
             strict=strict,
             workers=workers,
             cache_dir=cache_dir,
+            por=por,
         )
     with get_tracer().span(
         "theorem1", protocol=protocol.name, n=n
@@ -111,6 +113,7 @@ def space_lower_bound_auto(
     initial_depth: int = 40,
     workers: int = 1,
     cache_dir=None,
+    por: bool = False,
 ) -> SpaceBoundCertificate:
     """Run the adversary with escalating oracle budgets.
 
@@ -131,6 +134,7 @@ def space_lower_bound_auto(
                 max_depth=depth,
                 workers=workers,
                 cache_dir=cache_dir,
+                por=por,
             )
         except ViolationError:
             raise

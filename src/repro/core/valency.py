@@ -64,6 +64,7 @@ class ValencyOracle:
         cache=None,
         cache_dir=None,
         pool=None,
+        por: bool = False,
     ):
         """``strict`` oracles answer exactly: a "cannot decide" is backed
         by an exhausted reachable graph, and budget overruns raise
@@ -84,6 +85,11 @@ class ValencyOracle:
         ``cache`` (a :class:`repro.parallel.ValencyCache`) or
         ``cache_dir`` enables the persistent on-disk result cache;
         disk-loaded witnesses are replay-validated before use.
+
+        ``por`` turns on the explorers' partial-order reduction
+        (commuting-diamond edge pruning; see
+        :mod:`repro.analysis.explorer`).  Results are bit-identical
+        either way, so cached entries are shared across the setting.
         """
         self.system = system
         self.values = tuple(values)
@@ -101,6 +107,7 @@ class ValencyOracle:
         #: here bounds the adversaries end to end.
         self.budget = budget
         self.workers = workers
+        self.por = por
         if workers > 1:
             from repro.parallel.sharded import ShardedExplorer
 
@@ -112,6 +119,7 @@ class ValencyOracle:
                 strict=strict,
                 budget=budget,
                 pool=pool,
+                por=por,
             )
         else:
             self.explorer = Explorer(
@@ -120,6 +128,7 @@ class ValencyOracle:
                 max_depth=max_depth,
                 strict=strict,
                 budget=budget,
+                por=por,
             )
         if cache is None and cache_dir is not None:
             from repro.parallel.cache import ValencyCache

@@ -104,3 +104,13 @@ class CertificateError(ReproError):
 
 class JournalError(ReproError):
     """A trace journal is malformed (bad JSON line, schema violation)."""
+
+
+class LintError(ReproError):
+    """A static analysis could not run (bad target, malformed report).
+
+    Distinct from a *finding*: diagnostics are data
+    (:class:`repro.lint.Diagnostic`, CLI exit 2); this error means the
+    lint itself failed (CLI exit 1).
+    """
+

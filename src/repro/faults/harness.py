@@ -75,6 +75,7 @@ def run_adversary_guarded(
     spec: str = "",
     workers: int = 1,
     cache_dir=None,
+    por: bool = False,
 ) -> AdversaryOutcome:
     """Run the Theorem 1 adversary to one of the three outcomes.
 
@@ -84,11 +85,12 @@ def run_adversary_guarded(
     them).  ``spec`` labels the partial-progress report so the CLI can
     refuse to resume a checkpoint against a different protocol.
 
-    ``workers``/``cache_dir`` configure the oracle's sharded exploration
-    engine and persistent valency cache (:mod:`repro.parallel`); both are
-    transparent to the three-outcome contract -- errors raised inside
-    worker processes keep their types, payloads and therefore their exit
-    codes.
+    ``workers``/``cache_dir``/``por`` configure the oracle's sharded
+    exploration engine, persistent valency cache and partial-order
+    reduction (:mod:`repro.parallel`, :mod:`repro.lint.independence`);
+    all three are transparent to the three-outcome contract -- errors
+    raised inside worker processes keep their types, payloads and
+    therefore their exit codes, and POR results are bit-identical.
     """
     if resume is not None:
         journal = resume.journal()
@@ -106,6 +108,7 @@ def run_adversary_guarded(
         strict=strict,
         workers=workers,
         cache_dir=cache_dir,
+        por=por,
     )
 
     def partial(note: str) -> PartialProgress:

@@ -1,0 +1,68 @@
+"""Static protocol analysis and repository linting (``repro lint``).
+
+Three layers, all reporting typed :class:`Diagnostic` values:
+
+1. **Protocol static analysis** (:mod:`repro.lint.cfg`,
+   :mod:`repro.lint.footprint`, :mod:`repro.lint.protocol`): a
+   control-flow graph over DSL programs and table automata, conservative
+   register footprints, and the Theorem 1 contrapositive -- a writable
+   footprint below n−1 registers means "cannot solve n-process
+   consensus", reported before any adversary run.
+2. **Independence analysis** (:mod:`repro.lint.independence`): the
+   structural commutation predicate behind the explorers' opt-in
+   partial-order reduction (``por=True`` / ``--por``), whose results are
+   provably bit-identical to unpruned runs.
+3. **Repository self-lint** (:mod:`repro.lint.selfcheck`): AST checks of
+   the codebase invariants (deterministic proof paths, picklable
+   errors, pinned trace schema), exposed as ``repro lint --self``.
+"""
+
+from repro.lint.cfg import (
+    EXIT,
+    ProgramCfg,
+    TableCfg,
+    program_cfg,
+    table_cfg,
+    undecidable_nodes,
+    unreachable_labels,
+)
+from repro.lint.diagnostics import Diagnostic, LintReport
+from repro.lint.footprint import (
+    Footprint,
+    consensus_impossible,
+    program_footprint,
+    protocol_footprint,
+    table_footprint,
+)
+from repro.lint.independence import operations_commute
+from repro.lint.protocol import crosscheck_certificate, lint_protocol
+from repro.lint.selfcheck import (
+    check_determinism,
+    check_picklable_errors,
+    check_trace_schema,
+    lint_repository,
+)
+
+__all__ = [
+    "EXIT",
+    "Diagnostic",
+    "Footprint",
+    "LintReport",
+    "ProgramCfg",
+    "TableCfg",
+    "check_determinism",
+    "check_picklable_errors",
+    "check_trace_schema",
+    "consensus_impossible",
+    "crosscheck_certificate",
+    "lint_protocol",
+    "lint_repository",
+    "operations_commute",
+    "program_cfg",
+    "program_footprint",
+    "protocol_footprint",
+    "table_cfg",
+    "table_footprint",
+    "undecidable_nodes",
+    "unreachable_labels",
+]

@@ -1,0 +1,242 @@
+"""Control-flow graphs over DSL programs and table automata.
+
+A :class:`repro.model.program.Program` is a straight-line instruction
+sequence with labels, gotos and conditional branches; its control-flow
+graph has one node per instruction index plus a distinguished ``EXIT``
+node for falling off the end (a runtime :class:`ProgramError`).  Branch
+conditions are opaque callables, so the graph is conservative: both arms
+of every branch are edges, and a path in the CFG may or may not be
+executable.  That direction of approximation is the useful one for
+linting -- everything *reported unreachable* really is dead, while
+"reaches decide" means "some CFG path reaches decide" (a necessary
+condition the obstruction-freedom heuristic builds on).
+
+:class:`TableProtocol` automata get the analogous graph over states:
+successors are every transition-table target plus the default (a state
+with neither entry self-loops, which the explorer's deduplication makes
+harmless but the lint flags as a livelock hazard when no deciding state
+stays reachable).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+from repro.model.program import (
+    IBranchIf,
+    IDecide,
+    IGoto,
+    IHalt,
+    Instr,
+    Program,
+    _STEP_INSTRS,
+)
+from repro.model.table import TableProtocol
+
+#: Virtual node for "execution fell off the end of the program".
+EXIT = -1
+
+
+@dataclass(frozen=True)
+class ProgramCfg:
+    """The control-flow graph of one program.
+
+    ``successors`` maps each instruction index (and :data:`EXIT`) to its
+    CFG successors; ``reachable`` is the node set reachable from pc 0;
+    ``deciders`` / ``halters`` are the reachable terminal instructions.
+    """
+
+    program: Program
+    successors: Dict[int, Tuple[int, ...]] = field(hash=False, compare=False)
+    reachable: FrozenSet[int] = frozenset()
+
+    @property
+    def deciders(self) -> FrozenSet[int]:
+        return frozenset(
+            pc
+            for pc in self.reachable
+            if pc != EXIT
+            and isinstance(self.program.instructions[pc], IDecide)
+        )
+
+    @property
+    def halters(self) -> FrozenSet[int]:
+        return frozenset(
+            pc
+            for pc in self.reachable
+            if pc != EXIT and isinstance(self.program.instructions[pc], IHalt)
+        )
+
+    @property
+    def dead(self) -> Tuple[int, ...]:
+        """Instruction indices no execution can reach, in order."""
+        return tuple(
+            pc
+            for pc in range(len(self.program.instructions))
+            if pc not in self.reachable
+        )
+
+    @property
+    def can_fall_off_end(self) -> bool:
+        """True if some CFG path runs past the last instruction."""
+        return EXIT in self.reachable
+
+    def reaches(self, sources: Set[int], targets: Set[int]) -> FrozenSet[int]:
+        """The subset of ``sources`` with a CFG path into ``targets``."""
+        can: Set[int] = set(targets)
+        # Fixpoint over the finite node set; the graph is tiny (one node
+        # per instruction), so simple iteration beats building reverse
+        # adjacency for the call sites we have.
+        changed = True
+        while changed:
+            changed = False
+            for node, succs in self.successors.items():
+                if node not in can and any(s in can for s in succs):
+                    can.add(node)
+                    changed = True
+        return frozenset(s for s in sources if s in can)
+
+
+def _instr_successors(program: Program, pc: int, instr: Instr) -> Tuple[int, ...]:
+    """CFG successors of one instruction (conservative for branches)."""
+    end = len(program.instructions)
+
+    def clamp(target: int) -> int:
+        return target if 0 <= target < end else EXIT
+
+    if isinstance(instr, IGoto):
+        return (clamp(program.target(instr.label)),)
+    if isinstance(instr, IBranchIf):
+        return tuple(
+            dict.fromkeys((clamp(program.target(instr.label)), clamp(pc + 1)))
+        )
+    if isinstance(instr, (IDecide, IHalt)):
+        return ()
+    # Step instructions and assignments fall through.
+    return (clamp(pc + 1),)
+
+
+def program_cfg(program: Program) -> ProgramCfg:
+    """Build the CFG of ``program`` and compute reachability from pc 0."""
+    successors: Dict[int, Tuple[int, ...]] = {EXIT: ()}
+    for pc, instr in enumerate(program.instructions):
+        successors[pc] = _instr_successors(program, pc, instr)
+
+    reachable: Set[int] = set()
+    stack: List[int] = [0 if program.instructions else EXIT]
+    while stack:
+        node = stack.pop()
+        if node in reachable:
+            continue
+        reachable.add(node)
+        stack.extend(successors.get(node, ()))
+    return ProgramCfg(
+        program=program,
+        successors=successors,
+        reachable=frozenset(reachable),
+    )
+
+
+def unreachable_labels(program: Program, cfg: ProgramCfg) -> Tuple[str, ...]:
+    """Labels whose target instruction no execution reaches.
+
+    A label at the very end of the program (index == len(instructions))
+    points at :data:`EXIT`; it is unreachable unless some path falls off
+    the end, which is reported separately.
+    """
+    end = len(program.instructions)
+    out = []
+    for name, index in sorted(program.labels.items(), key=lambda kv: kv[1]):
+        node = index if index < end else EXIT
+        if node not in cfg.reachable:
+            out.append(name)
+    return tuple(out)
+
+
+def undecidable_nodes(cfg: ProgramCfg) -> Tuple[int, ...]:
+    """Reachable step instructions from which no CFG path reaches decide.
+
+    This is the obstruction-freedom heuristic: a consensus protocol must
+    let a process running solo decide from anywhere, so a poised shared
+    operation with *no* control-flow path to any ``decide`` can never
+    satisfy nondeterministic solo termination.  (The converse does not
+    hold -- a CFG path may be infeasible -- so only the negative is
+    reported.)
+    """
+    steps = {
+        pc
+        for pc in cfg.reachable
+        if pc != EXIT and isinstance(cfg.program.instructions[pc], _STEP_INSTRS)
+    }
+    deciding = cfg.deciders
+    if not steps:
+        return ()
+    can_decide = cfg.reaches(steps, set(deciding))
+    return tuple(sorted(steps - can_decide))
+
+
+@dataclass(frozen=True)
+class TableCfg:
+    """Reachability structure of a :class:`TableProtocol` automaton.
+
+    Nodes are automaton states; successors of a state are every
+    transition-table target for it plus its default (or a self-loop when
+    neither exists -- the runtime semantics of a missing entry).
+    """
+
+    successors: Dict[int, Tuple[int, ...]] = field(hash=False, compare=False)
+    reachable: FrozenSet[int] = frozenset()
+    deciders: FrozenSet[int] = frozenset()
+
+    def undecidable(self) -> Tuple[int, ...]:
+        """Reachable states with no path to any deciding state."""
+        can: Set[int] = set(self.deciders)
+        changed = True
+        while changed:
+            changed = False
+            for node, succs in self.successors.items():
+                if node not in can and any(s in can for s in succs):
+                    can.add(node)
+                    changed = True
+        return tuple(sorted(s for s in self.reachable if s not in can))
+
+
+def table_cfg(protocol: TableProtocol) -> TableCfg:
+    """Build the state graph of a table automaton."""
+    states: Set[int] = set(protocol.rules) | set(protocol.decisions)
+    states.update(protocol.initial.values())
+    states.update(protocol.defaults.values())
+    states.update(protocol.transitions.values())
+    states.update(s for s, _ in protocol.transitions)
+
+    successors: Dict[int, Tuple[int, ...]] = {}
+    for state in states:
+        if state in protocol.decisions:
+            successors[state] = ()
+            continue
+        if state not in protocol.rules:
+            # No rule and no decision: the process is halted there.
+            successors[state] = ()
+            continue
+        targets = [
+            nxt for (s, _), nxt in protocol.transitions.items() if s == state
+        ]
+        targets.append(protocol.defaults.get(state, state))
+        successors[state] = tuple(sorted(set(targets)))
+
+    reachable: Set[int] = set()
+    stack = list(protocol.initial.values())
+    while stack:
+        node = stack.pop()
+        if node in reachable:
+            continue
+        reachable.add(node)
+        stack.extend(successors.get(node, ()))
+    return TableCfg(
+        successors=successors,
+        reachable=frozenset(reachable),
+        deciders=frozenset(
+            s for s in protocol.decisions if s in reachable
+        ),
+    )

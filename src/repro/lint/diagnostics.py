@@ -1,0 +1,142 @@
+"""Typed diagnostics: what the static analyses report and how.
+
+Every check in :mod:`repro.lint` -- protocol CFG analysis, register
+footprints, the repository self-lint -- reports its findings as
+:class:`Diagnostic` values collected into a :class:`LintReport`.  A
+diagnostic is data, not prose: a stable ``code`` (the contract tests and
+the CLI's JSON mode key off it), a ``severity``, a human message, and a
+location (protocol/pid/pc for program diagnostics, file/line for the
+self-lint).
+
+Severities are a contract with the CLI exit codes: ``error`` and
+``warning`` diagnostics make ``repro lint`` exit 2, ``info`` diagnostics
+are advisory (a protocol that uses coin flips is not *wrong*, it is
+merely randomized).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.errors import LintError
+
+#: Severity levels, in increasing order of concern.
+SEVERITIES = ("info", "warning", "error")
+
+#: Diagnostic codes with blocking severity (exit 2); the codes are part
+#: of the CLI contract and are pinned by tests/test_lint_cli.py.
+BLOCKING = frozenset({"warning", "error"})
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding of a static check.
+
+    ``code`` is a stable kebab-case identifier (``unreachable-label``,
+    ``footprint-below-bound``, ``nondeterministic-import``, ...).
+    Location fields are optional and check-specific: protocol checks
+    fill ``protocol``/``pid``/``pc``, the self-lint fills
+    ``path``/``line``.
+    """
+
+    code: str
+    severity: str
+    message: str
+    protocol: Optional[str] = None
+    pid: Optional[int] = None
+    pc: Optional[int] = None
+    path: Optional[str] = None
+    line: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.severity not in SEVERITIES:
+            raise LintError(
+                f"unknown severity {self.severity!r} for {self.code!r}"
+            )
+
+    @property
+    def blocking(self) -> bool:
+        """True if this diagnostic should fail ``repro lint`` (exit 2)."""
+        return self.severity in BLOCKING
+
+    def location(self) -> str:
+        """A compact human-readable location string."""
+        if self.path is not None:
+            return f"{self.path}:{self.line}" if self.line else self.path
+        parts = []
+        if self.protocol is not None:
+            parts.append(self.protocol)
+        if self.pid is not None:
+            parts.append(f"p{self.pid}")
+        if self.pc is not None:
+            parts.append(f"pc={self.pc}")
+        return ":".join(parts) if parts else "<global>"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {k: v for k, v in asdict(self).items() if v is not None}
+
+
+@dataclass
+class LintReport:
+    """All diagnostics from one lint run, with (de)serialization.
+
+    The JSON form is the CLI's ``--json`` output; ``from_json`` is the
+    round-trip reader the tests pin, so downstream tooling can consume
+    lint results without scraping tables.
+    """
+
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+
+    def add(self, diagnostic: Diagnostic) -> None:
+        if diagnostic not in self.diagnostics:
+            self.diagnostics.append(diagnostic)
+
+    def extend(self, other: "LintReport") -> None:
+        for diagnostic in other.diagnostics:
+            self.add(diagnostic)
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    def __iter__(self):
+        return iter(self.diagnostics)
+
+    def by_code(self, code: str) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.code == code]
+
+    @property
+    def codes(self) -> Sequence[str]:
+        return tuple(d.code for d in self.diagnostics)
+
+    @property
+    def blocking(self) -> bool:
+        """True if any diagnostic warrants a failing exit code."""
+        return any(d.blocking for d in self.diagnostics)
+
+    def to_json(self) -> str:
+        payload = {
+            "version": 1,
+            "blocking": self.blocking,
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+        }
+        return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+    @classmethod
+    def from_json(cls, text: str) -> "LintReport":
+        try:
+            payload = json.loads(text)
+            version = payload.get("version")
+            entries = payload["diagnostics"]
+        except (AttributeError, KeyError, TypeError, ValueError) as exc:
+            raise LintError(f"malformed lint report: {exc}") from exc
+        if version != 1:
+            raise LintError(f"unsupported lint report version {version!r}")
+        report = cls()
+        for entry in entries:
+            try:
+                report.add(Diagnostic(**entry))
+            except TypeError as exc:
+                raise LintError(f"malformed diagnostic {entry!r}: {exc}") from exc
+        return report

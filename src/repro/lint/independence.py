@@ -1,0 +1,45 @@
+"""Independence of pending operations: when do two steps commute?
+
+Two poised operations by *different* processes are independent when
+executing them in either order from any configuration yields the same
+configuration (and the same responses).  For this model that is a
+purely structural fact about the operations themselves:
+
+* a local step (:class:`CoinFlip`, :class:`Marker`) touches only its
+  own process's state and coin counter, so it commutes with any step of
+  another process;
+* shared operations on *different* objects touch disjoint configuration
+  components (each process's state plus its own object's cell);
+* two operations on the *same* object commute iff neither can change
+  it -- read/read.  Any writer on the shared object breaks commutation:
+  the other operation's response, or the final cell value, can differ
+  between orders.
+
+This is the indistinguishability fact behind every covering-argument
+schedule surgery in the paper ("commuted schedules lead to the same
+configuration"), packaged as the predicate the explorer's partial-order
+reduction (:mod:`repro.analysis.explorer` with ``por=True``) trusts.
+``tests/test_lint_independence.py`` verifies the semantic claim by
+hypothesis: whenever the predicate says True, stepping in either order
+from random reachable configurations produces equal configurations.
+"""
+
+from __future__ import annotations
+
+from repro.model.operations import Operation
+
+
+def operations_commute(a: Operation, b: Operation) -> bool:
+    """True if steps of ``a`` and ``b`` by different processes commute.
+
+    Sound, not complete: False may be returned for pairs that happen to
+    commute from every reachable configuration (e.g. two writes of the
+    same value) -- the reduction only needs the True direction.
+    """
+    obj_a, obj_b = a.obj, b.obj
+    if obj_a is None or obj_b is None:
+        # At least one purely local step (coin flip / marker).
+        return True
+    if obj_a != obj_b:
+        return True
+    return not (a.is_write or b.is_write)

@@ -1,0 +1,244 @@
+"""Protocol-level static analysis: CFG + footprint diagnostics.
+
+``lint_protocol`` is the single entry point the CLI and the tests use:
+it dispatches on how the protocol is expressed (instruction DSL, table
+automaton, hand-written) and aggregates typed diagnostics from the
+control-flow and footprint analyses:
+
+``unreachable-label`` / ``dead-instruction`` (warning)
+    Code no execution reaches.  Harmless at runtime, but dead branches
+    in a protocol under proof are usually a transcription bug.
+``fall-off-end`` (error)
+    Some CFG path runs past the last instruction -- the runtime raises
+    :class:`ProgramError` mid-execution on that path.
+``no-decide-path`` (warning)
+    A reachable shared-memory step with no control-flow path to any
+    ``decide`` -- such a process can never satisfy nondeterministic solo
+    termination from there (the obstruction-freedom heuristic).
+``no-decide-instruction`` (warning)
+    The program decides nowhere at all.
+``footprint-below-bound`` (error)
+    The conservative writable footprint has < n−1 registers: by
+    Theorem 1 the protocol cannot solve n-process consensus.  Reported
+    in milliseconds, before any adversary run.
+``dynamic-register`` (info)
+    A register operand is a function of the local environment; the
+    footprint was widened to the declared object universe.
+``coin-flips`` (info)
+    The protocol is randomized (adversary-chosen tapes still make runs
+    deterministic; advisory only).
+
+``crosscheck_certificate`` closes the loop with the dynamic side: a
+replay-validated Theorem 1 certificate can never exhibit more distinct
+written registers than the static over-approximation allows, so a
+violation of that inequality is evidence of an analysis bug and is
+reported as an ``error``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.model.process import Protocol
+from repro.model.program import IFlip, Program, ProgramProtocol
+from repro.model.table import TableProtocol
+from repro.lint.cfg import (
+    EXIT,
+    program_cfg,
+    table_cfg,
+    undecidable_nodes,
+    unreachable_labels,
+)
+from repro.lint.diagnostics import Diagnostic, LintReport
+from repro.lint.footprint import protocol_footprint
+from repro.obs.runtime import get_metrics, get_tracer
+
+
+def _lint_program(
+    report: LintReport, name: str, pid: Optional[int], program: Program
+) -> None:
+    """Diagnostics for one program's control flow."""
+    cfg = program_cfg(program)
+    for label in unreachable_labels(program, cfg):
+        index = program.labels[label]
+        report.add(Diagnostic(
+            code="unreachable-label",
+            severity="warning",
+            message=f"label {label!r} is unreachable",
+            protocol=name,
+            pid=pid,
+            pc=index if index < len(program.instructions) else None,
+        ))
+    for pc in cfg.dead:
+        report.add(Diagnostic(
+            code="dead-instruction",
+            severity="warning",
+            message=(
+                f"instruction {type(program.instructions[pc]).__name__} "
+                f"at pc {pc} is unreachable"
+            ),
+            protocol=name,
+            pid=pid,
+            pc=pc,
+        ))
+    if cfg.can_fall_off_end:
+        report.add(Diagnostic(
+            code="fall-off-end",
+            severity="error",
+            message=(
+                "some control-flow path runs past the last instruction "
+                "(the runtime raises ProgramError there); end every path "
+                "in decide/halt/goto"
+            ),
+            protocol=name,
+            pid=pid,
+        ))
+    if not cfg.deciders:
+        report.add(Diagnostic(
+            code="no-decide-instruction",
+            severity="warning",
+            message="no reachable decide instruction: the program can "
+            "never decide a value",
+            protocol=name,
+            pid=pid,
+        ))
+    else:
+        for pc in undecidable_nodes(cfg):
+            report.add(Diagnostic(
+                code="no-decide-path",
+                severity="warning",
+                message=(
+                    f"shared step at pc {pc} has no control-flow path to "
+                    "any decide: solo termination is unsatisfiable from it"
+                ),
+                protocol=name,
+                pid=pid,
+                pc=pc,
+            ))
+    if any(
+        isinstance(program.instructions[pc], IFlip)
+        for pc in cfg.reachable
+        if pc != EXIT
+    ):
+        report.add(Diagnostic(
+            code="coin-flips",
+            severity="info",
+            message="protocol is randomized (consumes coin-tape bits)",
+            protocol=name,
+            pid=pid,
+        ))
+
+
+def _lint_table(report: LintReport, protocol: TableProtocol) -> None:
+    """Diagnostics for a table automaton's state graph."""
+    cfg = table_cfg(protocol)
+    name = protocol.name
+    for state in sorted(set(protocol.rules) - set(cfg.reachable)):
+        report.add(Diagnostic(
+            code="dead-instruction",
+            severity="warning",
+            message=f"state {state} is unreachable from every initial state",
+            protocol=name,
+            pc=state,
+        ))
+    if not cfg.deciders:
+        report.add(Diagnostic(
+            code="no-decide-instruction",
+            severity="warning",
+            message="no reachable deciding state",
+            protocol=name,
+        ))
+    else:
+        for state in cfg.undecidable():
+            report.add(Diagnostic(
+                code="no-decide-path",
+                severity="warning",
+                message=(
+                    f"state {state} has no path to any deciding state: "
+                    "solo termination is unsatisfiable from it"
+                ),
+                protocol=name,
+                pc=state,
+            ))
+
+
+def lint_protocol(protocol: Protocol) -> LintReport:
+    """Run every static protocol check; returns the aggregated report."""
+    report = LintReport()
+    name = protocol.name
+    with get_tracer().span("lint.protocol", protocol=name, n=protocol.n):
+        if isinstance(protocol, TableProtocol):
+            _lint_table(report, protocol)
+        elif isinstance(protocol, ProgramProtocol):
+            seen = set()
+            anonymous = len(
+                {id(protocol.program(p)) for p in range(protocol.n)}
+            ) == 1
+            for pid in range(protocol.n):
+                program = protocol.program(pid)
+                if id(program) in seen:
+                    continue
+                seen.add(id(program))
+                _lint_program(
+                    report, name, None if anonymous else pid, program
+                )
+
+        footprint = protocol_footprint(protocol)
+        if footprint.widened_writes or footprint.widened_reads:
+            report.add(Diagnostic(
+                code="dynamic-register",
+                severity="info",
+                message=(
+                    "register operand depends on the local environment; "
+                    f"footprint widened to all {footprint.universe} "
+                    "declared objects"
+                ),
+                protocol=name,
+            ))
+        impossible = _footprint_message(protocol)
+        if impossible is not None:
+            report.add(Diagnostic(
+                code="footprint-below-bound",
+                severity="error",
+                message=impossible,
+                protocol=name,
+            ))
+    metrics = get_metrics()
+    metrics.counter("lint.protocols").inc()
+    metrics.counter("lint.diagnostics").inc(len(report))
+    return report
+
+
+def _footprint_message(protocol: Protocol) -> Optional[str]:
+    from repro.lint.footprint import consensus_impossible
+
+    return consensus_impossible(protocol)
+
+
+def crosscheck_certificate(protocol: Protocol, certificate) -> LintReport:
+    """Check a Theorem 1 certificate against the static footprint.
+
+    The certificate's replay exhibits ``certificate.bound`` distinct
+    written registers; the static footprint over-approximates every
+    execution's writes.  ``bound > writable_bound`` is therefore
+    impossible for a sound analysis -- finding it means the footprint
+    under-approximated (an analysis bug worth failing loudly on), and
+    the differential tests pin the clean case on every bundled family.
+    """
+    report = LintReport()
+    footprint = protocol_footprint(protocol)
+    registers = getattr(certificate, "registers", ())
+    exhibited = len(set(registers)) if registers else certificate.bound
+    if exhibited > footprint.writable_bound:
+        report.add(Diagnostic(
+            code="certificate-footprint-mismatch",
+            severity="error",
+            message=(
+                f"certificate exhibits {exhibited} written registers but "
+                f"the static writable footprint allows at most "
+                f"{footprint.writable_bound}: the footprint analysis "
+                "under-approximated"
+            ),
+            protocol=protocol.name,
+        ))
+    return report

@@ -1,0 +1,278 @@
+"""Repository self-lint: the codebase invariants PRs 1-3 left implicit.
+
+Three conventions hold this codebase's proofs together, and until now
+they were enforced only by review:
+
+* **Determinism of proof paths.**  Everything under ``repro.core`` and
+  ``repro.model`` must be a pure function of its inputs -- certificates
+  replay, journals resume, caches fingerprint.  An ambient clock or RNG
+  anywhere in there silently breaks all three.  The checker flags
+  ``time``/``random`` imports in those packages; a legitimate use (e.g.
+  accepting a *caller-provided* ``random.Random`` for test-schedule
+  generation) is whitelisted by an explicit pragma comment on the
+  import line: ``# lint: allow-nondeterminism (reason)``.
+* **Picklable errors.**  The exit-code contract survives worker
+  processes only because every error type crossing the boundary
+  pickles losslessly; an ``Exception`` subclass whose ``__init__``
+  takes payload beyond the message silently *drops* that payload under
+  default pickling unless it defines ``__reduce__``.
+* **Pinned trace schema.**  Journal consumers parse records by
+  ``SCHEMA_VERSION``/``REQUIRED_KEYS``; those constants may only change
+  together with a version bump, so the lint keeps an independent copy
+  and reports drift (double-entry bookkeeping with
+  ``tests/test_obs_schema.py``).
+
+All checks are AST-based (:mod:`ast` on source files, no imports of the
+checked code), so the self-lint runs in milliseconds and works on any
+tree shaped like the package -- which is how the tests seed deliberately
+broken trees without touching the real one.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterable, List, Optional, Tuple
+
+from repro.errors import LintError
+from repro.lint.diagnostics import Diagnostic, LintReport
+from repro.obs.runtime import get_metrics, get_tracer
+
+#: Modules whose ambient use makes proof-bearing code nondeterministic.
+NONDETERMINISTIC_MODULES = frozenset({"time", "random"})
+
+#: Packages (relative to the package root) that are proof paths.
+PROOF_PATHS = ("core", "model")
+
+#: The pragma that whitelists one import line, with a reason.
+PRAGMA = "lint: allow-nondeterminism"
+
+#: Independent copy of the pinned trace schema (see module docstring).
+EXPECTED_SCHEMA_VERSION = 1
+EXPECTED_REQUIRED_KEYS = {
+    "span_start": ("v", "t", "run", "type", "name", "id", "parent", "data"),
+    "span_end": ("v", "t", "run", "type", "name", "id", "status"),
+    "event": ("v", "t", "run", "type", "name", "parent", "data"),
+    "metrics": ("v", "t", "run", "type", "name", "data"),
+}
+
+
+def package_root() -> Path:
+    """The installed ``repro`` package directory (the default target)."""
+    import repro
+
+    return Path(repro.__file__).resolve().parent
+
+
+def _parse(path: Path) -> Tuple[ast.Module, List[str]]:
+    try:
+        source = path.read_text(encoding="utf-8")
+        return ast.parse(source, filename=str(path)), source.splitlines()
+    except (OSError, SyntaxError) as exc:
+        raise LintError(f"cannot parse {path}: {exc}") from exc
+
+
+def _python_files(root: Path) -> Iterable[Path]:
+    return sorted(root.rglob("*.py"))
+
+
+def _relative(path: Path, root: Path) -> str:
+    try:
+        return str(path.relative_to(root.parent))
+    except ValueError:
+        return str(path)
+
+
+# -- determinism ----------------------------------------------------------
+
+
+def _imported_modules(node: ast.AST) -> List[str]:
+    """Top-level module names a single import statement binds."""
+    if isinstance(node, ast.Import):
+        return [alias.name.split(".")[0] for alias in node.names]
+    if isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+        return [node.module.split(".")[0]]
+    return []
+
+
+def check_determinism(root: Path) -> LintReport:
+    """Flag ``time``/``random`` imports inside the proof packages."""
+    report = LintReport()
+    for package in PROOF_PATHS:
+        package_dir = root / package
+        if not package_dir.is_dir():
+            raise LintError(
+                f"proof path {package_dir} does not exist; is {root} a "
+                "repro package tree?"
+            )
+        for path in _python_files(package_dir):
+            tree, lines = _parse(path)
+            for node in ast.walk(tree):
+                modules = _imported_modules(node)
+                hits = sorted(set(modules) & NONDETERMINISTIC_MODULES)
+                if not hits:
+                    continue
+                line = lines[node.lineno - 1] if node.lineno <= len(lines) else ""
+                if PRAGMA in line:
+                    continue
+                report.add(Diagnostic(
+                    code="nondeterministic-import",
+                    severity="error",
+                    message=(
+                        f"import of {', '.join(hits)} in a proof path: "
+                        "core/model code must be deterministic (replay, "
+                        "resume and cache fingerprints depend on it); if "
+                        "the use is caller-driven, annotate the line "
+                        f"with `# {PRAGMA} (reason)`"
+                    ),
+                    path=_relative(path, root),
+                    line=node.lineno,
+                ))
+    return report
+
+
+# -- picklable errors -----------------------------------------------------
+
+
+def _is_error_class(node: ast.ClassDef) -> bool:
+    """Heuristic: the class participates in the exception hierarchy."""
+    for base in node.bases:
+        name = base.id if isinstance(base, ast.Name) else getattr(base, "attr", "")
+        if name.endswith(("Error", "Exception")) or name in {
+            "ReproError",
+            "BudgetExhausted",
+        }:
+            return True
+    return node.name.endswith(("Error", "Exception"))
+
+
+def _init_has_payload(init: ast.FunctionDef) -> bool:
+    """True if ``__init__`` accepts state beyond (self, message)."""
+    args = init.args
+    positional = len(args.posonlyargs) + len(args.args)
+    return (
+        positional > 2
+        or bool(args.kwonlyargs)
+        or args.vararg is not None
+        or args.kwarg is not None
+    )
+
+
+def check_picklable_errors(root: Path) -> LintReport:
+    """Error classes with payload constructors must define ``__reduce__``.
+
+    Default exception pickling replays only ``args``; an error whose
+    constructor takes extra payload (a witness, a visited count) loses
+    it across a worker-process boundary unless ``__reduce__`` rebuilds
+    the full state.  The rule is syntactic on purpose: it runs without
+    importing (or instantiating) anything.
+    """
+    report = LintReport()
+    for path in _python_files(root):
+        tree, _ = _parse(path)
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.ClassDef) or not _is_error_class(node):
+                continue
+            methods = {
+                item.name: item
+                for item in node.body
+                if isinstance(item, ast.FunctionDef)
+            }
+            init = methods.get("__init__")
+            if init is None or not _init_has_payload(init):
+                continue
+            if "__reduce__" in methods or "__reduce_ex__" in methods:
+                continue
+            report.add(Diagnostic(
+                code="unpicklable-error",
+                severity="error",
+                message=(
+                    f"{node.name}.__init__ carries payload beyond the "
+                    "message but the class defines no __reduce__: the "
+                    "payload is dropped when the error crosses a worker "
+                    "process boundary (exit-code contract violation)"
+                ),
+                path=_relative(path, root),
+                line=node.lineno,
+            ))
+    return report
+
+
+# -- trace schema ---------------------------------------------------------
+
+
+def _module_constant(tree: ast.Module, name: str) -> Optional[ast.AST]:
+    for node in tree.body:
+        if isinstance(node, ast.Assign):
+            targets = [t.id for t in node.targets if isinstance(t, ast.Name)]
+            if name in targets:
+                return node.value
+        if isinstance(node, ast.AnnAssign):
+            target = node.target
+            if isinstance(target, ast.Name) and target.id == name:
+                return node.value
+    return None
+
+
+def check_trace_schema(root: Path) -> LintReport:
+    """The trace module's pinned schema must match the lint's copy."""
+    report = LintReport()
+    trace_path = root / "obs" / "trace.py"
+    if not trace_path.is_file():
+        raise LintError(f"trace module not found at {trace_path}")
+    tree, _ = _parse(trace_path)
+    relative = _relative(trace_path, root)
+
+    version_node = _module_constant(tree, "SCHEMA_VERSION")
+    keys_node = _module_constant(tree, "REQUIRED_KEYS")
+    try:
+        version = None if version_node is None else ast.literal_eval(version_node)
+        keys = None if keys_node is None else ast.literal_eval(keys_node)
+    except ValueError as exc:
+        raise LintError(
+            f"trace schema constants are not literals in {relative}: {exc}"
+        ) from exc
+
+    if version != EXPECTED_SCHEMA_VERSION:
+        report.add(Diagnostic(
+            code="schema-drift",
+            severity="error",
+            message=(
+                f"SCHEMA_VERSION is {version!r}, lint pins "
+                f"{EXPECTED_SCHEMA_VERSION}: schema changes need a "
+                "coordinated bump here and in tests/test_obs_schema.py"
+            ),
+            path=relative,
+        ))
+    normalized = (
+        None
+        if keys is None
+        else {kind: tuple(fields) for kind, fields in keys.items()}
+    )
+    if normalized != EXPECTED_REQUIRED_KEYS:
+        report.add(Diagnostic(
+            code="schema-drift",
+            severity="error",
+            message=(
+                "REQUIRED_KEYS diverged from the lint's pinned copy: "
+                "record-shape changes need a coordinated version bump"
+            ),
+            path=relative,
+        ))
+    return report
+
+
+def lint_repository(root: Optional[Path] = None) -> LintReport:
+    """Run every self-check against ``root`` (default: the live package)."""
+    target = Path(root) if root is not None else package_root()
+    if not target.is_dir():
+        raise LintError(f"lint root {target} is not a directory")
+    report = LintReport()
+    with get_tracer().span("lint.self", root=str(target)):
+        report.extend(check_determinism(target))
+        report.extend(check_picklable_errors(target))
+        report.extend(check_trace_schema(target))
+    metrics = get_metrics()
+    metrics.counter("lint.self_runs").inc()
+    metrics.counter("lint.diagnostics").inc(len(report))
+    return report

@@ -10,7 +10,7 @@ lower-bound certificates store and replay.
 from __future__ import annotations
 
 import itertools
-import random
+import random  # lint: allow-nondeterminism (typing only: callers pass a seeded random.Random; no ambient RNG calls)
 from typing import Iterable, Iterator, Mapping, Sequence, Tuple
 
 Schedule = Tuple[int, ...]

@@ -95,11 +95,18 @@ class ShardedExplorer:
     """Explores P-only reachable configurations with a worker pool.
 
     Same constructor contract as :class:`Explorer` (``strict``,
-    ``max_depth``, ``budget`` behave identically), plus ``workers`` and
-    an optional externally-owned ``pool``.  With ``workers=1`` the
-    sequential explorer is used directly.  The system must be picklable
-    (protocols pickle by constructor recipe; see
+    ``max_depth``, ``budget`` and ``por`` behave identically), plus
+    ``workers`` and an optional externally-owned ``pool``.  With
+    ``workers=1`` the sequential explorer is used directly.  The system
+    must be picklable (protocols pickle by constructor recipe; see
     :meth:`repro.model.process.Protocol.__reduce__`).
+
+    Partial-order reduction shards cleanly because the pruning rule
+    (see :mod:`repro.analysis.explorer`) depends only on a
+    configuration's own discovery edge, which the coordinator records
+    when it accepts the configuration into a level and ships with the
+    item; results stay bit-identical to ``Explorer(por=True)``, which
+    is itself bit-identical to the unpruned explorer.
     """
 
     def __init__(
@@ -112,6 +119,7 @@ class ShardedExplorer:
         budget=None,
         pool: Optional[WorkerPool] = None,
         mp_context: str = DEFAULT_MP_CONTEXT,
+        por: bool = False,
     ):
         self.system = system
         self.workers = workers
@@ -119,12 +127,14 @@ class ShardedExplorer:
         self.max_depth = max_depth
         self.strict = strict
         self.budget = budget
+        self.por = por
         self._sequential = Explorer(
             system,
             max_configs=max_configs,
             max_depth=max_depth,
             strict=strict,
             budget=budget,
+            por=por,
         )
         if workers > 1:
             try:
@@ -223,7 +233,9 @@ class ShardedExplorer:
             return finish(complete=False)
 
         sorted_pids = tuple(sorted(pid_set))
-        level: List[Tuple[Configuration, Hashable]] = [(root, root_key)]
+        level: List[Tuple[Configuration, Hashable, object]] = [
+            (root, root_key, None)
+        ]
         depth = 0
         while level:
             if self.max_depth is not None and depth >= self.max_depth:
@@ -236,11 +248,11 @@ class ShardedExplorer:
                 return finish(complete=True)
 
             rows = self._expand_level(level, sorted_pids)
-            next_level: List[Tuple[Configuration, Hashable]] = []
-            for index, (_config, key) in enumerate(level):
+            next_level: List[Tuple[Configuration, Hashable, object]] = []
+            for index, (_config, key, _via) in enumerate(level):
                 if self.budget is not None:
                     self.budget.tick()
-                for pid, succ, succ_key, decided in rows.get(index, ()):
+                for pid, op, succ, succ_key, decided in rows.get(index, ()):
                     if succ_key in parents:
                         dedup_c.inc()
                         continue
@@ -267,7 +279,7 @@ class ShardedExplorer:
                     level_sizes[depth + 1] = (
                         level_sizes.get(depth + 1, 0) + 1
                     )
-                    next_level.append((succ, succ_key))
+                    next_level.append((succ, succ_key, (pid, op)))
             level = next_level
             depth += 1
 
@@ -275,17 +287,17 @@ class ShardedExplorer:
 
     def _expand_level(
         self,
-        level: List[Tuple[Configuration, Hashable]],
+        level: List[Tuple[Configuration, Hashable, object]],
         sorted_pids: Tuple[int, ...],
     ) -> Dict[int, list]:
         """Fan one level out to the pool, partitioned by key hash."""
-        shards: List[List[Tuple[int, Configuration]]] = [
+        shards: List[List[Tuple[int, Configuration, object]]] = [
             [] for _ in range(self.workers)
         ]
-        for index, (config, key) in enumerate(level):
-            shards[hash(key) % self.workers].append((index, config))
+        for index, (config, key, via) in enumerate(level):
+            shards[hash(key) % self.workers].append((index, config, via))
         tasks = [
-            (self._blob, sorted_pids, tuple(shard))
+            (self._blob, sorted_pids, tuple(shard), self.por)
             for shard in shards
             if shard
         ]

@@ -16,9 +16,10 @@ worker, not once per task.
 from __future__ import annotations
 
 import pickle
-from typing import Any, Dict, Hashable, List, Tuple
+from typing import Any, Dict, Hashable, List, Optional, Tuple
 
 from repro.model.configuration import Configuration
+from repro.model.operations import Operation
 from repro.model.system import System
 from repro.obs.metrics import MetricsRegistry
 
@@ -26,12 +27,25 @@ from repro.obs.metrics import MetricsRegistry
 _SYSTEMS: Dict[bytes, System] = {}
 _MAX_CACHED_SYSTEMS = 8
 
-#: One worker task: the system blob, the sorted pid tuple, and the
-#: (level-index, configuration) items of this shard's slice.
-Task = Tuple[bytes, Tuple[int, ...], Tuple[Tuple[int, Configuration], ...]]
+#: The discovery edge of a configuration: (pid, operation) of the step
+#: that first produced it, or None for the root.  Carried with each item
+#: so workers can apply the same partial-order pruning rule as the
+#: sequential explorer (see ``repro.analysis.explorer``).
+Via = Optional[Tuple[int, Operation]]
 
-#: One expansion event: (pid, successor, canonical key, decided values).
-Event = Tuple[int, Configuration, Hashable, Tuple[Hashable, ...]]
+#: One worker task: the system blob, the sorted pid tuple, the
+#: (level-index, configuration, via) items of this shard's slice, and
+#: whether partial-order reduction is on.
+Task = Tuple[
+    bytes,
+    Tuple[int, ...],
+    Tuple[Tuple[int, Configuration, Via], ...],
+    bool,
+]
+
+#: One expansion event:
+#: (pid, operation, successor, canonical key, decided values).
+Event = Tuple[int, Operation, Configuration, Hashable, Tuple[Hashable, ...]]
 
 
 def system_from_blob(blob: bytes) -> System:
@@ -50,13 +64,21 @@ def expand_batch_metered(
 ) -> Tuple[List[Tuple[int, List[Event]]], Dict[str, Any]]:
     """Expand one shard's slice of a BFS level, with a metrics shard.
 
-    For each (index, configuration) item, step every enabled pid in
-    sorted order and report ``(pid, successor, key, decided values)``
+    For each (index, configuration, via) item, step every poised pid in
+    sorted order and report ``(pid, op, successor, key, decided values)``
     events, preserving item order.  Successor keys already produced
     earlier in this batch are dropped: batch items are a subsequence of
     the level's discovery order, so the first in-batch producer of a key
     is also the first the sequential merge would accept -- later
     duplicates could never win and only cost transfer.
+
+    With ``por`` set, the commuting-diamond pruning rule of the
+    sequential explorer is applied before stepping: a pid below the
+    item's discovery pid whose poised operation commutes with the
+    discovery operation is skipped (and counted in
+    ``explorer.por_pruned``), because its successor key is provably
+    already known to the coordinator.  The rule depends only on the item
+    itself, never on other items, so it shards freely.
 
     The second return value is a per-worker metrics shard
     (:meth:`repro.obs.metrics.MetricsRegistry.snapshot`): the edge,
@@ -70,22 +92,33 @@ def expand_batch_metered(
     their types and attributes.
     """
     from repro.analysis.explorer import BRANCHING_EDGES
+    from repro.lint.independence import operations_commute
 
     registry = MetricsRegistry()
     edges_c = registry.counter("explorer.edges")
     dedup_c = registry.counter("explorer.dedup_hits")
+    pruned_c = registry.counter("explorer.por_pruned")
     branching_h = registry.histogram("explorer.branching", BRANCHING_EDGES)
-    blob, pids, items = task
+    blob, pids, items, por = task
     system = system_from_blob(blob)
     protocol = system.protocol
     pid_set = frozenset(pids)
     seen_in_batch = set()
     out: List[Tuple[int, List[Event]]] = []
-    for index, config in items:
+    for index, config, via in items:
         events: List[Event] = []
         branch = 0
         for pid in pids:
-            if not system.enabled(config, pid):
+            op = system.poised(config, pid)
+            if op is None:
+                continue
+            if (
+                por
+                and via is not None
+                and pid < via[0]
+                and operations_commute(via[1], op)
+            ):
+                pruned_c.inc()
                 continue
             branch += 1
             edges_c.inc()
@@ -100,7 +133,7 @@ def expand_batch_metered(
                 continue
             seen_in_batch.add(succ_key)
             events.append(
-                (pid, succ, succ_key, tuple(system.decided_values(succ)))
+                (pid, op, succ, succ_key, tuple(system.decided_values(succ)))
             )
         branching_h.observe(branch)
         out.append((index, events))

@@ -1,0 +1,198 @@
+"""Control-flow analysis over a corpus of deliberately broken programs.
+
+Each test seeds one specific defect into a small DSL program (or table
+automaton) and asserts that exactly the expected diagnostic code comes
+back -- these are the contract tests behind `repro lint`'s claim that it
+flags every broken protocol in the corpus.
+"""
+
+from repro.lint import (
+    EXIT,
+    lint_protocol,
+    program_cfg,
+    undecidable_nodes,
+    unreachable_labels,
+)
+from repro.model.program import ProgramBuilder, ProgramProtocol
+from repro.model.registers import register
+from repro.model.table import TableProtocol
+from repro.protocols.consensus import (
+    CommitAdoptRounds,
+    SplitBrainConsensus,
+    TasConsensus,
+)
+
+
+def _protocol(program, n=2, registers=2, name="under-test"):
+    return ProgramProtocol(
+        name=name,
+        n=n,
+        specs=[register(None, name=f"r{i}") for i in range(registers)],
+        programs=[program] * n,
+        initial_env=lambda pid, value: {"v": value},
+    )
+
+
+def _clean_program():
+    builder = ProgramBuilder()
+    builder.write(0, lambda e: e["v"])
+    builder.read(1, "x")
+    builder.decide(lambda e: e["v"])
+    return builder.build()
+
+
+class TestProgramCfg:
+    def test_clean_program_has_no_findings(self):
+        program = _clean_program()
+        cfg = program_cfg(program)
+        assert cfg.dead == ()
+        assert not cfg.can_fall_off_end
+        assert cfg.deciders == {2}
+        assert unreachable_labels(program, cfg) == ()
+        assert undecidable_nodes(cfg) == ()
+
+    def test_code_after_decide_is_dead(self):
+        builder = ProgramBuilder()
+        builder.write(0, 1)
+        builder.decide(0)
+        builder.label("never")
+        builder.write(1, 1)
+        builder.decide(1)
+        program = builder.build()
+        cfg = program_cfg(program)
+        assert cfg.dead == (2, 3)
+        assert unreachable_labels(program, cfg) == ("never",)
+
+    def test_missing_terminator_reaches_exit(self):
+        builder = ProgramBuilder()
+        builder.write(0, 1)
+        builder.read(0, "x")
+        cfg = program_cfg(builder.build())
+        assert cfg.can_fall_off_end
+        assert EXIT in cfg.reachable
+
+    def test_branch_explores_both_arms(self):
+        builder = ProgramBuilder()
+        builder.branch_if(lambda e: e["v"] == 1, "one")
+        builder.decide(0)
+        builder.label("one")
+        builder.decide(1)
+        cfg = program_cfg(builder.build())
+        assert cfg.dead == ()
+        assert cfg.deciders == {1, 2}
+
+    def test_write_loop_without_decide_is_undecidable(self):
+        builder = ProgramBuilder()
+        builder.branch_if(lambda e: e["v"] == 1, "spin")
+        builder.write(0, lambda e: e["v"])
+        builder.decide(lambda e: e["v"])
+        builder.label("spin")
+        builder.write(1, 1)
+        builder.goto("spin")
+        cfg = program_cfg(builder.build())
+        # pc 1 still reaches the decide at pc 2; the spin write at pc 3
+        # can never reach any decide.
+        assert undecidable_nodes(cfg) == (3,)
+
+
+class TestLintProtocolCorpus:
+    """Every seeded defect produces its diagnostic through the public
+    entry point (the same path `repro lint` takes)."""
+
+    def test_dead_code_and_unreachable_label(self):
+        builder = ProgramBuilder()
+        builder.write(0, 1)
+        builder.decide(0)
+        builder.label("never")
+        builder.write(1, 1)
+        builder.decide(1)
+        report = lint_protocol(_protocol(builder.build()))
+        assert report.by_code("unreachable-label")
+        assert report.by_code("dead-instruction")
+        assert report.blocking
+
+    def test_fall_off_end_is_an_error(self):
+        builder = ProgramBuilder()
+        builder.write(0, 1)
+        builder.write(1, 1)
+        report = lint_protocol(_protocol(builder.build()))
+        [diag] = report.by_code("fall-off-end")
+        assert diag.severity == "error"
+
+    def test_no_decide_instruction(self):
+        builder = ProgramBuilder()
+        builder.label("spin")
+        builder.write(0, 1)
+        builder.write(1, 1)
+        builder.goto("spin")
+        report = lint_protocol(_protocol(builder.build()))
+        assert report.by_code("no-decide-instruction")
+
+    def test_no_decide_path_from_spin_loop(self):
+        builder = ProgramBuilder()
+        builder.branch_if(lambda e: e["v"] == 1, "spin")
+        builder.write(0, lambda e: e["v"])
+        builder.decide(lambda e: e["v"])
+        builder.label("spin")
+        builder.write(1, 1)
+        builder.goto("spin")
+        report = lint_protocol(_protocol(builder.build()))
+        [diag] = report.by_code("no-decide-path")
+        assert diag.pc == 3
+
+    def test_randomized_protocol_is_info_only(self):
+        builder = ProgramBuilder()
+        builder.flip("coin")
+        builder.write(0, lambda e: e["coin"])
+        builder.decide(lambda e: e["coin"])
+        report = lint_protocol(_protocol(builder.build()))
+        [diag] = report.by_code("coin-flips")
+        assert diag.severity == "info"
+        assert not report.blocking
+
+    def test_anonymous_protocol_reports_once_without_pid(self):
+        builder = ProgramBuilder()
+        builder.write(0, 1)
+        builder.write(1, 1)
+        report = lint_protocol(_protocol(builder.build(), n=3))
+        [diag] = report.by_code("fall-off-end")
+        assert diag.pid is None
+
+    def test_table_protocol_dead_state(self):
+        protocol = TableProtocol(
+            n=2,
+            registers=1,
+            initial={0: 0, 1: 0},
+            rules={0: ("write", 0, 1), 7: ("write", 0, 0)},
+            transitions={},
+            defaults={0: 1, 7: 7},
+            decisions={1: 1},
+        )
+        report = lint_protocol(protocol)
+        [diag] = report.by_code("dead-instruction")
+        assert diag.pc == 7
+
+    def test_table_protocol_livelock_state(self):
+        # State 2 self-loops (no rule target leads to the decider).
+        protocol = TableProtocol(
+            n=2,
+            registers=1,
+            initial={0: 0, 1: 0},
+            rules={0: ("read", 0), 2: ("write", 0, 1)},
+            transitions={(0, None): 1},
+            defaults={0: 2, 2: 2},
+            decisions={1: 0},
+        )
+        report = lint_protocol(protocol)
+        [diag] = report.by_code("no-decide-path")
+        assert diag.pc == 2
+
+    def test_bundled_correct_protocols_are_not_blocked(self):
+        for protocol in (CommitAdoptRounds(3), TasConsensus(2)):
+            report = lint_protocol(protocol)
+            assert not report.blocking, (protocol.name, report.codes)
+
+    def test_bundled_broken_protocol_is_blocked(self):
+        report = lint_protocol(SplitBrainConsensus(4))
+        assert report.by_code("footprint-below-bound")
+        assert report.blocking

@@ -1,0 +1,110 @@
+"""The ``repro lint`` CLI: exit-code contract and JSON round-trip.
+
+Exit codes are the contract the CI jobs key off: 0 only info-level
+diagnostics (or none), 2 at least one warning/error, 1 the lint itself
+failed.  ``--json`` output must round-trip through
+:class:`repro.lint.LintReport.from_json` losslessly.
+"""
+
+import pytest
+
+from repro.cli import main
+from repro.errors import LintError
+from repro.lint import Diagnostic, LintReport
+
+
+class TestExitCodes:
+    def test_clean_protocol_exits_zero(self, capsys):
+        assert main(["lint", "tas:2"]) == 0
+        capsys.readouterr()
+
+    def test_info_only_diagnostics_exit_zero(self, capsys):
+        # rounds:3 has environment-dependent register operands ->
+        # a dynamic-register info diagnostic, which must not block.
+        assert main(["lint", "rounds:3"]) == 0
+        out = capsys.readouterr().out
+        assert "dynamic-register" in out
+
+    def test_broken_protocol_exits_two(self, capsys):
+        assert main(["lint", "split-brain:4"]) == 2
+        out = capsys.readouterr().out
+        assert "footprint-below-bound" in out
+        assert "blocking" in out
+
+    def test_self_lint_passes_on_the_live_package(self, capsys):
+        assert main(["lint", "--self"]) == 0
+        capsys.readouterr()
+
+    def test_internal_failure_exits_one(self, capsys):
+        code = main(["lint", "--self", "--root", "/nonexistent-lint-root"])
+        assert code == 1
+        assert "error:" in capsys.readouterr().out
+
+    def test_self_lint_flags_a_seeded_tree(self, tmp_path, capsys):
+        for package in ("core", "model", "obs"):
+            (tmp_path / package).mkdir()
+        (tmp_path / "core" / "bad.py").write_text(
+            "import random\n", encoding="utf-8"
+        )
+        (tmp_path / "obs" / "trace.py").write_text(
+            "SCHEMA_VERSION = 1\nREQUIRED_KEYS = {}\n", encoding="utf-8"
+        )
+        code = main(["lint", "--self", "--root", str(tmp_path)])
+        assert code == 2
+        out = capsys.readouterr().out
+        assert "nondeterministic-import" in out
+
+    def test_no_target_is_a_usage_error(self):
+        with pytest.raises(SystemExit):
+            main(["lint"])
+
+    def test_bad_spec_is_a_usage_error(self):
+        with pytest.raises(SystemExit):
+            main(["lint", "paxos:3"])
+
+    def test_multiple_specs_aggregate(self, capsys):
+        # One clean + one broken protocol: the broken one decides.
+        assert main(["lint", "tas:2", "split-brain:4"]) == 2
+        capsys.readouterr()
+
+
+class TestJsonOutput:
+    def test_json_round_trips_through_lintreport(self, capsys):
+        assert main(["lint", "split-brain:4", "rounds:3", "--json"]) == 2
+        payload = capsys.readouterr().out
+        report = LintReport.from_json(payload)
+        assert "footprint-below-bound" in report.codes
+        assert "dynamic-register" in report.codes
+        assert report.blocking
+        # A second round-trip is byte-stable.
+        assert LintReport.from_json(report.to_json()).to_json() == (
+            report.to_json()
+        )
+
+    def test_clean_json_is_an_empty_report(self, capsys):
+        # split-brain with n=2 is statically unobjectionable: constant
+        # register operands, every path decides, and |W| = 1 >= n-1.
+        assert main(["lint", "split-brain:2", "--json"]) == 0
+        report = LintReport.from_json(capsys.readouterr().out)
+        assert len(report) == 0
+
+    def test_malformed_json_raises_lint_error(self):
+        with pytest.raises(LintError):
+            LintReport.from_json("{]")
+        with pytest.raises(LintError):
+            LintReport.from_json('{"version": 7, "diagnostics": []}')
+        with pytest.raises(LintError):
+            LintReport.from_json(
+                '{"version": 1, "diagnostics": [{"bogus": true}]}'
+            )
+
+    def test_unknown_severity_is_rejected(self):
+        with pytest.raises(LintError):
+            Diagnostic(code="x", severity="fatal", message="boom")
+
+    def test_report_deduplicates(self):
+        report = LintReport()
+        diag = Diagnostic(code="x", severity="info", message="m")
+        report.add(diag)
+        report.add(diag)
+        assert len(report) == 1

@@ -1,0 +1,145 @@
+"""Register-footprint analysis: exactness, widening, and the static
+Theorem 1 contrapositive (with its certificate cross-check)."""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.core.theorem import space_lower_bound
+from repro.lint import (
+    consensus_impossible,
+    crosscheck_certificate,
+    program_footprint,
+    protocol_footprint,
+    table_footprint,
+)
+from repro.model.program import ProgramBuilder, ProgramProtocol
+from repro.model.registers import register
+from repro.model.system import System
+from repro.model.table import TableProtocol
+from repro.protocols.consensus import (
+    CommitAdoptRounds,
+    SplitBrainConsensus,
+    TasConsensus,
+)
+
+
+def _protocol(program, n=2, registers=3):
+    return ProgramProtocol(
+        name="under-test",
+        n=n,
+        specs=[register(None, name=f"r{i}") for i in range(registers)],
+        programs=[program] * n,
+        initial_env=lambda pid, value: {"v": value},
+    )
+
+
+class TestProgramFootprint:
+    def test_constant_operands_are_exact(self):
+        builder = ProgramBuilder()
+        builder.write(0, 1)
+        builder.read(2, "x")
+        builder.decide(0)
+        footprint = program_footprint(builder.build(), universe=3)
+        assert footprint.exact
+        assert footprint.writes == {0}
+        assert footprint.reads == {2}
+        assert footprint.writable_bound == 1
+
+    def test_dynamic_register_widens_writes_to_universe(self):
+        builder = ProgramBuilder()
+        builder.write(lambda e: e["v"], 1)
+        builder.decide(0)
+        footprint = program_footprint(builder.build(), universe=3)
+        assert footprint.widened_writes
+        assert footprint.writes == {0, 1, 2}
+        assert footprint.writable_bound == 3
+
+    def test_out_of_range_constant_widens(self):
+        builder = ProgramBuilder()
+        builder.write(9, 1)
+        builder.decide(0)
+        footprint = program_footprint(builder.build(), universe=2)
+        assert footprint.widened_writes
+        assert footprint.writes == {0, 1}
+
+    def test_dead_code_does_not_contribute(self):
+        builder = ProgramBuilder()
+        builder.write(0, 1)
+        builder.decide(0)
+        builder.write(2, 1)  # unreachable
+        footprint = program_footprint(builder.build(), universe=3)
+        assert footprint.writes == {0}
+
+    def test_swap_and_rmw_count_as_writes(self):
+        builder = ProgramBuilder()
+        builder.swap(0, 1, "a")
+        builder.test_and_set(1, "b")
+        builder.compare_and_swap(2, None, 1, "c")
+        builder.decide(0)
+        footprint = program_footprint(builder.build(), universe=3)
+        assert footprint.writes == {0, 1, 2}
+        assert footprint.reads == frozenset()
+
+
+class TestTableAndDispatch:
+    def test_table_footprint_is_exact_and_skips_dead_states(self):
+        protocol = TableProtocol(
+            n=2,
+            registers=2,
+            initial={0: 0, 1: 0},
+            rules={0: ("write", 0, 1), 5: ("write", 1, 1)},
+            transitions={},
+            defaults={0: 1, 5: 5},
+            decisions={1: 0},
+        )
+        footprint = table_footprint(protocol)
+        assert footprint.exact
+        assert footprint.writes == {0}  # state 5 is unreachable
+
+    def test_protocol_footprint_merges_per_process_programs(self):
+        footprint = protocol_footprint(TasConsensus(2))
+        assert footprint.writes  # the two value registers + the T&S bit
+        assert footprint.writable_bound >= 1
+
+    def test_unknown_protocol_shape_widens_to_top(self):
+        stub = SimpleNamespace(n=3, num_objects=4)
+        footprint = protocol_footprint(stub)
+        assert footprint.writes == {0, 1, 2, 3}
+        assert not footprint.exact
+
+    def test_footprint_union_rejects_mixed_universes(self):
+        a = program_footprint(ProgramBuilder().decide(0).build(), universe=2)
+        b = program_footprint(ProgramBuilder().decide(0).build(), universe=3)
+        with pytest.raises(ValueError):
+            a.union(b)
+
+
+class TestTheoremContrapositive:
+    def test_split_brain_cannot_solve_consensus(self):
+        message = consensus_impossible(SplitBrainConsensus(4))
+        assert message is not None
+        assert "n-1 = 3" in message
+
+    def test_correct_protocols_pass_the_bound(self):
+        assert consensus_impossible(CommitAdoptRounds(3)) is None
+        assert consensus_impossible(TasConsensus(2)) is None
+
+    def test_two_process_one_register_is_not_flagged(self):
+        # n-1 = 1 writable register is satisfiable with one register;
+        # the static check must not over-claim.
+        assert consensus_impossible(SplitBrainConsensus(2)) is None
+
+
+class TestCertificateCrosscheck:
+    def test_real_certificate_is_consistent_with_static_bound(self):
+        protocol = CommitAdoptRounds(2)
+        certificate = space_lower_bound(System(protocol))
+        report = crosscheck_certificate(protocol, certificate)
+        assert len(report) == 0
+
+    def test_underapproximation_is_reported(self):
+        fake = SimpleNamespace(registers=frozenset({0, 1, 2}), bound=3)
+        report = crosscheck_certificate(SplitBrainConsensus(4), fake)
+        [diag] = report.by_code("certificate-footprint-mismatch")
+        assert diag.severity == "error"

@@ -1,0 +1,94 @@
+"""The commutation predicate behind partial-order reduction.
+
+The structural half is a truth table over operation shapes; the semantic
+half is the property the explorer's pruning proof actually needs --
+whenever ``operations_commute`` says yes for two poised operations, the
+two execution orders land in the *same* configuration (the diamond
+closes exactly, not just up to canonical key).
+"""
+
+from hypothesis import given
+import hypothesis.strategies as st
+
+from repro.lint import operations_commute
+from repro.model.operations import (
+    CoinFlip,
+    CompareAndSwap,
+    FetchAndAdd,
+    Marker,
+    Read,
+    Swap,
+    TestAndSet,
+    Write,
+)
+from repro.model.system import System
+
+from tests.test_parallel_differential import DIFFERENTIAL, table_protocols
+
+
+class TestStructuralPredicate:
+    def test_reads_of_the_same_register_commute(self):
+        assert operations_commute(Read(0), Read(0))
+
+    def test_read_and_write_of_the_same_register_conflict(self):
+        assert not operations_commute(Read(0), Write(0, 1))
+        assert not operations_commute(Write(0, 1), Read(0))
+
+    def test_writes_to_the_same_register_conflict(self):
+        assert not operations_commute(Write(0, 1), Write(0, 2))
+        assert not operations_commute(Swap(0, 1), TestAndSet(0))
+        assert not operations_commute(
+            CompareAndSwap(0, None, 1), FetchAndAdd(0, 1)
+        )
+
+    def test_different_registers_always_commute(self):
+        assert operations_commute(Write(0, 1), Write(1, 1))
+        assert operations_commute(Read(0), Write(1, 1))
+
+    def test_local_steps_commute_with_everything(self):
+        for local in (CoinFlip(), Marker("enter")):
+            assert operations_commute(local, Write(0, 1))
+            assert operations_commute(Write(0, 1), local)
+            assert operations_commute(local, local)
+
+    def test_symmetry(self):
+        ops = [Read(0), Write(0, 1), Write(1, 0), CoinFlip(), Swap(1, 2)]
+        for a in ops:
+            for b in ops:
+                assert operations_commute(a, b) == operations_commute(b, a)
+
+
+@given(protocol=table_protocols(), inputs_seed=st.integers(0, 7))
+@DIFFERENTIAL
+def test_commuting_operations_close_the_diamond(protocol, inputs_seed):
+    """Semantic soundness on arbitrary automata: if the predicate says
+    two poised operations commute, stepping p then q reaches exactly the
+    configuration of stepping q then p."""
+    system = System(protocol)
+    inputs = [(inputs_seed >> pid) & 1 for pid in range(protocol.n)]
+    root = system.initial_configuration(inputs)
+    pids = tuple(range(protocol.n))
+
+    frontier = [root]
+    checked = 0
+    for _ in range(4):  # a few BFS levels is plenty of coverage
+        next_frontier = []
+        for config in frontier:
+            for p in pids:
+                op_p = system.poised(config, p)
+                if op_p is None:
+                    continue
+                succ_p, _ = system.step(config, p)
+                next_frontier.append(succ_p)
+                for q in pids:
+                    if q <= p:
+                        continue
+                    op_q = system.poised(config, q)
+                    if op_q is None or not operations_commute(op_p, op_q):
+                        continue
+                    pq, _ = system.step(succ_p, q)
+                    succ_q, _ = system.step(config, q)
+                    qp, _ = system.step(succ_q, p)
+                    assert pq == qp
+                    checked += 1
+        frontier = next_frontier

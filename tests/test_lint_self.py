@@ -1,0 +1,162 @@
+"""Repository self-lint: the live package passes, seeded defects don't.
+
+The checkers are AST-based and take a root directory, so these tests
+build small fake package trees under tmp_path with one invariant broken
+at a time -- the real tree is never touched.
+"""
+
+import pytest
+
+from repro.errors import LintError
+from repro.lint import (
+    check_determinism,
+    check_picklable_errors,
+    check_trace_schema,
+    lint_repository,
+)
+from repro.lint.selfcheck import (
+    EXPECTED_REQUIRED_KEYS,
+    EXPECTED_SCHEMA_VERSION,
+    PRAGMA,
+)
+
+GOOD_TRACE = (
+    f"SCHEMA_VERSION = {EXPECTED_SCHEMA_VERSION}\n"
+    f"REQUIRED_KEYS = {EXPECTED_REQUIRED_KEYS!r}\n"
+)
+
+
+def seed_tree(
+    root,
+    core="",
+    model="",
+    trace=GOOD_TRACE,
+    extra=None,
+):
+    """A minimal tree shaped like the repro package."""
+    for package, source in (("core", core), ("model", model)):
+        package_dir = root / package
+        package_dir.mkdir(parents=True)
+        (package_dir / "mod.py").write_text(source, encoding="utf-8")
+    obs = root / "obs"
+    obs.mkdir()
+    (obs / "trace.py").write_text(trace, encoding="utf-8")
+    for name, source in (extra or {}).items():
+        (root / name).write_text(source, encoding="utf-8")
+    return root
+
+
+class TestLivePackage:
+    def test_the_repository_lints_clean(self):
+        report = lint_repository()
+        assert len(report) == 0, report.to_json()
+
+
+class TestDeterminism:
+    def test_random_import_in_proof_path_is_flagged(self, tmp_path):
+        root = seed_tree(tmp_path, core="import random\n")
+        report = check_determinism(root)
+        [diag] = report.by_code("nondeterministic-import")
+        assert diag.severity == "error"
+        assert diag.path.endswith("core/mod.py")
+        assert diag.line == 1
+
+    def test_time_from_import_is_flagged(self, tmp_path):
+        root = seed_tree(tmp_path, model="from time import sleep\n")
+        assert check_determinism(root).by_code("nondeterministic-import")
+
+    def test_pragma_whitelists_the_line(self, tmp_path):
+        root = seed_tree(
+            tmp_path,
+            model=f"import random  # {PRAGMA} (caller provides the rng)\n",
+        )
+        assert len(check_determinism(root)) == 0
+
+    def test_imports_outside_proof_paths_are_ignored(self, tmp_path):
+        root = seed_tree(
+            tmp_path, extra={"bench.py": "import random\nimport time\n"}
+        )
+        assert len(check_determinism(root)) == 0
+
+    def test_missing_proof_path_is_a_lint_error(self, tmp_path):
+        (tmp_path / "core").mkdir()
+        with pytest.raises(LintError):
+            check_determinism(tmp_path)
+
+    def test_syntax_error_is_a_lint_error_not_a_crash(self, tmp_path):
+        root = seed_tree(tmp_path, core="def broken(:\n")
+        with pytest.raises(LintError):
+            check_determinism(root)
+
+
+PAYLOAD_ERROR = """
+class WitnessError(Exception):
+    def __init__(self, message, witness):
+        super().__init__(message)
+        self.witness = witness
+"""
+
+PAYLOAD_ERROR_WITH_REDUCE = PAYLOAD_ERROR + """
+    def __reduce__(self):
+        return (type(self), (self.args[0], self.witness))
+"""
+
+
+class TestPicklableErrors:
+    def test_payload_without_reduce_is_flagged(self, tmp_path):
+        root = seed_tree(tmp_path, extra={"errs.py": PAYLOAD_ERROR})
+        [diag] = check_picklable_errors(root).by_code("unpicklable-error")
+        assert "WitnessError" in diag.message
+
+    def test_reduce_silences_the_finding(self, tmp_path):
+        root = seed_tree(
+            tmp_path, extra={"errs.py": PAYLOAD_ERROR_WITH_REDUCE}
+        )
+        assert len(check_picklable_errors(root)) == 0
+
+    def test_message_only_errors_are_fine(self, tmp_path):
+        source = "class PlainError(Exception):\n    pass\n"
+        root = seed_tree(tmp_path, extra={"errs.py": source})
+        assert len(check_picklable_errors(root)) == 0
+
+
+class TestTraceSchema:
+    def test_version_drift_is_flagged(self, tmp_path):
+        drifted = GOOD_TRACE.replace(
+            f"SCHEMA_VERSION = {EXPECTED_SCHEMA_VERSION}", "SCHEMA_VERSION = 99"
+        )
+        root = seed_tree(tmp_path, trace=drifted)
+        assert check_trace_schema(root).by_code("schema-drift")
+
+    def test_key_drift_is_flagged(self, tmp_path):
+        drifted = GOOD_TRACE.replace("span_start", "span_begin")
+        root = seed_tree(tmp_path, trace=drifted)
+        assert check_trace_schema(root).by_code("schema-drift")
+
+    def test_missing_trace_module_is_a_lint_error(self, tmp_path):
+        seed_tree(tmp_path)
+        (tmp_path / "obs" / "trace.py").unlink()
+        with pytest.raises(LintError):
+            check_trace_schema(tmp_path)
+
+    def test_pinned_schema_matches(self, tmp_path):
+        root = seed_tree(tmp_path)
+        assert len(check_trace_schema(root)) == 0
+
+
+class TestLintRepository:
+    def test_aggregates_all_checks_on_a_seeded_tree(self, tmp_path):
+        root = seed_tree(
+            tmp_path,
+            core="import time\n",
+            extra={"errs.py": PAYLOAD_ERROR},
+        )
+        report = lint_repository(root)
+        assert set(report.codes) == {
+            "nondeterministic-import", "unpicklable-error"
+        }
+        assert report.blocking
+
+    def test_missing_root_is_a_lint_error(self, tmp_path):
+        with pytest.raises(LintError):
+            lint_repository(tmp_path / "nope")

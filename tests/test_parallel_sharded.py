@@ -142,10 +142,13 @@ class TestWorkerEndpoint:
         root = system.initial_configuration([0, 1])
         pids = (0, 1)
         blob = pickle.dumps(system)
-        [(index, events)] = expand_batch((blob, pids, ((4, root),)))
+        [(index, events)] = expand_batch(
+            (blob, pids, ((4, root, None),), False)
+        )
         assert index == 4
         assert [pid for pid, *_ in events] == [0, 1]
-        for pid, succ, succ_key, decided in events:
+        for pid, op, succ, succ_key, decided in events:
+            assert op == system.poised(root, pid)
             expected, _ = system.step(root, pid)
             assert succ == expected
             assert succ_key == system.protocol.canonical_query_key(
@@ -159,9 +162,11 @@ class TestWorkerEndpoint:
         system = System(TasConsensus(2))
         root = system.initial_configuration([0, 1])
         blob = pickle.dumps(system)
-        batch = expand_batch((blob, (0, 1), ((0, root), (1, root))))
-        first_keys = {key for _, _, key, _ in batch[0][1]}
-        second_keys = {key for _, _, key, _ in batch[1][1]}
+        batch = expand_batch(
+            (blob, (0, 1), ((0, root, None), (1, root, None)), False)
+        )
+        first_keys = {key for _, _, _, key, _ in batch[0][1]}
+        second_keys = {key for _, _, _, key, _ in batch[1][1]}
         assert not (first_keys & second_keys)
 
     def test_system_blob_memo_is_bounded(self):
