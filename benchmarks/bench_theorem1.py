@@ -11,6 +11,9 @@ Benchmark:   pytest benchmarks/bench_theorem1.py --benchmark-only
 The valency oracle's solo-probe fast path (positive queries answered by
 plain solo runs) is what makes n = 6 feasible: the construction is
 recursive over valency queries and nearly all of them are positive.
+The incremental valency engine (process-state step memoisation plus
+configuration interning, :mod:`repro.core.incremental`) is what brings
+n = 7 into the default sweep.
 """
 
 import sys
@@ -28,10 +31,11 @@ BUDGETS = {
     4: (40_000, 80),
     5: (80_000, 100),
     6: (80_000, 100),
+    7: (80_000, 100),
 }
 
 
-def run_adversary(n: int, family=CommitAdoptRounds):
+def run_adversary(n: int, family=CommitAdoptRounds, incremental: bool = True):
     system = System(family(n))
     configs, depth = BUDGETS.get(n, (80_000, 100))
     stats = ConstructionStats()
@@ -41,12 +45,13 @@ def run_adversary(n: int, family=CommitAdoptRounds):
         max_configs=configs,
         max_depth=depth,
         stats=stats,
+        incremental=incremental,
     )
     certificate.validate(System(family(n)))
     return certificate, stats
 
 
-def main(max_n: int = 6) -> None:
+def main(max_n: int = 7) -> None:
     rows = []
     for family, family_max in (
         (CommitAdoptRounds, max_n),
@@ -100,4 +105,4 @@ def test_theorem1_n4(benchmark):
 
 
 if __name__ == "__main__":
-    main(int(sys.argv[1]) if len(sys.argv) > 1 else 5)
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 7)

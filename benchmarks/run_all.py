@@ -3,8 +3,9 @@
 
     python benchmarks/run_all.py [--quick]
 
-``--quick`` caps the Theorem 1 sweep at n=4 (the full sweep's n=5 and
-n=6 rows take a couple of minutes each); everything else runs in full.
+``--quick`` caps the Theorem 1 sweep at n=4 (the full sweep's n=5
+through n=7 rows take from seconds to a minute each even with the
+incremental engine); everything else runs in full.
 """
 
 import sys
@@ -28,6 +29,7 @@ import bench_faults
 import bench_parallel
 import bench_obs
 import bench_lint
+import bench_incremental
 import bench_ablation_memo
 import bench_ablation_historyless
 import bench_ablation_symmetry
@@ -36,7 +38,7 @@ import bench_ablation_symmetry
 def main() -> None:
     quick = "--quick" in sys.argv
     stages = [
-        ("E1", lambda: bench_theorem1.main(4 if quick else 6)),
+        ("E1", lambda: bench_theorem1.main(4 if quick else 7)),
         ("E2", bench_upper_bound.main),
         ("E2b", bench_usage.main),
         ("E3", bench_violations.main),
@@ -54,6 +56,7 @@ def main() -> None:
         ("E15", lambda: bench_parallel.main(1 if quick else 3)),
         ("E16", lambda: bench_obs.main(3 if quick else 7)),
         ("E17", lambda: bench_lint.main(3 if quick else 9)),
+        ("E18", lambda: bench_incremental.main(3 if quick else 4)),
         ("ablations A/B", bench_ablation_memo.main),
         ("ablation C", bench_ablation_historyless.main),
         ("ablation D", bench_ablation_symmetry.main),

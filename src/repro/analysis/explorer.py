@@ -140,6 +140,7 @@ class Explorer:
         strict: bool = True,
         budget=None,
         por: bool = False,
+        engine=None,
     ):
         """``strict`` explorers raise :class:`ExplorationLimitError` when
         the configuration budget is exceeded; non-strict explorers return
@@ -156,13 +157,22 @@ class Explorer:
 
         ``por`` enables the sound partial-order reduction described in
         the module docstring: results are bit-identical, redundant
-        commuting-diamond derivations are skipped."""
+        commuting-diamond derivations are skipped.
+
+        ``engine`` is an optional
+        :class:`~repro.core.incremental.IncrementalEngine`: the BFS then
+        routes its pure model calls (step, canonical key, decisions)
+        through the engine's interned memo tables and registers
+        exhausted graphs for frontier reuse.  Memoising pure functions
+        is invisible to the search -- results, metrics and early-exit
+        points are bit-identical with or without an engine."""
         self.system = system
         self.max_configs = max_configs
         self.max_depth = max_depth
         self.strict = strict
         self.budget = budget
         self.por = por
+        self.engine = engine
 
     def explore(
         self,
@@ -187,6 +197,9 @@ class Explorer:
         system = self.system
         protocol = system.protocol
         pid_set = frozenset(pids)
+        engine = self.engine
+        if engine is not None:
+            root = engine.intern(root)
         result = ExplorationResult(root=root, pids=pid_set)
 
         # Metric handles are hoisted once per exploration; under the
@@ -204,9 +217,33 @@ class Explorer:
 
         # Deduplicate on the *query* key: configurations interchangeable
         # for P-only reachability (for symmetric protocols this quotients
-        # by permutations fixing P setwise).
-        def key_of(config: Configuration) -> Hashable:
-            return protocol.canonical_query_key(config, pid_set)
+        # by permutations fixing P setwise).  With an engine attached
+        # the same pure functions are served from its memo tables.
+        if engine is not None:
+            # Bind the live per-pid_set key table once: hits become one
+            # ``id()``-keyed probe.  The table object is stable (arena
+            # generation changes clear it in place), and misses fall
+            # back to ``engine.query_key`` which fills the same table.
+            keys_table = engine.keys_for(pid_set)
+
+            def key_of(config: Configuration) -> Hashable:
+                entry = keys_table.get(id(config))
+                if entry is not None:
+                    return entry[1]
+                return engine.query_key(config, pid_set)
+
+            poised_of = engine.poised
+            decided_of = engine.decided_values
+            step_of = engine.step
+        else:
+            def key_of(config: Configuration) -> Hashable:
+                return protocol.canonical_query_key(config, pid_set)
+
+            poised_of = system.poised
+            decided_of = system.decided_values
+
+            def step_of(config: Configuration, pid: int) -> Configuration:
+                return system.step(config, pid)[0]
 
         # parent[key] = (parent_key, pid) for witness reconstruction.
         parents: Dict[Hashable, Optional[Tuple[Hashable, int]]] = {}
@@ -219,7 +256,7 @@ class Explorer:
         found: Dict[Hashable, Hashable] = {}  # value -> deciding key
 
         def record_decisions(config: Configuration, key: Hashable) -> None:
-            for value in system.decided_values(config):
+            for value in decided_of(config):
                 if value not in found:
                     found[value] = key
 
@@ -246,10 +283,17 @@ class Explorer:
                 truncated=result.truncated,
                 decided=sorted(found, key=repr),
             )
+            if engine is not None and result.complete:
+                # The whole P-only reachable graph was exhausted (no
+                # truncation, no stop_when early exit): index its node
+                # keys for frontier reuse.
+                engine.register_graph(
+                    pid_set, parents.keys(), frozenset(found)
+                )
             return result
 
         record_decisions(root, root_key)
-        if stop_when is not None and stop_when <= set(found):
+        if stop_when is not None and stop_when <= found.keys():
             return finish(complete=False)
 
         por = self.por
@@ -266,7 +310,7 @@ class Explorer:
                 continue
             branch = 0
             for pid in sorted_pids:
-                op = system.poised(config, pid)
+                op = poised_of(config, pid)
                 if op is None:
                     continue
                 if (
@@ -282,7 +326,7 @@ class Explorer:
                     continue
                 branch += 1
                 edges_c.inc()
-                succ, _ = system.step(config, pid)
+                succ = step_of(config, pid)
                 succ_key = key_of(succ)
                 if succ_key in parents:
                     dedup_c.inc()
@@ -305,7 +349,7 @@ class Explorer:
                     result.truncated = True
                     return finish(complete=False)
                 record_decisions(succ, succ_key)
-                if stop_when is not None and stop_when <= set(found):
+                if stop_when is not None and stop_when <= found.keys():
                     return finish(complete=False)
                 level_sizes[depth + 1] = level_sizes.get(depth + 1, 0) + 1
                 queue.append((succ, succ_key, depth + 1, (pid, op)))

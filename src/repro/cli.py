@@ -200,7 +200,7 @@ def cmd_adversary(args) -> int:
         try:
             certificate = space_lower_bound_auto(
                 system, workers=args.workers, cache_dir=args.cache_dir,
-                por=args.por,
+                por=args.por, incremental=args.incremental,
             )
         except AdversaryError as exc:
             print(f"construction failed: {exc}")
@@ -227,6 +227,7 @@ def cmd_adversary(args) -> int:
         workers=args.workers,
         cache_dir=args.cache_dir,
         por=args.por,
+        incremental=args.incremental,
     )
     if outcome.status == "certificate":
         print(outcome.certificate.summary())
@@ -314,7 +315,7 @@ def cmd_audit(args) -> int:
             system, budget=_make_budget(args), max_configs=args.max_configs,
             max_depth=args.max_depth, spec=spec,
             workers=args.workers, cache_dir=args.cache_dir,
-            por=args.por,
+            por=args.por, incremental=args.incremental,
         )
         if outcome.status == "certificate":
             bound = f"{outcome.certificate.bound} pinned"
@@ -496,26 +497,45 @@ def cmd_stats(args) -> int:
             "histograms", ["name", "count", "sum", "min", "max"], hrows
         )
 
+    # Derived rates guard every division: a journal from a run with
+    # zero valency queries (e.g. a lint short-circuit) must render as
+    # "n/a" rows, not crash.
+    def rate(numerator: float, denominator: float) -> str:
+        if not denominator:
+            return "n/a"
+        return f"{numerator / denominator:.1%}"
+
     derived = []
     queries = counters.get("oracle.queries", 0)
-    if queries:
-        hits = counters.get("oracle.cache_hits", 0)
-        derived.append(["oracle memo hit rate", f"{hits / queries:.1%}"])
+    derived.append(
+        ["oracle memo hit rate",
+         rate(counters.get("oracle.cache_hits", 0), queries)]
+    )
     probes = (
         counters.get("valency_cache.hits", 0)
         + counters.get("valency_cache.misses", 0)
     )
-    if probes:
-        hits = counters.get("valency_cache.hits", 0)
-        derived.append(["valency-cache hit rate", f"{hits / probes:.1%}"])
-    if gauges.get("explorer.frontier_peak") is not None:
-        derived.append(["frontier peak", gauges["explorer.frontier_peak"]])
+    derived.append(
+        ["valency-cache hit rate",
+         rate(counters.get("valency_cache.hits", 0), probes)]
+    )
+    seeded = counters.get("incremental.seeded", 0)
+    cold = counters.get("incremental.cold", 0)
+    derived.append(
+        ["incremental seed rate", rate(seeded, seeded + cold)]
+    )
+    intern_hits = counters.get("intern.hits", 0)
+    intern_total = intern_hits + counters.get("intern.misses", 0)
+    derived.append(["intern hit rate", rate(intern_hits, intern_total)])
+    frontier_peak = gauges.get("explorer.frontier_peak")
+    derived.append(
+        ["frontier peak", "n/a" if frontier_peak is None else frontier_peak]
+    )
     if gauges.get("construction.covered_registers") is not None:
         derived.append(
             ["covered registers", gauges["construction.covered_registers"]]
         )
-    if derived:
-        print_table("derived", ["quantity", "value"], derived)
+    print_table("derived", ["quantity", "value"], derived)
     return EXIT_OK
 
 
@@ -686,6 +706,12 @@ def _add_parallel_flags(p) -> None:
         "--por", action="store_true",
         help="prune commuting exploration edges (partial-order "
         "reduction; results are bit-identical either way)",
+    )
+    p.add_argument(
+        "--no-incremental", dest="incremental", action="store_false",
+        help="disable the incremental valency engine (configuration "
+        "interning + frontier reuse; on by default, results are "
+        "bit-identical either way)",
     )
 
 

@@ -1,0 +1,402 @@
+"""Incremental valency engine: config interning + frontier reuse.
+
+The Theorem 1 construction issues long chains of valency queries on
+configurations one block-write apart (Lemma 1 scans an execution prefix
+step by step; Lemma 4 recurses over such scans).  Each query restarts a
+BFS from scratch, and the profile of an adversary run is dominated by
+two pure functions evaluated hundreds of thousands of times:
+``System.step`` and ``Protocol.canonical_query_key``.
+
+:class:`IncrementalEngine` removes that redundancy without touching the
+search itself:
+
+* **Process-state memoisation** -- one BFS step is three pure function
+  applications: ``poised(pid, state)`` picks the operation,
+  ``_apply_shared(obj, memory[obj], op)`` computes the response and the
+  new register value, and ``transition(pid, state, response)`` computes
+  the successor state.  None of them reads the rest of the
+  configuration, so the engine memoises whole steps on
+  ``(pid, state, input)`` where ``input`` is the single register value
+  (or coin position) the step actually consumes.  Reachable graphs
+  revisit the same process states relentlessly -- an adversary run that
+  expands 600k edges touches only a few thousand distinct
+  ``(pid, state, input)`` triples -- so nearly every step becomes one
+  dictionary probe plus a tuple rebuild, never a program-interpreter
+  call.
+
+* **Configuration interning** -- every successor the engine hands back
+  is swapped for a canonical arena instance
+  (:class:`~repro.model.configuration.ConfigurationInterner`), so the
+  canonical query key of a configuration is computed once per
+  exploration workload and afterwards served from an ``id()``-keyed
+  memo (one dict probe instead of re-normalising three tuples).
+
+  Memoising pure functions is invisible to the BFS: discovery order,
+  decision sets, witness schedules, metrics and early-exit points are
+  bit-identical to a cold run.
+
+* **Frontier reuse** -- when an exploration from ``(C, P)`` *exhausts*
+  the P-only reachable graph (``complete`` result: no truncation, no
+  early exit), the engine indexes every node key of that graph together
+  with the full set of values decided anywhere in it.  For a later
+  query ``(C', P)`` with ``C'`` in the indexed graph,
+  ``Reach(C', P) ⊆ Reach(C, P)`` -- a P-only schedule from C' is a
+  suffix of one from C -- so a value decided nowhere in the indexed
+  graph is *exactly* undecidable from C'.  The oracle answers such
+  negative queries without any search (``incremental.seeded``); all
+  other queries fall back to the (memoised) cold BFS
+  (``incremental.cold``).
+
+Why seeded negatives are proof-preserving in both oracle modes (see
+docs/THEORY.md for the full argument): in strict mode the indexed graph
+was exhausted within ``max_configs``, and ``|Reach(C')| <= |Reach(C)|``
+means the cold search from C' could never hit the limit either -- it
+would exhaust the subgraph and report the same "cannot decide".  In
+bounded mode a truncated cold search reports "not found" regardless,
+which is again the same answer.  Positive answers always come from a
+real (memoised) search, so witness schedules stay the
+lexicographically-least shortest ones the cold explorer returns.
+
+Graphs that were truncated by ``max_depth``/``max_configs`` or cut
+short by a ``stop_when`` early exit are **never** indexed: their node
+sets are not closed under P-only steps, so membership would prove
+nothing.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import (
+    Deque,
+    Dict,
+    FrozenSet,
+    Hashable,
+    Iterable,
+    Optional,
+    Tuple,
+)
+
+from repro.model.configuration import Configuration, ConfigurationInterner
+from repro.model.operations import CoinFlip, Marker, Operation
+from repro.model.system import System
+
+#: Default bound on the total number of node keys held by the
+#: frontier-reuse index; whole graphs are evicted FIFO beyond it.
+DEFAULT_MAX_INDEX_NODES = 500_000
+
+#: Memo-miss sentinel (``None`` is a legitimate memoised value: halted
+#: processes have no poised operation and undecided states no decision).
+_MISS = object()
+
+
+class IncrementalEngine:
+    """Per-oracle memo state shared by every exploration of one system.
+
+    The step/poised/decision memos key on process *states* (hashable by
+    the model contract), so they survive arena overflows and stay small:
+    their size is bounded by the number of distinct ``(pid, state,
+    register value)`` triples the protocol can exhibit, not by the
+    number of reachable configurations.  Only the canonical-query-key
+    memo keys on ``id()`` of interned configurations; it is dropped
+    whenever the arena generation changes.
+    """
+
+    def __init__(
+        self,
+        system: System,
+        max_arena: int = 1_000_000,
+        max_index_nodes: int = DEFAULT_MAX_INDEX_NODES,
+    ):
+        self.system = system
+        self.protocol = system.protocol
+        self.interner = ConfigurationInterner(max_size=max_arena)
+        n = system.protocol.n
+        # Per pid: state -> Operation | None.  Keyed on the state alone
+        # (one cached-hash probe, no tuple allocation): the hot loop
+        # calls these millions of times.
+        self._poised: Tuple[Dict[Hashable, Optional[Operation]], ...] = tuple(
+            {} for _ in range(n)
+        )
+        # Per pid: (state, input) -> (new state, written obj | None,
+        # written value).  ``input`` captures the one piece of the
+        # configuration beyond ``state`` the step reads: the addressed
+        # register's value for shared operations, None for markers
+        # (coin flips always take the real step).
+        self._steps: Tuple[
+            Dict[
+                Tuple[Hashable, Hashable],
+                Tuple[Hashable, Optional[int], Hashable],
+            ],
+            ...,
+        ] = tuple({} for _ in range(n))
+        # Per pid: state -> decided value | None.
+        self._decisions: Tuple[
+            Dict[Hashable, Optional[Hashable]], ...
+        ] = tuple({} for _ in range(n))
+        # states tuple -> frozenset of decided values (decisions depend
+        # on process states only, so one probe serves the whole tuple).
+        self._decided_by_states: Dict[
+            Tuple[Hashable, ...], FrozenSet[Hashable]
+        ] = {}
+        # Per pid frozenset: id(config) -> (config, canonical query
+        # key).  The stored configuration pins the key's id: a recycled
+        # id can never alias a live entry, so every hit is genuine.
+        self._keys_by_pids: Dict[
+            FrozenSet[int], Dict[int, Tuple[Configuration, Hashable]]
+        ] = {}
+        # Protocol-owned canonical-key fragments (see
+        # Protocol.canonical_query_key_cached); value-keyed, so arena
+        # clears leave it valid.
+        self._fragments: Dict[Hashable, Hashable] = {}
+        # Frontier-reuse index: pid frozenset -> node key -> the decided
+        # value set of the exhausted graph the key belongs to.
+        self._graphs: Dict[
+            FrozenSet[int], Dict[Hashable, FrozenSet[Hashable]]
+        ] = {}
+        # Registered graphs in insertion order, for FIFO eviction.
+        self._graph_order: Deque[
+            Tuple[FrozenSet[int], Tuple[Hashable, ...]]
+        ] = deque()
+        self._index_nodes = 0
+        self.max_index_nodes = max_index_nodes
+        #: Exhausted graphs registered / graph-index negative proofs
+        #: served; the oracle mirrors these into ``incremental.*``
+        #: metrics counters.
+        self.graphs_registered = 0
+        self.negative_proofs = 0
+
+    # -- memoised pure model functions --------------------------------------
+    def intern(self, config: Configuration) -> Configuration:
+        """Canonical arena instance of ``config`` (entry point for roots)."""
+        interner = self.interner
+        generation = interner.generation
+        config = interner.intern(config)
+        if interner.generation != generation:
+            # The arena was cleared mid-intern: the id-keyed key memos
+            # may now alias recycled ids, so drop them.  ``config`` was
+            # inserted into the *new* generation and stays valid; the
+            # state-keyed memos never reference configurations.  Tables
+            # are cleared in place so references handed out by
+            # :meth:`keys_for` stay current.
+            for table in self._keys_by_pids.values():
+                table.clear()
+        return config
+
+    def poised(self, config: Configuration, pid: int) -> Optional[Operation]:
+        """Memoised ``System.poised``."""
+        state = config.states[pid]
+        memo = self._poised[pid]
+        op = memo.get(state, _MISS)
+        if op is _MISS:
+            op = self.system.poised(config, pid)
+            memo[state] = op
+        return op
+
+    def step(self, config: Configuration, pid: int) -> Configuration:
+        """Memoised ``System.step`` returning the interned successor.
+
+        The memo key is ``(pid, state, input)`` -- see the class
+        docstring.  Misses delegate to the real ``System.step`` (which
+        also owns every error path: halted processes, malformed
+        operations) and record the decomposed effect; hits rebuild the
+        successor from the effect without running the protocol.
+        """
+        state = config.states[pid]
+        op = self._poised[pid].get(state, _MISS)
+        if op is _MISS:
+            op = self.system.poised(config, pid)
+            self._poised[pid][state] = op
+        if op is None or isinstance(op, CoinFlip):
+            # Coin steps depend on the tape position and bump it; they
+            # are rare (one per flip) and cheap relative to the tape
+            # call, so take the real step.  Halted processes delegate
+            # for the ProcessHaltedError.
+            succ, _ = self.system.step(config, pid)
+            return self.intern(succ)
+        if isinstance(op, Marker):
+            step_input: Hashable = None
+        else:
+            obj = op.obj
+            memory = config.memory
+            if obj is None or not 0 <= obj < len(memory):
+                # Malformed operation: the real step raises ModelError.
+                succ, _ = self.system.step(config, pid)
+                return self.intern(succ)
+            step_input = memory[obj]
+        memo = self._steps[pid]
+        memo_key = (state, step_input)
+        effect = memo.get(memo_key)
+        if effect is None:
+            succ, _ = self.system.step(config, pid)
+            succ = self.intern(succ)
+            wobj = None if isinstance(op, Marker) else op.obj
+            memo[memo_key] = (
+                succ.states[pid],
+                wobj,
+                None if wobj is None else succ.memory[wobj],
+            )
+            return succ
+        new_state, wobj, wvalue = effect
+        states = config.states
+        states = states[:pid] + (new_state,) + states[pid + 1:]
+        if wobj is not None:
+            memory = config.memory
+            memory = memory[:wobj] + (wvalue,) + memory[wobj + 1:]
+        else:
+            memory = config.memory
+        interner = self.interner
+        generation = interner.generation
+        succ = interner.intern_parts(states, memory, config.coins)
+        if interner.generation != generation:
+            for table in self._keys_by_pids.values():
+                table.clear()
+        return succ
+
+    def keys_for(
+        self, pid_set: FrozenSet[int]
+    ) -> Dict[int, Tuple[Configuration, Hashable]]:
+        """The live query-key table for ``pid_set``.
+
+        Explorers may bind this once per exploration and probe it with
+        ``table.get(id(config))`` directly (falling back to
+        :meth:`query_key` on a miss); the table object is stable -- arena
+        generation changes clear it in place, never replace it.
+        """
+        table = self._keys_by_pids.get(pid_set)
+        if table is None:
+            table = {}
+            self._keys_by_pids[pid_set] = table
+        return table
+
+    def query_key(
+        self, config: Configuration, pid_set: FrozenSet[int]
+    ) -> Hashable:
+        """Memoised ``Protocol.canonical_query_key`` (``config`` must be
+        interned)."""
+        table = self.keys_for(pid_set)
+        entry = table.get(id(config))
+        if entry is not None:
+            return entry[1]
+        key = self.protocol.canonical_query_key_cached(
+            config, pid_set, self._fragments
+        )
+        table[id(config)] = (config, key)
+        return key
+
+    def decided_values(self, config: Configuration) -> frozenset:
+        """Memoised ``System.decided_values`` (same frozenset value)."""
+        states = config.states
+        cached = self._decided_by_states.get(states)
+        if cached is not None:
+            return cached
+        memos = self._decisions
+        protocol = self.protocol
+        values = []
+        for pid, state in enumerate(states):
+            memo = memos[pid]
+            value = memo.get(state, _MISS)
+            if value is _MISS:
+                value = protocol.decision(pid, state)
+                memo[state] = value
+            if value is not None:
+                values.append(value)
+        result = frozenset(values)
+        self._decided_by_states[states] = result
+        return result
+
+    def decision(self, config: Configuration, pid: int) -> Optional[Hashable]:
+        """Memoised ``System.decision`` (solo-probe fast path)."""
+        state = config.states[pid]
+        memo = self._decisions[pid]
+        value = memo.get(state, _MISS)
+        if value is _MISS:
+            value = self.protocol.decision(pid, state)
+            memo[state] = value
+        return value
+
+    # -- frontier reuse ------------------------------------------------------
+    def register_graph(
+        self,
+        pid_set: FrozenSet[int],
+        node_keys: Iterable[Hashable],
+        decided: FrozenSet[Hashable],
+    ) -> None:
+        """Index an *exhausted* P-only reachable graph.
+
+        ``node_keys`` are the canonical query keys of every node of the
+        graph, ``decided`` the values decided anywhere in it.  Callers
+        must only register complete, untruncated explorations (the
+        explorers enforce this); a key already claimed by an earlier
+        graph keeps its first record -- both are sound, and first-wins
+        keeps eviction bookkeeping exact.
+        """
+        index = self._graphs.setdefault(pid_set, {})
+        fresh = tuple(k for k in node_keys if k not in index)
+        if not fresh:
+            return
+        for key in fresh:
+            index[key] = decided
+        self._graph_order.append((pid_set, fresh))
+        self._index_nodes += len(fresh)
+        self.graphs_registered += 1
+        while self._index_nodes > self.max_index_nodes and self._graph_order:
+            old_pids, old_keys = self._graph_order.popleft()
+            old_index = self._graphs.get(old_pids)
+            if old_index is not None:
+                for key in old_keys:
+                    old_index.pop(key, None)
+            self._index_nodes -= len(old_keys)
+
+    def prove_cannot_decide(
+        self,
+        pid_set: FrozenSet[int],
+        key: Hashable,
+        values: FrozenSet[Hashable],
+    ) -> bool:
+        """True iff the index proves P cannot decide any of ``values``.
+
+        Exact (valid even for strict oracles): ``key`` belongs to an
+        exhausted graph whose decided set is disjoint from ``values``,
+        and every configuration P-only reachable from ``key`` is a node
+        of that graph.
+        """
+        index = self._graphs.get(pid_set)
+        if not index:
+            return False
+        decided = index.get(key)
+        if decided is None:
+            return False
+        if values & decided:
+            return False
+        self.negative_proofs += 1
+        return True
+
+    def indexed_decided(
+        self, pid_set: FrozenSet[int], key: Hashable
+    ) -> Optional[FrozenSet[Hashable]]:
+        """The decided set of the exhausted graph containing ``key``."""
+        index = self._graphs.get(pid_set)
+        if not index:
+            return None
+        return index.get(key)
+
+    # -- lifecycle -----------------------------------------------------------
+    def clear(self) -> None:
+        """Release every memo and the frontier-reuse index."""
+        self.interner.clear()
+        for memo in self._poised:
+            memo.clear()
+        for memo in self._steps:
+            memo.clear()
+        for memo in self._decisions:
+            memo.clear()
+        self._decided_by_states.clear()
+        self._keys_by_pids.clear()
+        self._fragments.clear()
+        self._graphs.clear()
+        self._graph_order.clear()
+        self._index_nodes = 0
+
+    @property
+    def index_nodes(self) -> int:
+        return self._index_nodes

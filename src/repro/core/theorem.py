@@ -38,6 +38,7 @@ def space_lower_bound(
     workers: int = 1,
     cache_dir=None,
     por: bool = False,
+    incremental: bool = True,
 ) -> SpaceBoundCertificate:
     """Run the Theorem 1 adversary and return a validated certificate.
 
@@ -72,6 +73,7 @@ def space_lower_bound(
             workers=workers,
             cache_dir=cache_dir,
             por=por,
+            incremental=incremental,
         )
     with get_tracer().span(
         "theorem1", protocol=protocol.name, n=n
@@ -114,6 +116,7 @@ def space_lower_bound_auto(
     workers: int = 1,
     cache_dir=None,
     por: bool = False,
+    incremental: bool = True,
 ) -> SpaceBoundCertificate:
     """Run the adversary with escalating oracle budgets.
 
@@ -135,6 +138,7 @@ def space_lower_bound_auto(
                 workers=workers,
                 cache_dir=cache_dir,
                 por=por,
+                incremental=incremental,
             )
         except ViolationError:
             raise

@@ -65,6 +65,7 @@ class ValencyOracle:
         cache_dir=None,
         pool=None,
         por: bool = False,
+        incremental: bool = True,
     ):
         """``strict`` oracles answer exactly: a "cannot decide" is backed
         by an exhausted reachable graph, and budget overruns raise
@@ -88,8 +89,15 @@ class ValencyOracle:
 
         ``por`` turns on the explorers' partial-order reduction
         (commuting-diamond edge pruning; see
-        :mod:`repro.analysis.explorer`).  Results are bit-identical
-        either way, so cached entries are shared across the setting.
+        :mod:`repro.analysis.explorer`).
+
+        ``incremental`` (on by default) attaches an
+        :class:`~repro.core.incremental.IncrementalEngine`:
+        configuration interning plus memoised step/key/decision tables
+        shared by every query, and frontier reuse -- negative answers
+        served from previously exhausted reachable graphs without a new
+        search.  Answers and witnesses are bit-identical either way;
+        only the work to produce them changes.
         """
         self.system = system
         self.values = tuple(values)
@@ -108,6 +116,15 @@ class ValencyOracle:
         self.budget = budget
         self.workers = workers
         self.por = por
+        self.incremental = incremental
+        if incremental:
+            from repro.core.incremental import IncrementalEngine
+
+            self._engine: Optional[IncrementalEngine] = IncrementalEngine(
+                system
+            )
+        else:
+            self._engine = None
         if workers > 1:
             from repro.parallel.sharded import ShardedExplorer
 
@@ -120,6 +137,7 @@ class ValencyOracle:
                 budget=budget,
                 pool=pool,
                 por=por,
+                engine=self._engine,
             )
         else:
             self.explorer = Explorer(
@@ -129,6 +147,7 @@ class ValencyOracle:
                 strict=strict,
                 budget=budget,
                 por=por,
+                engine=self._engine,
             )
         if cache is None and cache_dir is not None:
             from repro.parallel.cache import ValencyCache
@@ -146,6 +165,8 @@ class ValencyOracle:
                 strict=strict,
                 max_configs=max_configs,
                 max_depth=max_depth,
+                solo_probe=solo_probe,
+                por=por,
             )
         # Memo of stable digests per query key (None = not addressable).
         self._disk_digest: Dict[Hashable, Optional[str]] = {}
@@ -157,10 +178,19 @@ class ValencyOracle:
         self._complete: Dict[Tuple[Hashable, FrozenSet[int]], FrozenSet[Hashable]] = {}
         # Bounded mode only: values searched for and not found (heuristic).
         self._bounded_negative: Dict[Tuple[Hashable, FrozenSet[int]], set] = {}
+        # Exact negatives proven by the frontier-reuse index (sound in
+        # strict mode too, unlike _bounded_negative).
+        self._proven_negative: Dict[Tuple[Hashable, FrozenSet[int]], set] = {}
+        # Interner counts already mirrored into metrics.
+        self._intern_hits_flushed = 0
+        self._intern_misses_flushed = 0
+        self._closed = False
         #: Query counters, exposed for the memoisation ablation benchmark
         #: and the parallel/cache benchmarks: ``explorations`` counts
         #: actual graph searches, ``disk_hits`` the searches avoided by
-        #: the persistent cache.
+        #: the persistent cache, ``incremental.seeded`` the searches
+        #: avoided by the frontier-reuse index (``incremental.cold``
+        #: counts engine-attached searches that did run).
         self.stats = {
             "queries": 0,
             "cache_hits": 0,
@@ -168,12 +198,35 @@ class ValencyOracle:
             "explorations": 0,
             "disk_hits": 0,
             "disk_stores": 0,
+            "intern.hits": 0,
+            "intern.misses": 0,
+            "incremental.seeded": 0,
+            "incremental.cold": 0,
         }
 
     def _bump(self, name: str, amount: int = 1) -> None:
         """Advance a stats counter and its ``oracle.*`` registry mirror."""
         self.stats[name] += amount
         get_metrics().counter(f"oracle.{name}").inc(amount)
+
+    def _bump_raw(self, name: str, amount: int = 1) -> None:
+        """Advance a stats counter mirrored under its own registry name."""
+        self.stats[name] += amount
+        get_metrics().counter(name).inc(amount)
+
+    def _sync_intern_hits(self) -> None:
+        """Mirror the engine's arena counters into ``intern.*``."""
+        engine = self._engine
+        if engine is None:
+            return
+        delta = engine.interner.hits - self._intern_hits_flushed
+        if delta:
+            self._intern_hits_flushed = engine.interner.hits
+            self._bump_raw("intern.hits", delta)
+        delta = engine.interner.misses - self._intern_misses_flushed
+        if delta:
+            self._intern_misses_flushed = engine.interner.misses
+            self._bump_raw("intern.misses", delta)
 
     def _observe_exploration(self, visited: int) -> None:
         """Account one graph search (the oracle's unit of real work)."""
@@ -182,10 +235,26 @@ class ValencyOracle:
         get_metrics().histogram("oracle.search_size").observe(visited)
 
     def close(self) -> None:
-        """Release pooled resources (sharded explorer workers)."""
+        """Release pooled resources and retire the oracle.
+
+        A closed oracle refuses further queries
+        (:class:`~repro.errors.AdversaryError`): answers computed after
+        close would silently skip the persistent cache and the engine's
+        shared memo state, so a late query is almost always a lifecycle
+        bug in the caller.  ``close`` itself is idempotent.
+        """
+        self._closed = True
         close = getattr(self.explorer, "close", None)
         if close is not None:
             close()
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise AdversaryError(
+                "valency oracle is closed: queries after close() would "
+                "bypass the persistent cache and memo state; query before "
+                "closing (or build a fresh oracle)"
+            )
 
     def __enter__(self) -> "ValencyOracle":
         return self
@@ -228,7 +297,16 @@ class ValencyOracle:
         """
         key = self._key(config, pids)
         known = self._witnesses.setdefault(key, {})
-        for value in self.system.decided_values(config):
+        engine = self._engine
+        if engine is not None:
+            # Route the probe through the interned memo tables: lemma
+            # scans re-probe overlapping solo chains, which then cost
+            # one dictionary hit per step instead of a model step.
+            config = engine.intern(config)
+            decided_here = engine.decided_values(config)
+        else:
+            decided_here = self.system.decided_values(config)
+        for value in decided_here:
             known.setdefault(value, ())
         for pid in sorted(pids):
             if self.budget is not None:
@@ -236,11 +314,18 @@ class ValencyOracle:
             cursor = config
             steps = 0
             for _ in range(self.SOLO_PROBE_STEPS):
-                if not self.system.enabled(cursor, pid):
-                    break
-                cursor, _ = self.system.step(cursor, pid)
-                steps += 1
-                value = self.system.decision(cursor, pid)
+                if engine is not None:
+                    if engine.poised(cursor, pid) is None:
+                        break
+                    cursor = engine.step(cursor, pid)
+                    steps += 1
+                    value = engine.decision(cursor, pid)
+                else:
+                    if not self.system.enabled(cursor, pid):
+                        break
+                    cursor, _ = self.system.step(cursor, pid)
+                    steps += 1
+                    value = self.system.decision(cursor, pid)
                 if value is not None:
                     known.setdefault(value, (pid,) * steps)
                     break
@@ -340,7 +425,29 @@ class ValencyOracle:
             if stop_when is not None and stop_when <= set(
                 self._witnesses.get(key, {})
             ):
+                self._sync_intern_hits()
                 return False
+        if self._engine is not None and stop_when is not None:
+            # Frontier reuse: if this configuration lies inside a graph
+            # some earlier query exhausted for the same process set, a
+            # value decided nowhere in that graph is exactly
+            # undecidable from here -- Reach(C', P) is a subset of the
+            # indexed Reach(C, P) (docs/THEORY.md) -- so the remaining
+            # targets need no search at all.
+            remaining = frozenset(
+                stop_when - set(self._witnesses.get(key, {}))
+            )
+            if remaining and self._engine.prove_cannot_decide(
+                pids, key, remaining
+            ):
+                self._proven_negative.setdefault(key, set()).update(
+                    remaining
+                )
+                self._bump_raw("incremental.seeded")
+                self._sync_intern_hits()
+                return False
+        if self._engine is not None:
+            self._bump_raw("incremental.cold")
         with get_tracer().span(
             "oracle.explore",
             pids=sorted(pids),
@@ -353,6 +460,7 @@ class ValencyOracle:
             known.setdefault(value, witness)
         if result.complete:
             self._complete[key] = frozenset(result.decided)
+        self._sync_intern_hits()
         return True
 
     # -- queries -----------------------------------------------------------------
@@ -363,6 +471,7 @@ class ValencyOracle:
         pid_set = frozenset(pids)
         if not pid_set:
             raise ValueError("valency is defined for non-empty process sets")
+        self._check_open()
         self._bump("queries")
         key = self._key(config, pid_set)
         if self.memoize:
@@ -373,6 +482,9 @@ class ValencyOracle:
             if key in self._complete:
                 self._bump("cache_hits")
                 return value in self._complete[key]
+            if value in self._proven_negative.get(key, ()):
+                self._bump("cache_hits")
+                return False
             if value in self._bounded_negative.get(key, ()):
                 self._bump("cache_hits")
                 return False

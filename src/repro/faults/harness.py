@@ -76,6 +76,7 @@ def run_adversary_guarded(
     workers: int = 1,
     cache_dir=None,
     por: bool = False,
+    incremental: bool = True,
 ) -> AdversaryOutcome:
     """Run the Theorem 1 adversary to one of the three outcomes.
 
@@ -109,6 +110,7 @@ def run_adversary_guarded(
         workers=workers,
         cache_dir=cache_dir,
         por=por,
+        incremental=incremental,
     )
 
     def partial(note: str) -> PartialProgress:

@@ -162,6 +162,24 @@ class Protocol(ABC):
         """
         return (self.canonical_key(config), frozenset(pids))
 
+    def canonical_query_key_cached(
+        self, config: "Configuration", pids, cache: dict
+    ) -> Hashable:
+        """:meth:`canonical_query_key`, free to memoise into ``cache``.
+
+        The incremental valency engine calls this with an engine-owned
+        mutable dictionary.  A protocol whose canonical key is built
+        from per-process fragments (shifted local states, normalised
+        register entries) may stash those fragments in ``cache`` keyed
+        by hashable sub-inputs, turning the per-configuration
+        normalisation into a handful of dictionary probes.  The contract
+        is strict equality: for every configuration and process set the
+        returned key must equal ``canonical_query_key(config, pids)``
+        (the abstraction test suite checks this on every protocol that
+        overrides the hook).  The default ignores the cache.
+        """
+        return self.canonical_query_key(config, pids)
+
     def describe(self) -> str:
         specs = self.object_specs()
         return (

@@ -120,6 +120,7 @@ class ShardedExplorer:
         pool: Optional[WorkerPool] = None,
         mp_context: str = DEFAULT_MP_CONTEXT,
         por: bool = False,
+        engine=None,
     ):
         self.system = system
         self.workers = workers
@@ -128,6 +129,12 @@ class ShardedExplorer:
         self.strict = strict
         self.budget = budget
         self.por = por
+        #: Optional incremental engine (see
+        #: :mod:`repro.core.incremental`).  Workers keep their own
+        #: per-process interned memo tables (:mod:`repro.parallel.worker`);
+        #: the coordinator reconciles at merge time by re-interning the
+        #: successors it accepts and registering exhausted graphs.
+        self.engine = engine
         self._sequential = Explorer(
             system,
             max_configs=max_configs,
@@ -135,6 +142,7 @@ class ShardedExplorer:
             strict=strict,
             budget=budget,
             por=por,
+            engine=engine,
         )
         if workers > 1:
             try:
@@ -180,6 +188,9 @@ class ShardedExplorer:
         system = self.system
         protocol = system.protocol
         pid_set = frozenset(pids)
+        engine = self.engine
+        if engine is not None:
+            root = engine.intern(root)
         result = ExplorationResult(root=root, pids=pid_set)
 
         # Same instrument names and logical points as the sequential
@@ -226,6 +237,10 @@ class ShardedExplorer:
                 truncated=result.truncated,
                 decided=sorted(found, key=repr),
             )
+            if engine is not None and result.complete:
+                engine.register_graph(
+                    pid_set, parents.keys(), frozenset(found)
+                )
             return result
 
         record_decisions(tuple(system.decided_values(root)), root_key)
@@ -256,6 +271,13 @@ class ShardedExplorer:
                     if succ_key in parents:
                         dedup_c.inc()
                         continue
+                    if engine is not None:
+                        # Merge-time reconciliation: worker-side arenas
+                        # are per-process, so the configurations they
+                        # ship are fresh unpickled instances -- intern
+                        # each accepted successor into the coordinator's
+                        # arena so downstream memo tables share it.
+                        succ = engine.intern(succ)
                     parents[succ_key] = (key, pid)
                     if len(parents) > self.max_configs:
                         if self.strict:

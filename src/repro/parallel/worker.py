@@ -11,6 +11,17 @@ stays in the coordinating process.
 Systems are shipped as pickle blobs and memoised per worker process by
 blob identity, so a long exploration deserializes its protocol once per
 worker, not once per task.
+
+Each worker additionally keeps a per-system interned memo of step
+results, canonical keys and decision sets
+(:class:`~repro.core.incremental.IncrementalEngine` restricted to its
+pure-function tables): configurations arrive as fresh unpickled
+instances, get interned into the worker's arena, and repeated
+expansions of the same configuration across tasks become dictionary
+lookups.  Memoising pure functions is invisible to the coordinator --
+events and metric shards are bit-identical -- and the coordinator
+reconciles by re-interning accepted successors into its own arena
+(see :mod:`repro.parallel.sharded`).
 """
 
 from __future__ import annotations
@@ -26,6 +37,10 @@ from repro.obs.metrics import MetricsRegistry
 #: Per-process memo of deserialized systems, keyed by the pickle blob.
 _SYSTEMS: Dict[bytes, System] = {}
 _MAX_CACHED_SYSTEMS = 8
+
+#: Per-process incremental engines, keyed like ``_SYSTEMS`` (evicted
+#: together with it).
+_ENGINES: Dict[bytes, Any] = {}
 
 #: The discovery edge of a configuration: (pid, operation) of the step
 #: that first produced it, or None for the root.  Carried with each item
@@ -54,9 +69,21 @@ def system_from_blob(blob: bytes) -> System:
     if system is None:
         if len(_SYSTEMS) >= _MAX_CACHED_SYSTEMS:
             _SYSTEMS.clear()
+            _ENGINES.clear()
         system = pickle.loads(blob)
         _SYSTEMS[blob] = system
     return system
+
+
+def engine_for_blob(blob: bytes, system: System):
+    """The worker-local incremental engine for one shipped system."""
+    engine = _ENGINES.get(blob)
+    if engine is None:
+        from repro.core.incremental import IncrementalEngine
+
+        engine = IncrementalEngine(system)
+        _ENGINES[blob] = engine
+    return engine
 
 
 def expand_batch_metered(
@@ -101,15 +128,16 @@ def expand_batch_metered(
     branching_h = registry.histogram("explorer.branching", BRANCHING_EDGES)
     blob, pids, items, por = task
     system = system_from_blob(blob)
-    protocol = system.protocol
+    engine = engine_for_blob(blob, system)
     pid_set = frozenset(pids)
     seen_in_batch = set()
     out: List[Tuple[int, List[Event]]] = []
     for index, config, via in items:
+        config = engine.intern(config)
         events: List[Event] = []
         branch = 0
         for pid in pids:
-            op = system.poised(config, pid)
+            op = engine.poised(config, pid)
             if op is None:
                 continue
             if (
@@ -122,8 +150,8 @@ def expand_batch_metered(
                 continue
             branch += 1
             edges_c.inc()
-            succ, _ = system.step(config, pid)
-            succ_key = protocol.canonical_query_key(succ, pid_set)
+            succ = engine.step(config, pid)
+            succ_key = engine.query_key(succ, pid_set)
             if succ_key in seen_in_batch:
                 # An earlier in-batch event claims this key, so whatever
                 # the coordinator decides about that event, this one is
@@ -133,7 +161,7 @@ def expand_batch_metered(
                 continue
             seen_in_batch.add(succ_key)
             events.append(
-                (pid, op, succ, succ_key, tuple(system.decided_values(succ)))
+                (pid, op, succ, succ_key, tuple(engine.decided_values(succ)))
             )
         branching_h.observe(branch)
         out.append((index, events))

@@ -265,3 +265,82 @@ class CommitAdoptRounds(ProgramProtocol):
             else:
                 states.append(state)
         return ("ca-rounds", tuple(states), memory, config.coins)
+
+    def canonical_query_key_cached(
+        self, config: Configuration, pids, cache: dict
+    ) -> Hashable:
+        """:meth:`canonical_key` rebuilt from per-state cached fragments.
+
+        The round shift normalises each process state and each register
+        entry independently once the base (the minimum round present)
+        is known, and reachable graphs revisit the same few thousand
+        process states across hundreds of thousands of configurations.
+        So both the rounds occurring in a state and the state's shifted
+        canonical fragment are memoised in ``cache`` (in nested
+        sub-dictionaries, so the hot probes are keyed on the state's
+        cached hash alone) and the whole normalisation collapses to
+        about a dozen dictionary probes per configuration.  Returns
+        exactly ``(canonical_key(config), frozenset(pids))``, i.e. the
+        value of :meth:`canonical_query_key` (tests/test_abstraction.py
+        checks the equality on random executions).
+        """
+        rounds_memo = cache.get("rounds")
+        if rounds_memo is None:
+            rounds_memo = cache["rounds"] = {}
+            cache["memory"] = {}
+            cache["state"] = {}
+        rounds = [entry[0] for entry in config.memory if entry is not None]
+        proc_states = []
+        for state in config.states:
+            canonical = not (isinstance(state, ProcState) and "r" in state.env)
+            proc_states.append(canonical)
+            if canonical:
+                continue
+            in_state = rounds_memo.get(state)
+            if in_state is None:
+                env = state.env
+                collected = [env["r"]]
+                tmp = env.get("tmp")
+                if tmp is not None:
+                    collected.append(tmp[0])
+                for entry in env.get("scan", ()):
+                    if entry is not None:
+                        collected.append(entry[0])
+                in_state = tuple(collected)
+                rounds_memo[state] = in_state
+            rounds.extend(in_state)
+        if not rounds:
+            return (("ca-rounds", config), frozenset(pids))
+        base = min(rounds)
+        memory_memo = cache["memory"].get(base)
+        if memory_memo is None:
+            memory_memo = cache["memory"][base] = {}
+        memory = memory_memo.get(config.memory)
+        if memory is None:
+            memory = tuple(_shift_entry(entry, base) for entry in config.memory)
+            memory_memo[config.memory] = memory
+        state_memo = cache["state"].get(base)
+        if state_memo is None:
+            state_memo = cache["state"][base] = {}
+        states = []
+        for state, canonical in zip(config.states, proc_states):
+            if canonical:
+                states.append(state)
+                continue
+            fragment = state_memo.get(state)
+            if fragment is None:
+                env = dict(state.env)
+                env["r"] = env["r"] - base
+                if env.get("tmp") is not None:
+                    env["tmp"] = _shift_entry(env["tmp"], base)
+                if env.get("scan"):
+                    env["scan"] = tuple(
+                        _shift_entry(entry, base) for entry in env["scan"]
+                    )
+                fragment = (state.pc, tuple(sorted(env.items())))
+                state_memo[state] = fragment
+            states.append(fragment)
+        return (
+            ("ca-rounds", tuple(states), memory, config.coins),
+            frozenset(pids),
+        )

@@ -115,6 +115,34 @@ def test_stats_without_metrics_record(tmp_path, capsys):
     assert "no metrics record" in capsys.readouterr().out
 
 
+def test_stats_with_empty_metrics_prints_na_rates(tmp_path, capsys):
+    """Regression: a journal whose run performed zero valency queries
+    (all rate denominators zero) must render "n/a" rows, not divide."""
+    import json
+
+    journal = tmp_path / "idle.jsonl"
+    record = {
+        "v": 1,
+        "t": 0.0,
+        "run": "idle",
+        "type": "metrics",
+        "name": "metrics",
+        "data": {"counters": {}, "gauges": {}, "histograms": {}},
+    }
+    journal.write_text(json.dumps(record) + "\n", "utf-8")
+    assert main(["stats", str(journal)]) == 0
+    out = capsys.readouterr().out
+    for row in (
+        "oracle memo hit rate",
+        "valency-cache hit rate",
+        "incremental seed rate",
+        "intern hit rate",
+        "frontier peak",
+    ):
+        line = next(l for l in out.splitlines() if l.startswith(row))
+        assert line.rstrip().endswith("n/a"), line
+
+
 def test_trace_filters_by_name(tmp_path, capsys):
     journal = tmp_path / "run.jsonl"
     assert main(
