@@ -14,6 +14,9 @@ validate    re-validate a saved certificate JSON against its protocol
 protocols   list the protocols the CLI can name
 lint        static protocol analysis and repository self-lint
 cache       inspect or clear the persistent valency cache
+chaos       differential runtime fault injection (results must stay
+            byte-equal under worker kills, cache corruption, torn
+            journals)
 stats       render the metrics record of a trace journal as tables
 trace       filter and pretty-print a trace journal's spans and events
 
@@ -67,6 +70,7 @@ from repro.analysis.checker import (
 )
 from repro.analysis.report import describe_limit, print_table
 from repro.core.serialize import certificate_from_json, to_json
+from repro.faults.chaos import SCENARIOS as CHAOS_SCENARIOS
 from repro.core.theorem import space_lower_bound
 from repro.model.system import System
 from repro.perturbable import covering_induction
@@ -174,12 +178,15 @@ def _make_budget(args):
 
 
 def _load_resume(path: str, spec: str):
-    from repro.faults import PartialProgress
+    from repro.faults import ResumeError
+    from repro.resilience import load_checkpoint
 
-    with open(path, encoding="utf-8") as handle:
-        progress = certificate_from_json(handle.read())
-    if not isinstance(progress, PartialProgress):
-        raise SystemExit(f"{path} is not a partial-progress checkpoint")
+    try:
+        progress = load_checkpoint(path)
+    except ResumeError as exc:
+        raise SystemExit(f"cannot resume from {path}: {exc}")
+    if progress is None:
+        return None  # missing or empty: nothing to resume, start fresh
     if progress.protocol != spec:
         raise SystemExit(
             f"checkpoint {path} was taken for {progress.protocol!r}, "
@@ -216,7 +223,8 @@ def cmd_adversary(args) -> int:
     resume = None
     if args.resume is not None and os.path.exists(args.resume):
         resume = _load_resume(args.resume, args.protocol)
-        print(f"resuming: {resume.summary()}")
+        if resume is not None:
+            print(f"resuming: {resume.summary()}")
     outcome = run_adversary_guarded(
         system,
         budget=budget,
@@ -228,6 +236,9 @@ def cmd_adversary(args) -> int:
         cache_dir=args.cache_dir,
         por=args.por,
         incremental=args.incremental,
+        max_retries=args.max_retries,
+        task_timeout=args.task_timeout,
+        checkpoint=args.resume,
     )
     if outcome.status == "certificate":
         print(outcome.certificate.summary())
@@ -253,10 +264,12 @@ def cmd_adversary(args) -> int:
               "next oracle query needs more steps than --budget allows; "
               "raise it")
     if args.resume:
-        with open(args.resume, "w", encoding="utf-8") as handle:
-            handle.write(to_json(outcome.partial))
-        print(f"checkpoint written to {args.resume}; rerun with "
-              f"--resume {args.resume} to continue")
+        # The checkpoint journal was written *live* (flushed + fsynced
+        # per computed answer by run_adversary_guarded), so the file is
+        # already complete -- even a SIGKILL mid-run would have left a
+        # resumable prefix there.
+        print(f"checkpoint written to {args.resume} (live journal); "
+              f"rerun with --resume {args.resume} to continue")
     return EXIT_BUDGET
 
 
@@ -316,6 +329,7 @@ def cmd_audit(args) -> int:
             max_depth=args.max_depth, spec=spec,
             workers=args.workers, cache_dir=args.cache_dir,
             por=args.por, incremental=args.incremental,
+            max_retries=args.max_retries, task_timeout=args.task_timeout,
         )
         if outcome.status == "certificate":
             bound = f"{outcome.certificate.bound} pinned"
@@ -469,11 +483,58 @@ def cmd_faults(args) -> int:
     return EXIT_OK
 
 
+def cmd_chaos(args) -> int:
+    """Differential chaos: injected runtime faults must not change results."""
+    import tempfile
+
+    from repro.faults import chaos_campaign
+
+    protocol = parse_protocol(args.protocol)
+    cleanup = None
+    workdir = args.workdir
+    if workdir is None:
+        cleanup = tempfile.TemporaryDirectory(prefix="repro-chaos-")
+        workdir = cleanup.name
+    try:
+        rows = chaos_campaign(
+            protocol,
+            workdir,
+            workers=args.workers,
+            seed=args.seed,
+            kills=args.kills,
+            scenarios=args.scenarios,
+            max_configs=args.max_configs,
+            max_depth=args.max_depth,
+        )
+    finally:
+        if cleanup is not None:
+            cleanup.cleanup()
+    print_table(
+        f"chaos campaign ({args.protocol}, seed={args.seed}, "
+        f"workers={args.workers})",
+        ["scenario", "verdict", "detail"],
+        [
+            [row.scenario, "ok" if row.ok else "FAIL", row.detail]
+            for row in rows
+        ],
+        note="every scenario injects a runtime fault and demands the "
+        "serialized result stay byte-equal to the undisturbed run",
+    )
+    if all(row.ok for row in rows):
+        print(f"ok: {len(rows)} chaos scenarios, all byte-equal")
+        return EXIT_OK
+    failed = ", ".join(row.scenario for row in rows if not row.ok)
+    print(f"FAIL: chaos changed results in: {failed}")
+    return EXIT_VIOLATION
+
+
 def cmd_stats(args) -> int:
     """Render the final metrics record of a journal as tables."""
-    from repro.obs import parse_journal
+    from repro.obs import parse_journal_tolerant
 
-    records = parse_journal(args.journal)
+    records, torn = parse_journal_tolerant(args.journal)
+    if torn is not None:
+        print(f"warning: journal has a torn final line (dropped): {torn}")
     snapshots = [r for r in records if r["type"] == "metrics"]
     if not snapshots:
         print(f"no metrics record in {args.journal} (was the run traced "
@@ -536,14 +597,34 @@ def cmd_stats(args) -> int:
             ["covered registers", gauges["construction.covered_registers"]]
         )
     print_table("derived", ["quantity", "value"], derived)
+
+    # Supervision and checkpointing: what the resilience layer did to
+    # this run.  Same zero-denominator discipline -- a journal from an
+    # unsupervised (or sequential) run renders as zeros and "n/a".
+    dispatched = counters.get("supervisor.tasks_dispatched", 0)
+    resilience = [
+        ["worker restarts", counters.get("supervisor.worker_restarts", 0)],
+        ["tasks retried", counters.get("supervisor.tasks_retried", 0)],
+        ["tasks quarantined",
+         counters.get("supervisor.tasks_quarantined", 0)],
+        ["degraded to sequential",
+         counters.get("supervisor.degraded_to_sequential", 0)],
+        ["task retry rate",
+         rate(counters.get("supervisor.tasks_retried", 0), dispatched)],
+        ["checkpoint records", counters.get("checkpoint.records", 0)],
+        ["level snapshots", counters.get("checkpoint.level_saves", 0)],
+    ]
+    print_table("resilience", ["quantity", "value"], resilience)
     return EXIT_OK
 
 
 def cmd_trace(args) -> int:
     """Filter and pretty-print a journal's spans and events."""
-    from repro.obs import parse_journal
+    from repro.obs import parse_journal_tolerant
 
-    records = parse_journal(args.journal)
+    records, torn = parse_journal_tolerant(args.journal)
+    if torn is not None:
+        print(f"warning: journal has a torn final line (dropped): {torn}")
     starts = {
         record["id"]: record
         for record in records
@@ -713,6 +794,16 @@ def _add_parallel_flags(p) -> None:
         "interning + frontier reuse; on by default, results are "
         "bit-identical either way)",
     )
+    p.add_argument(
+        "--max-retries", type=int, default=2, metavar="K",
+        help="retry a worker-lost shard K times before quarantining it "
+        "in-process (supervised pool; results are bit-identical)",
+    )
+    p.add_argument(
+        "--task-timeout", type=float, default=None, metavar="SECONDS",
+        help="declare a worker wedged (and respawn it) if one shard "
+        "takes longer than this",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -846,6 +937,35 @@ def build_parser() -> argparse.ArgumentParser:
         help="cache directory (default: $REPRO_CACHE_DIR or ~/.cache/repro)",
     )
     p.set_defaults(func=cmd_cache)
+
+    p = sub.add_parser(
+        "chaos",
+        help="differential chaos harness (runtime fault injection)",
+    )
+    p.add_argument("protocol", help="e.g. rounds:3")
+    p.add_argument(
+        "--workers", type=int, default=2, metavar="N",
+        help="sharded workers for the disturbed runs",
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--kills", type=int, default=1, metavar="K",
+        help="workers to kill at seeded dispatch points",
+    )
+    p.add_argument(
+        "--scenarios", nargs="+", default=list(CHAOS_SCENARIOS),
+        choices=list(CHAOS_SCENARIOS),
+        help="scenarios to run (default: all)",
+    )
+    p.add_argument("--max-configs", type=int, default=30_000)
+    p.add_argument("--max-depth", type=int, default=60)
+    p.add_argument(
+        "--workdir", default=None, metavar="DIR",
+        help="keep scenario caches/journals under DIR (default: a "
+        "temporary directory)",
+    )
+    _add_obs_flags(p)
+    p.set_defaults(func=cmd_chaos)
 
     p = sub.add_parser(
         "stats", help="render a trace journal's metrics as tables"

@@ -66,6 +66,7 @@ class ValencyOracle:
         pool=None,
         por: bool = False,
         incremental: bool = True,
+        checkpoint_dir=None,
     ):
         """``strict`` oracles answer exactly: a "cannot decide" is backed
         by an exhausted reachable graph, and budget overruns raise
@@ -98,6 +99,13 @@ class ValencyOracle:
         served from previously exhausted reachable graphs without a new
         search.  Answers and witnesses are bit-identical either way;
         only the work to produce them changes.
+
+        ``checkpoint_dir`` (sharded mode only) persists BFS level
+        snapshots per query under that directory
+        (:class:`repro.resilience.checkpoint.LevelCheckpoint`), so a
+        killed campaign resumes mid-query at the last completed level.
+        Like the cache, snapshots accelerate and never decide: results
+        are bit-identical with or without them.
         """
         self.system = system
         self.values = tuple(values)
@@ -149,6 +157,10 @@ class ValencyOracle:
                 por=por,
                 engine=self._engine,
             )
+        #: BFS level snapshots are only meaningful for the sharded
+        #: engine (the sequential explorer's queries are assumed cheap
+        #: relative to the journal granularity).
+        self.checkpoint_dir = checkpoint_dir if workers > 1 else None
         if cache is None and cache_dir is not None:
             from repro.parallel.cache import ValencyCache
 
@@ -400,6 +412,27 @@ class ValencyOracle:
         self.cache.store(self._fingerprint, digest, body)
         self._bump("disk_stores")
 
+    def _level_checkpoint(self, key: Hashable):
+        """The per-query BFS level checkpoint, or None.
+
+        Only sharded oracles with a ``checkpoint_dir`` and a stably
+        addressable key get one; the snapshot file is addressed by the
+        same stable digest as the persistent cache, and the parameter
+        token stored inside it prevents cross-query restores.
+        """
+        if self.checkpoint_dir is None:
+            return None
+        digest = self._digest_for(key)
+        if digest is None:
+            return None
+        from pathlib import Path
+
+        from repro.resilience.checkpoint import LevelCheckpoint
+
+        return LevelCheckpoint(
+            Path(self.checkpoint_dir) / f"{digest}.levels"
+        )
+
     def _explore(
         self,
         config: Configuration,
@@ -453,7 +486,15 @@ class ValencyOracle:
             pids=sorted(pids),
             stop_when=None if stop_when is None else sorted(stop_when, key=repr),
         ):
-            result = self.explorer.explore(config, pids, stop_when=stop_when)
+            ckpt = self._level_checkpoint(key)
+            if ckpt is not None:
+                result = self.explorer.explore(
+                    config, pids, stop_when=stop_when, checkpoint=ckpt
+                )
+            else:
+                result = self.explorer.explore(
+                    config, pids, stop_when=stop_when
+                )
         self._observe_exploration(result.visited)
         known = self._witnesses.setdefault(key, {})
         for value, witness in result.decided.items():

@@ -20,6 +20,14 @@ rather than a stall:
 """
 
 from repro.faults.budget import Budget, BudgetExhausted
+from repro.faults.chaos import (
+    ChaosPlan,
+    ChaosScenarioRow,
+    chaos_campaign,
+    corrupt_cache_entry,
+    seeded_kill_plan,
+    truncate_tail,
+)
 from repro.faults.crash import (
     CrashCheckResult,
     CrashPlan,
@@ -54,6 +62,8 @@ __all__ = [
     "AdversaryOutcome",
     "Budget",
     "BudgetExhausted",
+    "ChaosPlan",
+    "ChaosScenarioRow",
     "CorruptionCampaignRow",
     "CrashCampaignRow",
     "CrashCheckResult",
@@ -65,7 +75,9 @@ __all__ = [
     "RegisterFaultPlan",
     "ResumeError",
     "all_crash_plans",
+    "chaos_campaign",
     "check_consensus_crashes",
+    "corrupt_cache_entry",
     "corruption_campaign",
     "corruption_plan",
     "crash_campaign",
@@ -73,5 +85,7 @@ __all__ = [
     "find_violation",
     "lost_write_plan",
     "run_adversary_guarded",
+    "seeded_kill_plan",
     "stale_read_plan",
+    "truncate_tail",
 ]

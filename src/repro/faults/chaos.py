@@ -1,0 +1,299 @@
+"""Deterministic chaos: seeded fault plans for the runtime itself.
+
+The rest of :mod:`repro.faults` injects faults into the *modelled*
+system -- crashes in schedules, corruption in simulated registers.  This
+module injects faults into the *runtime*: kill a worker process at the
+Kth dispatch, corrupt an on-disk cache entry, truncate a checkpoint
+journal mid-record.  Plans are seeded and consumed deterministically, so
+a chaos run is exactly reproducible -- and the differential campaign
+(:func:`chaos_campaign`, CLI ``repro chaos``) proves the headline
+property end to end: certificates, witnesses and exit codes under
+injected faults are **byte-equal** to the undisturbed sequential run's.
+
+Why byte-equality is even possible: worker tasks are pure functions of
+their payloads, the supervised pool retries lost shards and merges
+results by task index (never by arrival order), caches and checkpoints
+are accelerators that re-validate everything they serve, and the
+adversary construction itself is deterministic.  Killing a worker can
+therefore cost only time.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.serialize import to_json
+from repro.model.process import Protocol
+from repro.model.system import System
+from repro.obs.runtime import get_tracer
+
+#: Scenario names understood by :func:`chaos_campaign`.
+SCENARIOS = (
+    "worker-kill",
+    "poison-task",
+    "cache-corruption",
+    "journal-truncation",
+)
+
+
+class ChaosPlan:
+    """A deterministic fault plan consumed by the supervised pool.
+
+    ``kills`` maps a global dispatch sequence number to a kill mode
+    (``"kill-before"`` -- die before computing; ``"kill-after"`` -- die
+    after computing but before reporting, the nastier case).  ``hangs``
+    is a set of dispatch numbers whose worker wedges instead of dying
+    (only meaningful with a ``task_timeout``).  Each is consumed once:
+    the retried dispatch of the same task gets a fresh sequence number
+    and (absent another planned fault) runs clean.
+
+    ``poison`` is a set of *task indexes* that kill their worker on
+    every dispatch -- the repeat offender the quarantine path exists
+    for.  Poison directives are deliberately not consumed.
+    """
+
+    def __init__(
+        self,
+        kills: Optional[Dict[int, str]] = None,
+        hangs: Optional[Set[int]] = None,
+        poison: Optional[Set[int]] = None,
+    ):
+        self.kills = dict(kills or {})
+        self.hangs = set(hangs or ())
+        self.poison = set(poison or ())
+        #: Log of (dispatch_seq, task_index, directive) actually injected.
+        self.fired: List[Tuple[int, int, str]] = []
+
+    def directive(self, seq: int, task_index: int) -> Optional[str]:
+        """The fault to inject at this dispatch, or None."""
+        directive = None
+        if task_index in self.poison:
+            directive = "kill-after"
+        elif seq in self.kills:
+            directive = self.kills.pop(seq)
+        elif seq in self.hangs:
+            self.hangs.discard(seq)
+            directive = "hang"
+        if directive is not None:
+            self.fired.append((seq, task_index, directive))
+            get_tracer().event(
+                "chaos.injected", seq=seq, task=task_index,
+                directive=directive,
+            )
+        return directive
+
+
+def seeded_kill_plan(
+    seed: int, kills: int = 1, horizon: int = 16, mode: str = "kill-after"
+) -> ChaosPlan:
+    """Kill ``kills`` workers at seeded dispatch points within ``horizon``.
+
+    The same seed always produces the same plan, so a failing chaos run
+    is rerun exactly by naming its seed.
+    """
+    if mode not in ("kill-before", "kill-after"):
+        raise ValueError(f"unknown kill mode {mode!r}")
+    if not 0 <= kills <= horizon:
+        raise ValueError(f"need 0 <= kills <= horizon, got {kills}/{horizon}")
+    rng = random.Random(seed)
+    points = rng.sample(range(horizon), kills)
+    return ChaosPlan(kills={seq: mode for seq in points})
+
+
+def corrupt_cache_entry(cache_dir, seed: int = 0) -> Optional[Path]:
+    """Flip one byte of a deterministically chosen cache entry.
+
+    Returns the damaged path, or None if the cache holds no entries.
+    The flip (xor 0x01) always breaks the entry: it either tears the
+    JSON syntax or changes the body/checksum relationship, so the
+    cache's verification quarantines the file on next load.
+    """
+    root = Path(cache_dir)
+    entries = sorted(root.rglob("*.json"))
+    if not entries:
+        return None
+    rng = random.Random(seed)
+    victim = entries[rng.randrange(len(entries))]
+    blob = bytearray(victim.read_bytes())
+    if not blob:
+        return None
+    offset = rng.randrange(len(blob))
+    blob[offset] ^= 0x01
+    victim.write_bytes(bytes(blob))
+    get_tracer().event(
+        "chaos.cache_corrupted", path=str(victim), offset=offset
+    )
+    return victim
+
+
+def truncate_tail(path, drop_bytes: int) -> int:
+    """Truncate ``drop_bytes`` off a file's tail; returns the new size.
+
+    Simulates a writer killed mid-``write``: the final record is torn at
+    an arbitrary byte boundary.
+    """
+    path = Path(path)
+    size = path.stat().st_size
+    keep = max(0, size - drop_bytes)
+    with open(path, "r+b") as handle:
+        handle.truncate(keep)
+    get_tracer().event(
+        "chaos.journal_truncated", path=str(path), kept=keep, dropped=size - keep
+    )
+    return keep
+
+
+# -- the differential campaign ------------------------------------------------
+
+
+@dataclass
+class ChaosScenarioRow:
+    """One scenario's verdict: did the fault stay invisible in results?"""
+
+    scenario: str
+    ok: bool
+    detail: str
+    injected: List[Tuple[int, int, str]] = field(default_factory=list)
+
+
+def _guarded_json(system: System, **kwargs) -> Tuple[str, str]:
+    """Run the guarded adversary; (status, canonical JSON of the result)."""
+    from repro.faults.harness import run_adversary_guarded
+
+    outcome = run_adversary_guarded(system, **kwargs)
+    if outcome.status == "certificate":
+        return outcome.status, to_json(outcome.certificate)
+    if outcome.status == "violation":
+        witness = getattr(outcome.violation, "witness", None)
+        payload = {
+            "detail": str(outcome.violation),
+            "witness": None if witness is None else [int(p) for p in witness],
+        }
+        return outcome.status, json.dumps(payload, sort_keys=True)
+    return outcome.status, to_json(outcome.partial)
+
+
+def chaos_campaign(
+    protocol: Protocol,
+    workdir,
+    workers: int = 2,
+    seed: int = 0,
+    kills: int = 1,
+    scenarios: Sequence[str] = SCENARIOS,
+    max_configs: int = 30_000,
+    max_depth: Optional[int] = 60,
+) -> List[ChaosScenarioRow]:
+    """Differential chaos over one protocol: faults must not change results.
+
+    Every scenario computes the undisturbed sequential outcome first,
+    injects its fault into a parallel/resumed/corrupted variant, and
+    demands the serialized results be byte-equal.  ``workdir`` holds the
+    scenario's caches and journals (the caller owns its lifetime).
+    """
+    from repro.parallel.sharded import WorkerPool
+    from repro.resilience.checkpoint import load_checkpoint
+
+    workdir = Path(workdir)
+    workdir.mkdir(parents=True, exist_ok=True)
+    common = {"max_configs": max_configs, "max_depth": max_depth}
+    base_status, base_json = _guarded_json(System(protocol), **common)
+    rows: List[ChaosScenarioRow] = []
+
+    def verdict(scenario: str, status: str, payload: str, plan=None,
+                extra: str = "") -> None:
+        ok = status == base_status and payload == base_json
+        detail = (
+            f"{status}: byte-equal to undisturbed run"
+            if ok
+            else f"MISMATCH: {status} vs {base_status}"
+        )
+        if extra:
+            detail = f"{detail}; {extra}"
+        rows.append(
+            ChaosScenarioRow(
+                scenario=scenario,
+                ok=ok,
+                detail=detail,
+                injected=list(plan.fired) if plan is not None else [],
+            )
+        )
+
+    for scenario in scenarios:
+        if scenario == "worker-kill":
+            plan = seeded_kill_plan(seed, kills=kills)
+            with WorkerPool(workers, chaos=plan) as pool:
+                status, payload = _guarded_json(
+                    System(protocol), workers=workers, pool=pool, **common
+                )
+            if not plan.fired:
+                # Every seeded kill point landed beyond the campaign's
+                # dispatch count.  Kill the first dispatch(es) instead:
+                # the differential must never be vacuous.
+                plan = ChaosPlan(
+                    kills={point: "kill-after" for point in range(kills)}
+                )
+                with WorkerPool(workers, chaos=plan) as pool:
+                    status, payload = _guarded_json(
+                        System(protocol), workers=workers, pool=pool,
+                        **common,
+                    )
+            verdict(
+                scenario, status, payload, plan,
+                extra=f"{len(plan.fired)} kill(s) injected",
+            )
+        elif scenario == "poison-task":
+            plan = ChaosPlan(poison={0})
+            with WorkerPool(workers, chaos=plan, max_retries=2) as pool:
+                status, payload = _guarded_json(
+                    System(protocol), workers=workers, pool=pool, **common
+                )
+            verdict(
+                scenario, status, payload, plan,
+                extra=f"{len(plan.fired)} poison kill(s), task 0 quarantined",
+            )
+        elif scenario == "cache-corruption":
+            cache_dir = workdir / f"cache-{seed}"
+            _guarded_json(System(protocol), cache_dir=cache_dir, **common)
+            victim = corrupt_cache_entry(cache_dir, seed=seed)
+            status, payload = _guarded_json(
+                System(protocol), cache_dir=cache_dir, **common
+            )
+            verdict(
+                scenario, status, payload,
+                extra=(
+                    "no cache entries to corrupt"
+                    if victim is None
+                    else f"corrupted {victim.name}, recomputed + quarantined"
+                ),
+            )
+        elif scenario == "journal-truncation":
+            journal = workdir / f"journal-{seed}.ckpt"
+            status, payload = _guarded_json(
+                System(protocol), checkpoint=str(journal), **common
+            )
+            if status != base_status or payload != base_json:
+                verdict(scenario, status, payload)
+                continue
+            truncate_tail(journal, drop_bytes=1 + (seed % 7))
+            progress = load_checkpoint(journal)
+            status, payload = _guarded_json(
+                System(protocol), resume=progress, **common
+            )
+            recovered = 0 if progress is None else len(progress.queries)
+            verdict(
+                scenario, status, payload,
+                extra=f"resumed from {recovered} journaled answers",
+            )
+        else:
+            rows.append(
+                ChaosScenarioRow(
+                    scenario=scenario,
+                    ok=False,
+                    detail=f"unknown scenario (expected one of {SCENARIOS})",
+                )
+            )
+    return rows

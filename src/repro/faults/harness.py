@@ -77,6 +77,11 @@ def run_adversary_guarded(
     cache_dir=None,
     por: bool = False,
     incremental: bool = True,
+    pool=None,
+    max_retries: int = 2,
+    task_timeout=None,
+    chaos=None,
+    checkpoint=None,
 ) -> AdversaryOutcome:
     """Run the Theorem 1 adversary to one of the three outcomes.
 
@@ -92,14 +97,54 @@ def run_adversary_guarded(
     all three are transparent to the three-outcome contract -- errors
     raised inside worker processes keep their types, payloads and
     therefore their exit codes, and POR results are bit-identical.
+
+    Sharded runs execute on the supervised plane
+    (:mod:`repro.resilience.supervisor`): ``max_retries`` bounds how
+    often a lost shard is retried before being quarantined in-process,
+    ``task_timeout`` declares a wedged worker dead, ``chaos`` accepts a
+    deterministic fault plan (:mod:`repro.faults.chaos`), and ``pool``
+    shares an externally-owned :class:`repro.parallel.WorkerPool`.
+
+    ``checkpoint`` names a journal file persisted *live*
+    (:class:`repro.resilience.CheckpointJournal`): every computed oracle
+    answer is flushed and fsynced as it happens, and sharded
+    explorations additionally snapshot BFS levels under
+    ``<checkpoint>.levels/`` -- so a SIGKILL at any moment leaves a
+    resumable file, not just budget exhaustion.
     """
     if resume is not None:
-        journal = resume.journal()
+        entries = list(resume.queries)
         max_configs = resume.max_configs
         max_depth = resume.max_depth
         strict = resume.strict
     else:
-        journal = QueryJournal()
+        entries = []
+    checkpoint_dir = None
+    if checkpoint is not None:
+        from repro.resilience.checkpoint import CheckpointJournal
+
+        journal: QueryJournal = CheckpointJournal(
+            checkpoint,
+            protocol=spec or system.protocol.name,
+            n=system.protocol.n,
+            max_configs=max_configs,
+            max_depth=max_depth,
+            strict=strict,
+            entries=entries,
+        )
+        checkpoint_dir = f"{checkpoint}.levels"
+    else:
+        journal = QueryJournal(entries)
+    owned_pool = None
+    if workers > 1 and pool is None:
+        from repro.parallel.sharded import WorkerPool
+
+        pool = owned_pool = WorkerPool(
+            workers,
+            max_retries=max_retries,
+            task_timeout=task_timeout,
+            chaos=chaos,
+        )
     oracle = JournaledOracle(
         system,
         journal=journal,
@@ -109,8 +154,10 @@ def run_adversary_guarded(
         strict=strict,
         workers=workers,
         cache_dir=cache_dir,
+        pool=pool,
         por=por,
         incremental=incremental,
+        checkpoint_dir=checkpoint_dir,
     )
 
     def partial(note: str) -> PartialProgress:
@@ -193,6 +240,11 @@ def run_adversary_guarded(
             )
         finally:
             oracle.close()
+            close = getattr(journal, "close", None)
+            if close is not None:
+                close()
+            if owned_pool is not None:
+                owned_pool.close()
 
 
 def find_violation(

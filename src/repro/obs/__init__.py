@@ -37,6 +37,7 @@ from repro.obs.trace import (
     jsonable,
     new_run_id,
     parse_journal,
+    parse_journal_tolerant,
     validate_record,
 )
 from repro.errors import JournalError
@@ -63,6 +64,7 @@ __all__ = [
     "new_run_id",
     "observe",
     "parse_journal",
+    "parse_journal_tolerant",
     "unobserved",
     "validate_record",
 ]

@@ -93,21 +93,70 @@ def validate_record(record: Any, line: Optional[int] = None) -> str:
 def parse_journal(path: os.PathLike | str) -> List[Dict[str, Any]]:
     """Read and validate a JSONL journal; raises :class:`JournalError`
     (with the offending line number) on any malformed or truncated line."""
+    records, defect = _read_records(path)
+    if defect is not None:
+        raise defect
+    return records
+
+
+def parse_journal_tolerant(
+    path: os.PathLike | str,
+) -> tuple[List[Dict[str, Any]], Optional[str]]:
+    """Like :func:`parse_journal`, but a torn **final** line is dropped.
+
+    Returns ``(records, warning)`` where ``warning`` describes the
+    dropped tail (or is None for an intact journal).  Only the final
+    line is forgiven -- it is the expected artifact of a writer killed
+    mid-``write`` -- and only its intact prefix is returned; a malformed
+    line anywhere else is mid-file corruption and still raises
+    :class:`~repro.errors.JournalError`.
+    """
+    records, defect = _read_records(path)
+    if defect is None:
+        return records, None
+    if defect.torn_tail:
+        return records, str(defect)
+    raise defect
+
+
+def _read_records(
+    path: os.PathLike | str,
+) -> tuple[List[Dict[str, Any]], Optional[JournalError]]:
+    """Parse a journal; ``(intact prefix, defect-or-None)``.
+
+    The returned defect carries ``torn_tail=True`` when the only damage
+    is the file's final line -- the strict reader re-raises it either
+    way, the tolerant reader downgrades exactly that case to a warning.
+    """
     records: List[Dict[str, Any]] = []
     with open(path, encoding="utf-8") as handle:
-        for number, line in enumerate(handle, start=1):
-            stripped = line.strip()
-            if not stripped:
-                continue
-            try:
-                record = json.loads(stripped)
-            except json.JSONDecodeError as exc:
-                raise JournalError(
-                    f"bad JSON on journal line {number}: {exc}"
-                ) from exc
+        lines = handle.read().split("\n")
+    if lines and lines[-1] == "":
+        lines.pop()
+    last = len(lines)
+    for number, line in enumerate(lines, start=1):
+        stripped = line.strip()
+        if not stripped:
+            continue
+        try:
+            record = json.loads(stripped)
             validate_record(record, line=number)
-            records.append(record)
-    return records
+        except (json.JSONDecodeError, JournalError) as exc:
+            defect = JournalError(
+                f"bad journal record on line {number}: {exc}"
+                if isinstance(exc, json.JSONDecodeError)
+                else str(exc)
+            )
+            # Only an *unparseable* final line is the artifact of a
+            # writer killed mid-write (no proper prefix of a JSON
+            # object parses).  A parseable record that fails schema
+            # validation is a semantic defect, never forgiven.
+            defect.torn_tail = (
+                number == last and isinstance(exc, json.JSONDecodeError)
+            )
+            return records, defect
+        records.append(record)
+    return records, None
 
 
 # -- sinks -------------------------------------------------------------------

@@ -176,7 +176,35 @@ class ValencyCache:
 
     # -- maintenance --------------------------------------------------------
     def _quarantine(self, path: Path) -> None:
-        """Move a defective file aside (never delete evidence silently)."""
+        """Move a defective file aside (never delete evidence silently).
+
+        Concurrency-safe: two processes racing to quarantine the same
+        entry must not clobber each other's evidence, so the move is a
+        ``link`` (which fails rather than overwrites an existing target)
+        to the first free ``.corrupt`` / ``.corrupt-N`` name, then an
+        unlink of the source.  A path that vanished mid-race (the other
+        process won) is simply done; any other failure falls back to a
+        best-effort ``os.replace`` so the defective entry never stays
+        live under its original name.
+        """
+        for attempt in range(16):
+            suffix = ".corrupt" if attempt == 0 else f".corrupt-{attempt}"
+            target = path.with_suffix(suffix)
+            try:
+                os.link(path, target)
+            except FileExistsError:
+                continue  # another victim already holds this name
+            except FileNotFoundError:
+                return  # the other process quarantined it first
+            except OSError:
+                break  # e.g. a filesystem without hard links
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+            return
+        # Fallback: may clobber a same-named quarantine file, but never
+        # leaves the corrupt entry in place or raises.
         try:
             os.replace(path, path.with_suffix(".corrupt"))
         except OSError:
@@ -243,7 +271,7 @@ class ValencyCache:
         """Live counters plus an on-disk census of the cache tree."""
         entries = self._entries()
         corrupt = (
-            len(list(self.root.rglob("*.corrupt")))
+            len(list(self.root.rglob("*.corrupt*")))
             if self.root.is_dir()
             else 0
         )

@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import multiprocessing
 import pickle
+import threading
 from typing import Dict, FrozenSet, Hashable, Iterator, List, Optional, Tuple
 
 from repro.errors import ExplorationLimitError, ModelError
@@ -60,29 +61,88 @@ class WorkerPool:
     and imports the library), so the pool is created on first use and
     reused across explorations -- share one pool between oracles or
     tests via the ``pool`` argument of :class:`ShardedExplorer`.
+
+    By default dispatch runs on the supervised execution plane
+    (:class:`repro.resilience.supervisor.SupervisedPool`): dead or
+    wedged workers are detected, respawned, and their lost shards
+    retried; a poison shard is re-run in-process so errors keep their
+    types and the exit-code contract.  ``supervise=False`` selects the
+    bare ``multiprocessing.Pool`` plane (the benchmark baseline for
+    measuring supervision overhead; it hangs on a killed worker).
+
+    ``max_retries``/``task_timeout`` tune the supervision;
+    ``chaos`` accepts a :class:`repro.faults.chaos.ChaosPlan` for
+    deterministic fault injection.
     """
 
-    def __init__(self, workers: int, mp_context: str = DEFAULT_MP_CONTEXT):
+    def __init__(
+        self,
+        workers: int,
+        mp_context: str = DEFAULT_MP_CONTEXT,
+        supervise: bool = True,
+        max_retries: int = 2,
+        task_timeout: Optional[float] = None,
+        chaos=None,
+        close_timeout: float = 5.0,
+    ):
         if workers < 1:
             raise ValueError(f"need at least one worker, got {workers}")
         self.workers = workers
         self.mp_context = mp_context
+        self.supervise = supervise
+        self.max_retries = max_retries
+        self.task_timeout = task_timeout
+        self.chaos = chaos
+        self.close_timeout = close_timeout
         self._pool = None
 
     def _ensure(self):
         if self._pool is None:
-            context = multiprocessing.get_context(self.mp_context)
-            self._pool = context.Pool(processes=self.workers)
+            if self.supervise:
+                from repro.resilience.supervisor import SupervisedPool
+
+                self._pool = SupervisedPool(
+                    self.workers,
+                    mp_context=self.mp_context,
+                    max_retries=self.max_retries,
+                    task_timeout=self.task_timeout,
+                    chaos=self.chaos,
+                    close_timeout=self.close_timeout,
+                )
+            else:
+                context = multiprocessing.get_context(self.mp_context)
+                self._pool = context.Pool(processes=self.workers)
         return self._pool
 
     def map(self, fn, tasks):
         return self._ensure().map(fn, tasks)
 
+    @property
+    def degraded(self) -> bool:
+        """True once a supervised pool has fallen back to sequential."""
+        return bool(getattr(self._pool, "degraded", False))
+
     def close(self) -> None:
-        if self._pool is not None:
-            self._pool.terminate()
-            self._pool.join()
-            self._pool = None
+        """Graceful shutdown: close + join with a deadline, then force.
+
+        Workers get the chance to exit cleanly (releasing semaphores and
+        queue feeder threads, so no resource-tracker warnings survive);
+        ``terminate()`` is only the fallback for a pool that does not
+        wind down within ``close_timeout``.
+        """
+        if self._pool is None:
+            return
+        pool, self._pool = self._pool, None
+        if self.supervise:
+            pool.close()
+            return
+        pool.close()
+        joiner = threading.Thread(target=pool.join, daemon=True)
+        joiner.start()
+        joiner.join(timeout=self.close_timeout)
+        if joiner.is_alive():
+            pool.terminate()
+            joiner.join(timeout=self.close_timeout)
 
     def __enter__(self) -> "WorkerPool":
         return self
@@ -180,8 +240,22 @@ class ShardedExplorer:
         root: Configuration,
         pids: FrozenSet[int] | Tuple[int, ...],
         stop_when: Optional[FrozenSet[Hashable]] = None,
+        checkpoint=None,
     ) -> ExplorationResult:
-        """Level-synchronous BFS, bit-identical to ``Explorer.explore``."""
+        """Level-synchronous BFS, bit-identical to ``Explorer.explore``.
+
+        ``checkpoint`` (a
+        :class:`repro.resilience.checkpoint.LevelCheckpoint`) persists
+        the BFS state at each level boundary and, when a snapshot
+        matching this query's parameter token exists, resumes from the
+        last completed level instead of the root.  The snapshot is an
+        accelerator, never an authority: a resumed exploration replays
+        the identical per-level merges from the restored frontier, so
+        results stay bit-identical; a stale or corrupt snapshot is
+        ignored (quarantined) and exploration restarts from the root.
+        Completed levels are not re-billed to the budget on resume --
+        the same policy as journal replay being budget-free.
+        """
         if self.workers <= 1:
             return self._sequential.explore(root, pids, stop_when=stop_when)
 
@@ -214,6 +288,8 @@ class ShardedExplorer:
                     found[value] = key
 
         def finish(complete: bool) -> ExplorationResult:
+            if checkpoint is not None:
+                checkpoint.clear()
             result.decided = {
                 v: reconstruct_path(parents, k) for v, k in found.items()
             }
@@ -252,6 +328,34 @@ class ShardedExplorer:
             (root, root_key, None)
         ]
         depth = 0
+
+        ckpt_token = None
+        if checkpoint is not None:
+            # Everything the level state depends on; a snapshot from a
+            # different query or parameter set can never be restored.
+            stop_token = (
+                None
+                if stop_when is None
+                else tuple(sorted(stop_when, key=repr))
+            )
+            ckpt_token = (
+                root_key, sorted_pids, stop_token,
+                self.max_configs, self.max_depth, self.strict, self.por,
+            )
+            saved = checkpoint.load(ckpt_token)
+            if saved is not None:
+                parents = saved["parents"]
+                found = saved["found"]
+                depth = saved["depth"]
+                level_sizes = saved["level_sizes"]
+                if engine is not None:
+                    level = [
+                        (engine.intern(config), key, via)
+                        for config, key, via in saved["level"]
+                    ]
+                else:
+                    level = saved["level"]
+
         while level:
             if self.max_depth is not None and depth >= self.max_depth:
                 # The sequential explorer still pops (and bills) each
@@ -304,6 +408,17 @@ class ShardedExplorer:
                     next_level.append((succ, succ_key, (pid, op)))
             level = next_level
             depth += 1
+            if checkpoint is not None and level:
+                checkpoint.save(
+                    ckpt_token,
+                    {
+                        "parents": parents,
+                        "found": found,
+                        "level": level,
+                        "depth": depth,
+                        "level_sizes": level_sizes,
+                    },
+                )
 
         return finish(complete=True)
 

@@ -1,0 +1,393 @@
+"""Crash-consistent campaign state: journals and level checkpoints.
+
+A guarded adversary run has two kinds of resumable state, at two
+granularities:
+
+* the **query journal** -- the sequence of oracle answers driving the
+  deterministic construction (:mod:`repro.faults.resume`).  This module
+  persists it *live*: :class:`CheckpointJournal` appends one JSONL line
+  per computed answer, flushed and fsynced, so a SIGKILL at any moment
+  loses at most the record being written.  :func:`load_checkpoint`
+  recovers the intact prefix of a torn journal (and still reads the
+  legacy whole-file JSON checkpoints the CLI used to write on budget
+  exhaustion).
+* the **BFS level state** inside one oracle query -- for large
+  explorations a single query can dwarf the whole journal, so
+  :class:`LevelCheckpoint` snapshots the explorer's frontier at level
+  boundaries (atomic pickle: temp file + fsync + ``os.replace``, the
+  ``ValencyCache`` discipline).  A resumed exploration restarts at the
+  last completed level instead of level zero.
+
+Neither artifact is an authority: a journal replays answers that the
+oracle re-validates by schedule replay, and a level snapshot whose
+parameter token does not match the live query is quarantined and
+ignored, falling back to a fresh exploration.  Corruption can cost
+time, never correctness.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.faults.resume import PartialProgress, QueryJournal, ResumeError
+from repro.obs.runtime import get_metrics, get_tracer
+
+#: The ``kind`` tag of a JSONL checkpoint journal's header line.
+CHECKPOINT_KIND = "adversary-checkpoint"
+
+#: Journal layout version; bumping it orphans older journals (they are
+#: refused with a clear error, never misread).
+CHECKPOINT_VERSION = 1
+
+#: The ``kind`` tag inside a pickled BFS level snapshot.
+LEVEL_KIND = "bfs-level-checkpoint"
+
+
+# -- atomic file primitives ---------------------------------------------------
+
+
+def atomic_write_bytes(path: os.PathLike, data: bytes) -> None:
+    """Write ``data`` to ``path`` atomically: temp + fsync + replace.
+
+    A crash at any point leaves either the old content or the new,
+    never a torn mix -- the same discipline ``ValencyCache`` uses.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=".tmp-ckpt-")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def atomic_write_text(path: os.PathLike, text: str) -> None:
+    """:func:`atomic_write_bytes` for UTF-8 text."""
+    atomic_write_bytes(path, text.encode("utf-8"))
+
+
+# -- the live query journal ---------------------------------------------------
+
+
+def _entry_payload(entry: Dict[str, Any]) -> Dict[str, Any]:
+    """The canonical JSON form of one journal entry."""
+    witness = entry.get("witness")
+    return {
+        "answer": bool(entry["answer"]),
+        "witness": (
+            None if witness is None else [int(pid) for pid in witness]
+        ),
+    }
+
+
+class CheckpointJournal(QueryJournal):
+    """A query journal persisted live to an append-only JSONL file.
+
+    The file starts with a header line naming the protocol and the
+    oracle budgets (a resume must match them), followed by one line per
+    recorded answer.  On open, the file is atomically rewritten with the
+    header plus any preloaded (resumed) entries, then kept open in
+    append mode; each :meth:`record` appends, flushes, and fsyncs, so
+    the journal on disk always trails the computation by at most the
+    line currently being written -- and :func:`load_checkpoint`
+    tolerates exactly that torn final line.
+
+    ``fsync_every`` trades durability for throughput: fsync every Nth
+    record (the flush still happens per record, so only an OS crash --
+    not a process SIGKILL -- can lose the unsynced tail).
+    """
+
+    def __init__(
+        self,
+        path: os.PathLike,
+        protocol: str,
+        n: int,
+        max_configs: int = 200_000,
+        max_depth: Optional[int] = None,
+        strict: bool = False,
+        entries: Optional[List[Dict[str, Any]]] = None,
+        fsync_every: int = 1,
+    ):
+        super().__init__(entries)
+        if fsync_every < 1:
+            raise ValueError(f"fsync_every must be >= 1, got {fsync_every}")
+        self.path = Path(path)
+        self.fsync_every = fsync_every
+        self._since_fsync = 0
+        self._header = {
+            "kind": CHECKPOINT_KIND,
+            "v": CHECKPOINT_VERSION,
+            "protocol": protocol,
+            "n": int(n),
+            "max_configs": int(max_configs),
+            "max_depth": None if max_depth is None else int(max_depth),
+            "strict": bool(strict),
+        }
+        lines = [json.dumps(self._header, sort_keys=True)]
+        lines.extend(
+            json.dumps(_entry_payload(entry), sort_keys=True)
+            for entry in self.entries
+        )
+        atomic_write_text(self.path, "\n".join(lines) + "\n")
+        self._handle: Optional[io.TextIOWrapper] = open(
+            self.path, "a", encoding="utf-8"
+        )
+
+    def record(self, entry: Dict[str, Any]) -> None:
+        super().record(entry)
+        if self._handle is None:
+            raise ResumeError(
+                f"checkpoint journal {self.path} recorded into after close()"
+            )
+        self._handle.write(
+            json.dumps(_entry_payload(entry), sort_keys=True) + "\n"
+        )
+        self._handle.flush()
+        self._since_fsync += 1
+        if self._since_fsync >= self.fsync_every:
+            os.fsync(self._handle.fileno())
+            self._since_fsync = 0
+        get_metrics().counter("checkpoint.records").inc()
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.flush()
+            try:
+                os.fsync(self._handle.fileno())
+            except OSError:
+                pass
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "CheckpointJournal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def _progress_from_header(
+    header: Dict[str, Any], entries: List[Dict[str, Any]]
+) -> PartialProgress:
+    try:
+        return PartialProgress(
+            protocol=str(header["protocol"]),
+            n=int(header["n"]),
+            queries=entries,
+            max_configs=int(header.get("max_configs", 200_000)),
+            max_depth=(
+                None
+                if header.get("max_depth") is None
+                else int(header["max_depth"])
+            ),
+            strict=bool(header.get("strict", False)),
+            note="recovered from checkpoint journal",
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ResumeError(f"malformed checkpoint header: {exc}") from exc
+
+
+def load_checkpoint(path: os.PathLike) -> Optional[PartialProgress]:
+    """Recover a :class:`PartialProgress` from a checkpoint file.
+
+    Returns None for a missing or empty file (nothing to resume).
+    Understands both formats:
+
+    * the JSONL journal written by :class:`CheckpointJournal` -- the
+      header must parse (a journal whose *first* line is damaged cannot
+      be trusted at all and raises :class:`ResumeError`); a torn or
+      malformed **final** line is the expected SIGKILL artifact and is
+      dropped, recovering the intact prefix; a malformed line anywhere
+      *else* means mid-file corruption and raises;
+    * the legacy whole-file ``partial-progress`` JSON document the CLI
+      used to write on budget exhaustion.
+    """
+    path = Path(path)
+    try:
+        raw = path.read_text(encoding="utf-8")
+    except OSError:
+        return None
+    if not raw.strip():
+        return None
+    # Sniff: a journal's first line is a complete JSON header object
+    # with our kind tag; the legacy indent-2 document's first line is
+    # just "{" and fails to parse on its own.
+    first_line = raw.split("\n", 1)[0]
+    try:
+        header = json.loads(first_line)
+        is_journal = (
+            isinstance(header, dict)
+            and header.get("kind") == CHECKPOINT_KIND
+        )
+    except json.JSONDecodeError:
+        is_journal = False
+    if is_journal:
+        return _load_jsonl(path, raw)
+    return _load_legacy(path, raw)
+
+
+def _load_legacy(path: Path, raw: str) -> PartialProgress:
+    from repro.core.serialize import SerializationError, certificate_from_json
+
+    try:
+        progress = certificate_from_json(raw)
+    except SerializationError as exc:
+        raise ResumeError(f"{path}: not a checkpoint: {exc}") from exc
+    if not isinstance(progress, PartialProgress):
+        raise ResumeError(
+            f"{path} is not a partial-progress checkpoint "
+            f"(got {type(progress).__name__})"
+        )
+    return progress
+
+
+def _load_jsonl(path: Path, raw: str) -> Optional[PartialProgress]:
+    lines = raw.split("\n")
+    # Drop the trailing empty string of a newline-terminated file; a
+    # non-empty last element *is* the torn tail (no final newline).
+    if lines and lines[-1] == "":
+        lines.pop()
+    if not lines:
+        return None
+    try:
+        header = json.loads(lines[0])
+        if not isinstance(header, dict):
+            raise ValueError("header is not an object")
+    except (json.JSONDecodeError, ValueError) as exc:
+        raise ResumeError(
+            f"{path}: unreadable checkpoint header: {exc}"
+        ) from exc
+    if header.get("kind") != CHECKPOINT_KIND:
+        raise ResumeError(
+            f"{path}: not a checkpoint journal (kind={header.get('kind')!r})"
+        )
+    if header.get("v") != CHECKPOINT_VERSION:
+        raise ResumeError(
+            f"{path}: checkpoint journal version {header.get('v')!r} is not "
+            f"{CHECKPOINT_VERSION}; refusing to misread it"
+        )
+    entries: List[Dict[str, Any]] = []
+    dropped = 0
+    for lineno, line in enumerate(lines[1:], start=2):
+        if not line.strip():
+            continue
+        try:
+            payload = json.loads(line)
+            entry = _entry_payload(payload)
+        except (json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
+            if lineno == len(lines):
+                # The torn final record of an interrupted writer: the
+                # journal's intact prefix is still a valid checkpoint.
+                dropped = 1
+                break
+            raise ResumeError(
+                f"{path}: corrupt checkpoint record at line {lineno}: {exc}"
+            ) from exc
+        entries.append(entry)
+    if dropped:
+        get_tracer().event(
+            "checkpoint.torn_tail", path=str(path), recovered=len(entries)
+        )
+    return _progress_from_header(header, entries)
+
+
+# -- BFS level checkpoints ----------------------------------------------------
+
+
+class LevelCheckpoint:
+    """Atomic snapshots of BFS level state, guarded by a parameter token.
+
+    The explorer saves ``(token, state)`` at level boundaries; a
+    restarted exploration calls :meth:`load` with its own token and gets
+    the state back only if the token matches byte-for-byte -- the token
+    encodes everything the level state depends on (root key, pids,
+    stop-set, limits, POR), so a snapshot can never leak across queries
+    or parameter changes.  Corrupt or mismatched snapshots are
+    quarantined to ``*.corrupt`` and ignored.
+
+    ``every`` throttles the write cost: only every Nth completed level
+    is persisted (the last completed level is always recoverable as of
+    the most recent save).
+    """
+
+    def __init__(self, path: os.PathLike, every: int = 1):
+        if every < 1:
+            raise ValueError(f"every must be >= 1, got {every}")
+        self.path = Path(path)
+        self.every = every
+        self._saves_offered = 0
+
+    def save(self, token: Tuple, state: Any) -> bool:
+        """Persist one level snapshot; False when throttled by ``every``."""
+        self._saves_offered += 1
+        if (self._saves_offered - 1) % self.every != 0:
+            return False
+        blob = pickle.dumps(
+            {"kind": LEVEL_KIND, "v": CHECKPOINT_VERSION,
+             "token": token, "state": state},
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+        atomic_write_bytes(self.path, blob)
+        get_metrics().counter("checkpoint.level_saves").inc()
+        return True
+
+    def load(self, token: Tuple) -> Optional[Any]:
+        """The saved state for ``token``, or None (quarantining defects)."""
+        try:
+            blob = self.path.read_bytes()
+        except OSError:
+            return None
+        try:
+            payload = pickle.loads(blob)
+            if not isinstance(payload, dict):
+                raise ValueError("snapshot is not a dict")
+            if payload.get("kind") != LEVEL_KIND:
+                raise ValueError(f"bad kind {payload.get('kind')!r}")
+            if payload.get("v") != CHECKPOINT_VERSION:
+                raise ValueError(f"bad version {payload.get('v')!r}")
+        except Exception as defect:  # noqa: BLE001 - any defect quarantines
+            self._quarantine(str(defect))
+            return None
+        if payload.get("token") != token:
+            # A different query's snapshot under our path: parameter or
+            # protocol change.  Stale, not corrupt -- just ignore it.
+            get_tracer().event(
+                "checkpoint.level_stale", path=str(self.path)
+            )
+            return None
+        get_metrics().counter("checkpoint.level_loads").inc()
+        get_tracer().event("checkpoint.level_resumed", path=str(self.path))
+        return payload["state"]
+
+    def _quarantine(self, defect: str) -> None:
+        target = self.path.with_suffix(self.path.suffix + ".corrupt")
+        try:
+            os.replace(self.path, target)
+        except OSError:
+            pass
+        get_tracer().event(
+            "checkpoint.level_quarantined",
+            path=str(self.path),
+            defect=defect,
+        )
+
+    def clear(self) -> None:
+        """Remove the snapshot (the exploration completed)."""
+        try:
+            os.unlink(self.path)
+        except OSError:
+            pass

@@ -118,6 +118,110 @@ class TestPoisoning:
         assert cache.load("aa" * 32, "bb" * 32) is None
 
 
+class TestQuarantineRace:
+    """S2: racing quarantines must preserve evidence and never crash.
+
+    The move is an ``os.link`` to the first free ``.corrupt``/
+    ``.corrupt-N`` name -- link fails rather than overwrites, so two
+    processes condemning the same entry cannot clobber each other, and
+    a path that vanished mid-race (the other process won) is not an
+    error.
+    """
+
+    def test_quarantine_of_missing_path_is_quiet(self, tmp_path):
+        cache = ValencyCache(tmp_path / "cache")
+        cache._quarantine(cache.root / "absent.json")  # no raise
+
+    def test_second_quarantine_of_same_path_is_quiet(self, tmp_path):
+        cache = ValencyCache(tmp_path / "cache")
+        victim = cache.root / "entry.json"
+        victim.parent.mkdir(parents=True)
+        victim.write_text("bad")
+        cache._quarantine(victim)
+        assert victim.with_suffix(".corrupt").exists()
+        assert not victim.exists()
+        cache._quarantine(victim)  # the other racer already won
+
+    def test_requarantine_keeps_both_pieces_of_evidence(self, tmp_path):
+        cache = ValencyCache(tmp_path / "cache")
+        victim = cache.root / "entry.json"
+        victim.parent.mkdir(parents=True)
+        victim.write_text("first defect")
+        cache._quarantine(victim)
+        victim.write_text("second defect")
+        cache._quarantine(victim)
+        assert victim.with_suffix(".corrupt").read_text() == "first defect"
+        assert (
+            victim.with_suffix(".corrupt-1").read_text() == "second defect"
+        )
+        assert cache.stats()["quarantined"] == 2
+
+    def test_concurrent_quarantines_no_clobber_no_crash(self, tmp_path):
+        import threading
+
+        cache = ValencyCache(tmp_path / "cache")
+        victim = cache.root / "entry.json"
+        victim.parent.mkdir(parents=True)
+        victim.write_text("shared defect")
+        racers = 8
+        barrier = threading.Barrier(racers)
+        errors = []
+
+        def race():
+            barrier.wait()
+            try:
+                cache._quarantine(victim)
+            except BaseException as exc:  # noqa: BLE001 - the assertion
+                errors.append(exc)
+
+        threads = [threading.Thread(target=race) for _ in range(racers)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        assert not victim.exists()
+        evidence = sorted(victim.parent.glob("entry.corrupt*"))
+        assert len(evidence) >= 1
+        assert all(
+            path.read_text() == "shared defect" for path in evidence
+        )
+
+    def test_concurrent_loads_of_one_corrupt_entry(self, tmp_path):
+        # The public path: many threads load the same damaged entry at
+        # once; every load reports a miss, the evidence survives, and no
+        # thread crashes.
+        import threading
+
+        cache_dir = tmp_path / "cache"
+        cache = ValencyCache(cache_dir)
+        cache.store("aa" * 32, "bb" * 32, encode_entry({0: (0,)}, True, ()))
+        victim = cache._path("aa" * 32, "bb" * 32)
+        victim.write_text(victim.read_text()[:-5])  # tear the entry
+        racers = 6
+        barrier = threading.Barrier(racers)
+        outcomes, errors = [], []
+
+        def race():
+            barrier.wait()
+            try:
+                outcomes.append(
+                    ValencyCache(cache_dir).load("aa" * 32, "bb" * 32)
+                )
+            except BaseException as exc:  # noqa: BLE001 - the assertion
+                errors.append(exc)
+
+        threads = [threading.Thread(target=race) for _ in range(racers)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        assert outcomes == [None] * racers
+        assert not victim.exists()
+        assert list(victim.parent.glob("*.corrupt*"))
+
+
 class TestHousekeeping:
     def test_clear_empties_the_directory(self, tmp_path):
         cache_dir = tmp_path / "cache"

@@ -1,0 +1,358 @@
+"""Crash-consistent checkpoints: survive SIGKILL, refuse corruption.
+
+The journal half: every recorded oracle answer is on disk before the
+next one is computed, a torn final line recovers to the intact prefix
+(at *every* byte offset), and mid-file or header damage is refused
+loudly.  The level half: BFS snapshots resume an interrupted
+exploration to a bit-identical result, and stale or corrupt snapshots
+are quarantined, never trusted.  The end-to-end half: a campaign
+SIGKILLed mid-run resumes from its checkpoint journal to the same
+certificate as an uninterrupted run.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.explorer import Explorer
+from repro.core.serialize import to_json
+from repro.core.theorem import space_lower_bound
+from repro.faults import (
+    Budget,
+    PartialProgress,
+    ResumeError,
+    run_adversary_guarded,
+)
+from repro.faults.chaos import truncate_tail
+from repro.model.system import System
+from repro.parallel import ShardedExplorer, WorkerPool
+from repro.protocols.consensus import CommitAdoptRounds
+from repro.resilience import (
+    CheckpointJournal,
+    LevelCheckpoint,
+    atomic_write_text,
+    load_checkpoint,
+)
+
+BOUNDED = dict(max_configs=20_000, max_depth=12, strict=False)
+
+
+def result_tuple(result):
+    return (
+        dict(result.decided),
+        result.visited,
+        result.complete,
+        result.truncated,
+    )
+
+
+def make_journal(path, entries=()):
+    journal = CheckpointJournal(
+        path, protocol="rounds:3", n=3, max_configs=111, max_depth=7,
+        strict=False,
+    )
+    for entry in entries:
+        journal.record(entry)
+    journal.close()
+    return journal
+
+
+ENTRIES = [
+    {"answer": True, "witness": [0, 1, 0]},
+    {"answer": False, "witness": None},
+    {"answer": True, "witness": [2]},
+]
+
+
+class TestCheckpointJournal:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "run.ckpt"
+        make_journal(path, ENTRIES)
+        progress = load_checkpoint(path)
+        assert isinstance(progress, PartialProgress)
+        assert progress.protocol == "rounds:3"
+        assert progress.n == 3
+        assert progress.max_configs == 111
+        assert progress.max_depth == 7
+        assert progress.queries == ENTRIES
+
+    def test_preloaded_entries_rewritten(self, tmp_path):
+        path = tmp_path / "resumed.ckpt"
+        journal = CheckpointJournal(
+            path, protocol="rounds:3", n=3, entries=list(ENTRIES)
+        )
+        journal.close()
+        progress = load_checkpoint(path)
+        assert progress.queries == ENTRIES
+
+    def test_record_after_close_raises(self, tmp_path):
+        journal = make_journal(tmp_path / "closed.ckpt")
+        with pytest.raises(ResumeError):
+            journal.record({"answer": True, "witness": None})
+
+    def test_fsync_every_validated(self, tmp_path):
+        with pytest.raises(ValueError):
+            CheckpointJournal(
+                tmp_path / "bad.ckpt", protocol="p", n=2, fsync_every=0
+            )
+
+    def test_missing_and_empty_files_mean_fresh_start(self, tmp_path):
+        assert load_checkpoint(tmp_path / "absent.ckpt") is None
+        empty = tmp_path / "empty.ckpt"
+        empty.write_text("")
+        assert load_checkpoint(empty) is None
+
+    def test_legacy_whole_file_json_still_loads(self, tmp_path):
+        progress = PartialProgress(
+            protocol="rounds:3", n=3, queries=list(ENTRIES),
+            max_configs=99, max_depth=5, note="legacy",
+        )
+        path = tmp_path / "legacy.json"
+        path.write_text(to_json(progress))
+        loaded = load_checkpoint(path)
+        assert loaded.queries == ENTRIES
+        assert loaded.max_configs == 99
+
+    def test_legacy_garbage_refused(self, tmp_path):
+        path = tmp_path / "garbage.json"
+        path.write_text("not a checkpoint at all")
+        with pytest.raises(ResumeError):
+            load_checkpoint(path)
+
+    def test_torn_tail_recovers_prefix_at_every_byte(self, tmp_path):
+        path = tmp_path / "torn.ckpt"
+        make_journal(path, ENTRIES)
+        pristine = path.read_bytes()
+        lines = pristine.decode().splitlines()
+        # The final record plus its newline: every truncation point in
+        # it must recover exactly the first two entries.
+        final_len = len(lines[-1]) + 1
+        for drop in range(1, final_len + 1):
+            path.write_bytes(pristine)
+            truncate_tail(path, drop_bytes=drop)
+            progress = load_checkpoint(path)
+            # Dropping only the newline leaves the record complete; any
+            # deeper cut tears it and recovers the two-entry prefix.
+            expected = ENTRIES if drop == 1 else ENTRIES[:2]
+            assert progress.queries == expected, f"drop={drop}"
+
+    def test_mid_file_corruption_refused(self, tmp_path):
+        path = tmp_path / "midfile.ckpt"
+        make_journal(path, ENTRIES)
+        lines = path.read_text().splitlines()
+        lines[2] = lines[2][: len(lines[2]) // 2]  # tear a middle record
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ResumeError, match="line 3"):
+            load_checkpoint(path)
+
+    def test_damaged_header_refused(self, tmp_path):
+        path = tmp_path / "header.ckpt"
+        make_journal(path, ENTRIES)
+        lines = path.read_text().splitlines()
+        header = json.loads(lines[0])
+        header["v"] = 99
+        lines[0] = json.dumps(header, sort_keys=True)
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ResumeError, match="version"):
+            load_checkpoint(path)
+
+    def test_atomic_write_replaces_not_tears(self, tmp_path):
+        path = tmp_path / "atomic.txt"
+        atomic_write_text(path, "first")
+        atomic_write_text(path, "second")
+        assert path.read_text() == "second"
+        assert list(tmp_path.glob(".tmp-ckpt-*")) == []
+
+
+class TestLevelCheckpoint:
+    TOKEN = ("root", (0, 1, 2), None, 20_000, 12, False, False)
+
+    def test_save_load_round_trip(self, tmp_path):
+        ckpt = LevelCheckpoint(tmp_path / "lvl")
+        state = {"parents": {"a": None}, "depth": 3}
+        assert ckpt.save(self.TOKEN, state)
+        assert LevelCheckpoint(tmp_path / "lvl").load(self.TOKEN) == state
+
+    def test_stale_token_ignored(self, tmp_path):
+        ckpt = LevelCheckpoint(tmp_path / "lvl")
+        ckpt.save(self.TOKEN, {"depth": 1})
+        other = ("other",) + self.TOKEN[1:]
+        assert ckpt.load(other) is None
+        # The snapshot survives: it belongs to the token that wrote it.
+        assert ckpt.load(self.TOKEN) == {"depth": 1}
+
+    def test_corrupt_snapshot_quarantined(self, tmp_path):
+        path = tmp_path / "lvl"
+        ckpt = LevelCheckpoint(path)
+        ckpt.save(self.TOKEN, {"depth": 1})
+        path.write_bytes(b"\x80\x04 not a pickle")
+        assert ckpt.load(self.TOKEN) is None
+        assert path.with_suffix(".corrupt").exists()
+        assert not path.exists()
+
+    def test_every_throttles_saves(self, tmp_path):
+        ckpt = LevelCheckpoint(tmp_path / "lvl", every=3)
+        saved = [ckpt.save(self.TOKEN, {"depth": i}) for i in range(7)]
+        assert saved == [True, False, False, True, False, False, True]
+
+    def test_clear_removes_snapshot(self, tmp_path):
+        ckpt = LevelCheckpoint(tmp_path / "lvl")
+        ckpt.save(self.TOKEN, {"depth": 1})
+        ckpt.clear()
+        assert ckpt.load(self.TOKEN) is None
+        ckpt.clear()  # idempotent
+
+    def test_rejects_bad_every(self, tmp_path):
+        with pytest.raises(ValueError):
+            LevelCheckpoint(tmp_path / "lvl", every=0)
+
+
+class _CrashAfter(LevelCheckpoint):
+    """A level checkpoint that crashes the exploration after N saves."""
+
+    def __init__(self, path, crash_after):
+        super().__init__(path)
+        self.crash_after = crash_after
+        self.saves = 0
+
+    def save(self, token, state):
+        wrote = super().save(token, state)
+        if wrote:
+            self.saves += 1
+            if self.saves >= self.crash_after:
+                raise RuntimeError("injected crash at level boundary")
+        return wrote
+
+
+class TestExplorerLevelResume:
+    def test_interrupted_exploration_resumes_bit_identical(
+        self, tmp_path, worker_pool, workers
+    ):
+        system = System(CommitAdoptRounds(3))
+        root = system.initial_configuration([0, 1, 0])
+        pids = frozenset({0, 1, 2})
+        seq = Explorer(system, **BOUNDED).explore(root, pids)
+
+        path = tmp_path / "levels"
+        crasher = _CrashAfter(path, crash_after=2)
+        explorer = ShardedExplorer(
+            system, workers=workers, pool=worker_pool, **BOUNDED
+        )
+        with pytest.raises(RuntimeError, match="injected crash"):
+            explorer.explore(root, pids, checkpoint=crasher)
+        assert path.exists()  # the snapshot survived the crash
+
+        par = explorer.explore(
+            root, pids, checkpoint=LevelCheckpoint(path)
+        )
+        assert result_tuple(seq) == result_tuple(par)
+        assert not path.exists()  # cleared on completion
+
+    def test_completed_exploration_clears_checkpoint(
+        self, tmp_path, worker_pool, workers
+    ):
+        system = System(CommitAdoptRounds(3))
+        root = system.initial_configuration([0, 1, 0])
+        pids = frozenset({0, 1, 2})
+        path = tmp_path / "levels"
+        par = ShardedExplorer(
+            system, workers=workers, pool=worker_pool, **BOUNDED
+        ).explore(root, pids, checkpoint=LevelCheckpoint(path))
+        seq = Explorer(system, **BOUNDED).explore(root, pids)
+        assert result_tuple(seq) == result_tuple(par)
+        assert not path.exists()
+
+
+class TestGuardedCheckpointResume:
+    def test_budget_checkpoint_resumes_to_same_certificate(self, tmp_path):
+        reference = space_lower_bound(System(CommitAdoptRounds(3)))
+        path = tmp_path / "run.ckpt"
+        outcome = run_adversary_guarded(
+            System(CommitAdoptRounds(3)),
+            budget=Budget(max_steps=5),
+            checkpoint=str(path),
+        )
+        assert outcome.status == "budget"
+        progress = load_checkpoint(path)
+        assert progress is not None
+        assert progress.queries == outcome.partial.queries
+        resumed = run_adversary_guarded(
+            System(CommitAdoptRounds(3)), resume=progress
+        )
+        assert resumed.status == "certificate"
+        assert to_json(resumed.certificate) == to_json(reference)
+
+    def test_chained_checkpoint_resumes_converge(self, tmp_path):
+        reference = space_lower_bound(System(CommitAdoptRounds(3)))
+        path = tmp_path / "chain.ckpt"
+        progress = None
+        # max_steps must cover the single most expensive query (replay
+        # of the journaled prefix is free) -- same bound as the in-memory
+        # fixed-budget chain in test_faults_budget.py.
+        for _ in range(30):
+            outcome = run_adversary_guarded(
+                System(CommitAdoptRounds(3)),
+                budget=Budget(max_steps=25),
+                resume=progress,
+                checkpoint=str(path),
+            )
+            if outcome.status == "certificate":
+                break
+            assert outcome.status == "budget"
+            progress = load_checkpoint(path)
+            assert progress is not None
+        assert outcome.status == "certificate"
+        assert to_json(outcome.certificate) == to_json(reference)
+
+
+KILL_SCRIPT = """
+import sys
+from repro.faults import run_adversary_guarded
+from repro.model.system import System
+from repro.protocols.consensus import CommitAdoptRounds
+
+outcome = run_adversary_guarded(
+    System(CommitAdoptRounds(3)), checkpoint=sys.argv[1]
+)
+sys.exit(0 if outcome.status == "certificate" else 1)
+"""
+
+
+class TestSigkillResume:
+    def test_sigkilled_campaign_resumes_to_same_certificate(self, tmp_path):
+        reference = space_lower_bound(System(CommitAdoptRounds(3)))
+        path = tmp_path / "killed.ckpt"
+        env = dict(os.environ)
+        src = str(Path(__file__).resolve().parent.parent / "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        child = subprocess.Popen(
+            [sys.executable, "-c", KILL_SCRIPT, str(path)], env=env
+        )
+        try:
+            # Wait for the journal to show real progress, then SIGKILL.
+            deadline = time.monotonic() + 60.0
+            while time.monotonic() < deadline:
+                if child.poll() is not None:
+                    break
+                if path.exists() and path.read_text().count("\n") >= 3:
+                    break
+                time.sleep(0.005)
+            if child.poll() is None:
+                child.send_signal(signal.SIGKILL)
+            child.wait(timeout=30)
+        finally:
+            if child.poll() is None:
+                child.kill()
+        progress = load_checkpoint(path)
+        assert progress is not None
+        resumed = run_adversary_guarded(
+            System(CommitAdoptRounds(3)), resume=progress
+        )
+        assert resumed.status == "certificate"
+        assert to_json(resumed.certificate) == to_json(reference)

@@ -1,0 +1,112 @@
+"""Torn-tail tolerance for the trace journal (S3).
+
+A process killed mid-``write`` leaves a JSONL journal whose final line
+is cut at an arbitrary byte.  The tolerant reader must recover exactly
+the intact prefix for *every* truncation offset of the final record,
+the strict reader must still refuse the damage, and the ``stats`` /
+``trace`` CLI must keep working on the recovered prefix (with a
+warning) rather than dying on the artifact of a crash they exist to
+diagnose.
+"""
+
+import pytest
+
+from repro.cli import main
+from repro.errors import JournalError
+from repro.faults.chaos import truncate_tail
+from repro.obs import parse_journal, parse_journal_tolerant
+
+
+@pytest.fixture(scope="module")
+def traced_journal(tmp_path_factory):
+    """A real traced adversary run's journal (certificate, exit 0)."""
+    path = tmp_path_factory.mktemp("torn") / "run.jsonl"
+    assert main(["adversary", "rounds:3", "--trace-out", str(path)]) == 0
+    return path
+
+
+def test_intact_journal_has_no_warning(traced_journal):
+    records, warning = parse_journal_tolerant(traced_journal)
+    assert warning is None
+    assert records == parse_journal(traced_journal)
+
+
+def test_every_byte_offset_of_final_record_recovers_prefix(
+    traced_journal, tmp_path
+):
+    pristine = traced_journal.read_bytes()
+    records = parse_journal(traced_journal)
+    final_line = pristine.rstrip(b"\n").rsplit(b"\n", 1)[-1]
+    path = tmp_path / "torn.jsonl"
+    # drop=1 removes only the newline, leaving the record complete;
+    # dropping the whole line leaves a clean shorter journal; every cut
+    # in between tears the record and must recover records[:-1] with a
+    # warning (and still raise under the strict reader).
+    for drop in range(1, len(final_line) + 2):
+        path.write_bytes(pristine)
+        truncate_tail(path, drop_bytes=drop)
+        recovered, warning = parse_journal_tolerant(path)
+        if drop == 1:
+            assert warning is None
+            assert recovered == records
+        elif drop == len(final_line) + 1:
+            assert warning is None
+            assert recovered == records[:-1]
+        else:
+            assert warning is not None, f"drop={drop}"
+            assert recovered == records[:-1], f"drop={drop}"
+            with pytest.raises(JournalError):
+                parse_journal(path)
+
+
+def test_mid_file_damage_still_raises(traced_journal, tmp_path):
+    lines = traced_journal.read_text().splitlines()
+    assert len(lines) > 3
+    lines[1] = lines[1][: len(lines[1]) // 2]
+    path = tmp_path / "midfile.jsonl"
+    path.write_text("\n".join(lines) + "\n")
+    with pytest.raises(JournalError, match="line 2"):
+        parse_journal_tolerant(path)
+
+
+@pytest.fixture
+def torn_copy(traced_journal, tmp_path):
+    """The traced journal with its final (metrics) record torn."""
+    path = tmp_path / "torn.jsonl"
+    path.write_bytes(traced_journal.read_bytes())
+    truncate_tail(path, drop_bytes=10)
+    return path
+
+
+def test_stats_survives_torn_tail(torn_copy, capsys):
+    # The torn final line is the metrics record, so stats falls back to
+    # its no-metrics-record error path -- but must not crash on the
+    # damage, and must say what it dropped.
+    rc = main(["stats", str(torn_copy)])
+    out = capsys.readouterr().out
+    assert rc == 1
+    assert "torn" in out or "dropped" in out or "bad journal" in out
+    assert "no metrics record" in out
+
+
+def test_trace_survives_torn_tail(torn_copy, capsys):
+    rc = main(["trace", str(torn_copy)])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "adversary" in out
+
+
+def test_stats_renders_on_torn_event_tail(traced_journal, tmp_path, capsys):
+    # Tear *two* records off: the journal now ends mid-event, with the
+    # metrics record gone entirely -- stats still reports cleanly.
+    lines = traced_journal.read_text().splitlines()
+    metrics_line = lines[-1]
+    body = "\n".join(lines[:-1]) + "\n"
+    path = tmp_path / "tornevent.jsonl"
+    path.write_text(body + metrics_line)  # no trailing newline
+    truncate_tail(path, drop_bytes=len(metrics_line) + 5)
+    records, warning = parse_journal_tolerant(path)
+    assert warning is not None
+    assert all(record["type"] != "metrics" for record in records)
+    assert main(["stats", str(path)]) == 1
+    assert "no metrics record" in capsys.readouterr().out
