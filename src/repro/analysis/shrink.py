@@ -1,4 +1,4 @@
-"""Delta-debugging shrinker for violation witnesses.
+"""Delta-debugging shrinkers for witnesses and protocol tables.
 
 Randomized schedule testing finds consensus violations with long, noisy
 witness schedules.  ``shrink_witness`` minimises them: it repeatedly
@@ -6,11 +6,21 @@ removes chunks of the schedule (classic ddmin, halving chunk sizes) as
 long as the violation predicate still holds on replay.  The result is a
 locally-minimal witness -- removing any single step loses the violation
 -- which is the form worth reading and archiving.
+
+The fuzzing layer needs the same move one level up: given a generated
+automaton whose *structure* triggers an interest predicate (an engine
+divergence, an agreement violation), strip table entries until every
+remaining one is load-bearing.  ``shrink_components`` is the generic
+deterministic ddmin over any component list; ``shrink_protocol``
+instantiates it for :class:`~repro.model.table.TableProtocol` tables,
+where removing a rule merely halts its state and removing a transition
+falls back to the default/self-loop -- so every candidate is a
+well-formed automaton by construction.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Hashable, List, Sequence
+from typing import Callable, Dict, Hashable, List, Sequence, Tuple
 
 from repro.model.schedule import Schedule
 from repro.model.system import System
@@ -76,3 +86,133 @@ def shrink_witness(
         if not changed:
             break
     return tuple(current)
+
+
+def shrink_components(
+    components: Sequence[object],
+    rebuild: Callable[[Sequence[object]], object],
+    predicate: Callable[[object], bool],
+    max_passes: int = 16,
+) -> List[object]:
+    """Generic deterministic ddmin over an arbitrary component list.
+
+    ``rebuild`` turns any subsequence of ``components`` into a candidate
+    object; ``predicate`` decides whether the candidate is still
+    interesting.  Chunks are halved exactly as in :func:`shrink_witness`
+    and a rebuild or predicate that *raises* counts as "not interesting"
+    (a malformed candidate is never a smaller witness).  The full
+    component list must satisfy the predicate -- ``ValueError``
+    otherwise.
+    """
+    current: List[object] = list(components)
+    if not predicate(rebuild(current)):
+        raise ValueError("the full component set does not satisfy the predicate")
+
+    def holds(candidate: List[object]) -> bool:
+        try:
+            return bool(predicate(rebuild(candidate)))
+        except Exception:
+            return False
+
+    for _ in range(max_passes):
+        changed = False
+        chunk = max(1, len(current) // 2)
+        while chunk >= 1:
+            index = 0
+            while index < len(current):
+                candidate = current[:index] + current[index + chunk :]
+                if holds(candidate):
+                    current = candidate
+                    changed = True
+                else:
+                    index += chunk
+            chunk //= 2
+        if not changed:
+            break
+    return current
+
+
+def _table_components(protocol) -> List[Tuple[str, object]]:
+    """The removable entries of a table protocol, in deterministic order.
+
+    The initial-state map, register count and register kinds are *not*
+    components: removing them changes which automaton family the
+    specimen belongs to rather than simplifying it.
+    """
+    import json
+
+    def key(item: Tuple[str, object]) -> str:
+        return json.dumps(item, sort_keys=True, default=repr)
+
+    components: List[Tuple[str, object]] = []
+    components.extend(("rule", state) for state in protocol.rules)
+    components.extend(
+        ("transition", list(edge)) for edge in protocol.transitions
+    )
+    components.extend(("default", state) for state in protocol.defaults)
+    components.extend(("decision", state) for state in protocol.decisions)
+    components.sort(key=key)
+    return components
+
+
+def shrink_protocol(protocol, predicate, max_passes: int = 16):
+    """Minimise a :class:`~repro.model.table.TableProtocol` under a predicate.
+
+    Components are table entries -- rules, transitions, defaults,
+    decisions -- and every removal yields a well-formed automaton: a
+    state without a rule is halted, a missing transition falls back to
+    the default (or a self-loop).  Register kinds are pinned to the
+    original's resolved kinds so dropping the last swap/test&set rule on
+    a register cannot silently change the object model mid-shrink.
+
+    Returns the original object unchanged when nothing is removable
+    (preserving its identity, digest and provenance); otherwise a
+    rebuilt protocol named ``"<name>-min"``.
+    """
+    from repro.model.table import TableProtocol
+
+    components = _table_components(protocol)
+    kinds = dict(protocol.register_kinds)
+
+    def rebuild(remaining: Sequence[Tuple[str, object]]) -> TableProtocol:
+        keep: Dict[str, set] = {
+            "rule": set(), "transition": set(), "default": set(),
+            "decision": set(),
+        }
+        for kind, payload in remaining:
+            if kind == "transition":
+                keep[kind].add(tuple(payload))
+            else:
+                keep[kind].add(payload)
+        return TableProtocol(
+            n=protocol.n,
+            registers=protocol.registers,
+            initial=dict(protocol.initial),
+            rules={
+                s: r for s, r in protocol.rules.items()
+                if s in keep["rule"]
+            },
+            transitions={
+                edge: target
+                for edge, target in protocol.transitions.items()
+                if edge in keep["transition"]
+            },
+            defaults={
+                s: t for s, t in protocol.defaults.items()
+                if s in keep["default"]
+            },
+            decisions={
+                s: v for s, v in protocol.decisions.items()
+                if s in keep["decision"]
+            },
+            initial_memory=protocol.initial_memory,
+            name=f"{protocol.name}-min",
+            kinds=kinds,
+        )
+
+    remaining = shrink_components(
+        components, rebuild, predicate, max_passes=max_passes
+    )
+    if len(remaining) == len(components):
+        return protocol
+    return rebuild(remaining)

@@ -14,6 +14,9 @@ validate    re-validate a saved certificate JSON against its protocol
 protocols   list the protocols the CLI can name
 lint        static protocol analysis and repository self-lint
 cache       inspect or clear the persistent valency cache
+fuzz        protocol fuzzing: deterministic corpus campaigns through the
+            cross-engine differential oracle (``fuzz run``), plus the
+            persistent regression zoo (``fuzz zoo list|replay``)
 chaos       differential runtime fault injection (results must stay
             byte-equal under worker kills, cache corruption, torn
             journals)
@@ -726,6 +729,139 @@ def cmd_cache(args) -> int:
     return EXIT_OK
 
 
+def _fuzz_engines(workers: int):
+    """The differential matrix with the sharded row at ``workers``."""
+    from repro.fuzz import DEFAULT_ENGINES, EngineSpec
+
+    return tuple(
+        EngineSpec("sharded", workers=max(2, workers))
+        if spec.name == "sharded" else spec
+        for spec in DEFAULT_ENGINES
+    )
+
+
+@contextlib.contextmanager
+def _fuzz_pool(engines):
+    """One shared worker pool for every sharded leg of a fuzz command."""
+    from repro.parallel import WorkerPool
+
+    width = max(spec.workers for spec in engines)
+    if width <= 1:
+        yield None
+        return
+    pool = WorkerPool(width)
+    try:
+        yield pool
+    finally:
+        pool.close()
+
+
+def cmd_fuzz_run(args) -> int:
+    from repro.fuzz import run_campaign
+    from repro.fuzz.campaign import CampaignConfig
+
+    engines = _fuzz_engines(args.workers)
+    config = CampaignConfig(
+        seed=args.seed,
+        count=args.count,
+        mutants=args.mutants,
+        engines=engines,
+        max_configs=args.max_configs,
+        max_depth=args.max_depth,
+        budget_steps=args.budget,
+        deadline=args.deadline,
+        guarded=args.guarded,
+        zoo_root=args.zoo,
+        zoo_cap=args.zoo_cap,
+        inject=args.inject,
+    )
+    with _fuzz_pool(engines) as pool:
+        result = run_campaign(config, pool=pool, journal_path=args.journal)
+    stats = result.stats
+    print(
+        f"fuzz campaign seed={config.seed}: generated {stats['generated']} "
+        f"(of which {stats['mutated']} mutants), filtered "
+        f"{stats['filtered']}, explored {stats['explored']}, spent "
+        f"{stats['spent']} states ({result.stopped})"
+    )
+    if args.journal:
+        print(f"journal: {args.journal}")
+    for finding in result.divergent:
+        print(
+            f"DIVERGENCE {finding['digest'][:16]} [{finding['engine']}] "
+            f"{finding['divergence']}: {finding['detail']}"
+        )
+    if result.zoo_added:
+        print(
+            f"zoo: added {len(result.zoo_added)} minimized specimen(s) "
+            f"under {config.zoo_root}"
+        )
+    if result.divergent:
+        return EXIT_VIOLATION
+    return EXIT_OK
+
+
+def cmd_fuzz_zoo_list(args) -> int:
+    from repro.fuzz import Zoo
+
+    zoo = Zoo(args.zoo)
+    specimens = zoo.specimens()
+    rows = [
+        [
+            s.digest[:16],
+            s.protocol_dict.get("name", "?"),
+            s.protocol_dict.get("n", "?"),
+            s.protocol_dict.get("registers", "?"),
+            s.tag or "-",
+        ]
+        for s in specimens
+    ]
+    print_table(
+        f"zoo at {zoo.root} ({len(specimens)} specimens)",
+        ["digest", "name", "n", "registers", "tag"],
+        rows,
+    )
+    return EXIT_OK
+
+
+def cmd_fuzz_zoo_replay(args) -> int:
+    from repro.fuzz import Zoo, differential
+
+    zoo = Zoo(args.zoo)
+    if args.digest:
+        specimens = [zoo.find(args.digest)]
+    else:
+        specimens = zoo.specimens()
+    if not specimens:
+        print(f"zoo at {zoo.root} is empty")
+        return EXIT_OK
+    engines = _fuzz_engines(args.workers)
+    divergent = 0
+    with _fuzz_pool(engines) as pool:
+        for specimen in specimens:
+            report = differential(
+                specimen.build(),
+                engines,
+                max_configs=args.max_configs,
+                max_depth=args.max_depth,
+                pool=pool,
+            )
+            if report.ok:
+                print(f"ok        {specimen.digest[:16]} {specimen.tag}")
+            else:
+                divergent += 1
+                first = report.first()
+                print(
+                    f"DIVERGENT {specimen.digest[:16]} [{first.engine}] "
+                    f"{first.kind}: {first.detail}"
+                )
+    print(
+        f"replayed {len(specimens)} specimen(s) through "
+        f"{len(engines)} engines: {divergent} divergent"
+    )
+    return EXIT_VIOLATION if divergent else EXIT_OK
+
+
 def _add_obs_flags(p) -> None:
     p.add_argument(
         "--trace-out", default=None, metavar="JOURNAL",
@@ -939,6 +1075,103 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_cache)
 
     p = sub.add_parser(
+        "fuzz",
+        help="protocol fuzzing: corpus campaigns, differential oracle, "
+        "regression zoo",
+    )
+    fuzz_sub = p.add_subparsers(dest="fuzz_command", required=True)
+
+    fp = fuzz_sub.add_parser(
+        "run", help="run one deterministic fuzzing campaign"
+    )
+    fp.add_argument(
+        "--seed", type=int, default=0,
+        help="campaign seed (the only entropy source; same seed + same "
+        "flags = byte-identical journal and zoo additions)",
+    )
+    fp.add_argument(
+        "--count", type=int, default=20, metavar="N",
+        help="number of generated specimens (each may add mutants)",
+    )
+    fp.add_argument(
+        "--mutants", type=int, default=2, metavar="M",
+        help="mutants derived from each surviving specimen",
+    )
+    fp.add_argument(
+        "--budget", type=int, default=None, metavar="STEPS",
+        help="stop after this many explored states (deterministic "
+        "accounting: journals stay byte-stable under a budget stop)",
+    )
+    fp.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="wall-clock stop for nightly campaigns (non-deterministic "
+        "truncation: do not combine with byte-comparison of journals)",
+    )
+    fp.add_argument("--max-configs", type=int, default=4_000)
+    fp.add_argument("--max-depth", type=int, default=40)
+    fp.add_argument(
+        "--workers", type=int, default=2, metavar="N",
+        help="worker processes for the sharded differential leg",
+    )
+    fp.add_argument(
+        "--guarded", action="store_true",
+        help="also differential-test run_adversary_guarded outcomes and "
+        "exit codes (slower)",
+    )
+    fp.add_argument(
+        "--zoo", default=os.path.join("corpus", "zoo"), metavar="DIR",
+        help="regression zoo directory (default: corpus/zoo)",
+    )
+    fp.add_argument(
+        "--zoo-cap", type=int, default=5, metavar="K",
+        help="persist at most K new minimized specimens per campaign",
+    )
+    fp.add_argument(
+        "--journal", default=None, metavar="FILE",
+        help="write the campaign journal (JSONL, byte-deterministic) "
+        "to FILE",
+    )
+    fp.add_argument(
+        "--inject", default=None,
+        choices=["drop-witness-step", "forget-value"],
+        help="append a deliberately sabotaged engine to the matrix (the "
+        "oracle must catch it; self-test of the harness)",
+    )
+    _add_obs_flags(fp)
+    fp.set_defaults(func=cmd_fuzz_run)
+
+    zp = fuzz_sub.add_parser("zoo", help="inspect or replay the zoo")
+    zoo_sub = zp.add_subparsers(dest="zoo_command", required=True)
+
+    zl = zoo_sub.add_parser("list", help="list zoo specimens")
+    zl.add_argument(
+        "--zoo", default=os.path.join("corpus", "zoo"), metavar="DIR",
+        help="regression zoo directory (default: corpus/zoo)",
+    )
+    zl.set_defaults(func=cmd_fuzz_zoo_list)
+
+    zr = zoo_sub.add_parser(
+        "replay",
+        help="replay zoo specimens through the full engine matrix",
+    )
+    zr.add_argument(
+        "digest", nargs="?", default=None,
+        help="digest prefix of one specimen (default: the whole zoo)",
+    )
+    zr.add_argument(
+        "--zoo", default=os.path.join("corpus", "zoo"), metavar="DIR",
+        help="regression zoo directory (default: corpus/zoo)",
+    )
+    zr.add_argument("--max-configs", type=int, default=20_000)
+    zr.add_argument("--max-depth", type=int, default=None)
+    zr.add_argument(
+        "--workers", type=int, default=2, metavar="N",
+        help="worker processes for the sharded differential leg",
+    )
+    _add_obs_flags(zr)
+    zr.set_defaults(func=cmd_fuzz_zoo_replay)
+
+    p = sub.add_parser(
         "chaos",
         help="differential chaos harness (runtime fault injection)",
     )
@@ -1018,6 +1251,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     except ReproError as exc:
         print(f"error: {exc}")
         return EXIT_ERROR
+    except BrokenPipeError:
+        # Downstream consumer (``| head``) closed the pipe mid-print;
+        # not an error.  Point stdout at devnull so the interpreter's
+        # shutdown flush doesn't raise again.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return EXIT_OK
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -1,0 +1,395 @@
+"""Seeded random-automata generation and structure-aware mutation.
+
+The generator draws a :class:`~repro.model.table.TableProtocol` from a
+caller-provided ``random.Random`` -- the *only* source of entropy, so a
+campaign seeded with ``--seed S`` is a pure function of ``S`` and the
+shape knobs.  The knobs (:class:`GeneratorConfig`) cover the adversarial
+shapes the related work names: swap/test&set op mixes in the style of
+Ovens's swap-object consensus machinery, decide densities near zero
+(livelock-shaped automata) and register counts straddling the
+``|W| = n-1`` boundary of the paper's Theorem 1.
+
+Mutators are structure-aware: each takes a valid protocol and returns a
+valid protocol (splicing states, retargeting transitions, swapping op
+kinds, growing/shrinking the register set) so every mutant pickles by
+constructor recipe, lints, and explores like any generated specimen.
+
+``GENERATOR_VERSION`` is stamped into every zoo specimen's provenance:
+a specimen is reproducible from (version, seed, index) alone.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Tuple
+
+from repro.model.table import TableProtocol
+
+#: Bump when generation or mutation semantics change: provenance lines
+#: promise that (version, seed, index) regenerate the same specimen.
+GENERATOR_VERSION = 1
+
+#: Decision values the generator draws from (binary consensus domain).
+VALUES: Tuple[int, ...] = (0, 1)
+
+#: Responses the transition tables branch on.  ``None`` is both the
+#: write ack and the initial register contents; 0/1 are the value
+#: domain and the test&set before-states.
+RESPONSES: Tuple[Hashable, ...] = (None, 0, 1)
+
+
+@dataclass(frozen=True)
+class GeneratorConfig:
+    """Shape knobs for one generation campaign.
+
+    Ranges are inclusive.  ``op_weights`` is the draw weight of each
+    rule opcode for a non-deciding state; ``decide_density`` is the
+    probability that a state is a decider instead.  ``halt_density``
+    leaves a state with no rule at all (halted, the covering argument's
+    "process has stopped" shape).
+    """
+
+    n: Tuple[int, int] = (2, 3)
+    states: Tuple[int, int] = (3, 6)
+    registers: Tuple[int, int] = (1, 3)
+    op_weights: Tuple[Tuple[str, int], ...] = (
+        ("read", 4), ("write", 4), ("swap", 1), ("tas", 1),
+    )
+    decide_density: float = 0.25
+    halt_density: float = 0.05
+    transition_density: float = 0.5
+
+    def weighted_ops(self) -> Tuple[List[str], List[int]]:
+        ops = [op for op, _ in self.op_weights]
+        weights = [weight for _, weight in self.op_weights]
+        return ops, weights
+
+
+def _draw_rule(
+    rng: random.Random,
+    config: GeneratorConfig,
+    registers: int,
+    reg_kinds: Dict[int, str],
+) -> Tuple:
+    """One rule tuple consistent with the kinds drawn so far.
+
+    The register is drawn first, then an opcode legal on its (possibly
+    still undecided) kind: the first swap/tas rule to target a plain
+    register promotes it, recorded in ``reg_kinds`` so later draws stay
+    consistent and construction never raises.
+    """
+    ops, weights = config.weighted_ops()
+    reg = rng.randrange(registers)
+    kind = reg_kinds.get(reg)
+    opcode = rng.choices(ops, weights=weights, k=1)[0]
+    if kind == "tas":
+        opcode = "tas" if opcode in ("write", "swap", "tas") else "read"
+    elif kind == "swap":
+        if opcode == "tas":
+            opcode = "swap"
+    elif kind == "register":
+        if opcode == "swap":
+            opcode = "write"
+        elif opcode == "tas":
+            opcode = "read"
+    else:  # kind not yet pinned: this rule pins it
+        if opcode == "swap":
+            reg_kinds[reg] = "swap"
+        elif opcode == "tas":
+            reg_kinds[reg] = "tas"
+        else:
+            reg_kinds[reg] = "register"
+    if opcode == "read":
+        return ("read", reg)
+    if opcode == "write":
+        return ("write", reg, rng.choice(VALUES))
+    if opcode == "swap":
+        return ("swap", reg, rng.choice(VALUES))
+    return ("tas", reg)
+
+
+def generate_protocol(
+    rng: random.Random,
+    config: GeneratorConfig = GeneratorConfig(),
+    name: str = "fuzz",
+) -> TableProtocol:
+    """Draw one well-formed table automaton from ``rng``.
+
+    Every structural choice (process count, state roles, op mix,
+    transition targets) comes from ``rng``; the result is deterministic
+    given the rng state and the config.
+    """
+    n = rng.randint(*config.n)
+    num_states = rng.randint(*config.states)
+    registers = rng.randint(*config.registers)
+    reg_kinds: Dict[int, str] = {}
+    rules: Dict[int, Tuple] = {}
+    decisions: Dict[int, Hashable] = {}
+    for state in range(num_states):
+        roll = rng.random()
+        if roll < config.decide_density:
+            decisions[state] = rng.choice(VALUES)
+        elif roll < config.decide_density + config.halt_density:
+            continue  # neither rule nor decision: a halted state
+        else:
+            rules[state] = _draw_rule(rng, config, registers, reg_kinds)
+    defaults = {
+        state: rng.randrange(num_states) for state in sorted(rules)
+    }
+    transitions: Dict[Tuple[int, Hashable], int] = {}
+    for state in sorted(rules):
+        for response in RESPONSES:
+            if rng.random() < config.transition_density:
+                transitions[(state, response)] = rng.randrange(num_states)
+    initial = {
+        value: rng.randrange(num_states) for value in VALUES
+    }
+    return TableProtocol(
+        n=n,
+        registers=registers,
+        initial=initial,
+        rules=rules,
+        transitions=transitions,
+        defaults=defaults,
+        decisions=decisions,
+        name=name,
+    )
+
+
+# -- mutators ----------------------------------------------------------------
+#
+# Each mutator takes (rng, protocol) and returns a *new* TableProtocol
+# built through the public constructor, so the mutant's ctor recipe (and
+# therefore its pickle, its fingerprint and its zoo serialization) is
+# exactly the mutated tables.  Mutators never mutate the input protocol.
+
+
+def _tables(protocol: TableProtocol):
+    """Deep-copied constructor tables of ``protocol``."""
+    return (
+        dict(protocol.initial),
+        dict(protocol.rules),
+        dict(protocol.transitions),
+        dict(protocol.defaults),
+        dict(protocol.decisions),
+    )
+
+
+def _rebuild(
+    protocol: TableProtocol,
+    *,
+    registers=None,
+    initial=None,
+    rules=None,
+    transitions=None,
+    defaults=None,
+    decisions=None,
+    name=None,
+) -> TableProtocol:
+    return TableProtocol(
+        n=protocol.n,
+        registers=protocol.registers if registers is None else registers,
+        initial=protocol.initial if initial is None else initial,
+        rules=protocol.rules if rules is None else rules,
+        transitions=(
+            protocol.transitions if transitions is None else transitions
+        ),
+        defaults=protocol.defaults if defaults is None else defaults,
+        decisions=protocol.decisions if decisions is None else decisions,
+        initial_memory=protocol.initial_memory,
+        name=protocol.name if name is None else name,
+    )
+
+
+def splice_states(rng: random.Random, protocol: TableProtocol) -> TableProtocol:
+    """Duplicate one state under a fresh index and reroute one edge to it.
+
+    The splice preserves well-formedness by construction: the new state
+    carries a copy of the donor's rule/decision, and exactly one
+    existing transition (or default) is retargeted at it.
+    """
+    initial, rules, transitions, defaults, decisions = _tables(protocol)
+    donors = sorted(set(rules) | set(decisions))
+    if not donors:
+        return _rebuild(protocol)
+    donor = rng.choice(donors)
+    fresh = max(
+        list(rules) + list(decisions) + list(initial.values())
+        + list(defaults.values()) + [s for s, _ in transitions]
+        + list(transitions.values())
+    ) + 1
+    if donor in rules:
+        rules[fresh] = rules[donor]
+        defaults[fresh] = defaults.get(donor, donor)
+    if donor in decisions:
+        decisions[fresh] = decisions[donor]
+    edges = sorted(transitions, key=repr)
+    if edges and rng.random() < 0.7:
+        edge = edges[rng.randrange(len(edges))]
+        transitions[edge] = fresh
+    elif defaults:
+        state = sorted(defaults)[rng.randrange(len(defaults))]
+        defaults[state] = fresh
+    return _rebuild(
+        protocol, rules=rules, transitions=transitions,
+        defaults=defaults, decisions=decisions,
+    )
+
+
+def retarget_transition(
+    rng: random.Random, protocol: TableProtocol
+) -> TableProtocol:
+    """Point one transition (or default, or initial) at a different state."""
+    initial, rules, transitions, defaults, decisions = _tables(protocol)
+    universe = sorted(
+        set(rules) | set(decisions) | set(initial.values())
+        | set(defaults.values()) | set(transitions.values())
+    )
+    if not universe:
+        return _rebuild(protocol)
+    target = rng.choice(universe)
+    tables = []
+    if transitions:
+        tables.append("transitions")
+    if defaults:
+        tables.append("defaults")
+    if initial:
+        tables.append("initial")
+    choice = rng.choice(tables) if tables else None
+    if choice == "transitions":
+        edges = sorted(transitions, key=repr)
+        transitions[edges[rng.randrange(len(edges))]] = target
+    elif choice == "defaults":
+        keys = sorted(defaults)
+        defaults[keys[rng.randrange(len(keys))]] = target
+    elif choice == "initial":
+        keys = sorted(initial, key=repr)
+        initial[keys[rng.randrange(len(keys))]] = target
+    return _rebuild(
+        protocol, initial=initial, transitions=transitions, defaults=defaults,
+    )
+
+
+def swap_op_kind(rng: random.Random, protocol: TableProtocol) -> TableProtocol:
+    """Replace one rule's opcode with a different one on the same register.
+
+    The replacement respects the register's kind as resolved from the
+    *other* rules, so the mutant still constructs: a register whose
+    remaining rules pin it to ``swap`` only receives read/write/swap
+    opcodes, and so on.
+    """
+    initial, rules, transitions, defaults, decisions = _tables(protocol)
+    if not rules:
+        return _rebuild(protocol)
+    state = rng.choice(sorted(rules))
+    rule = rules[state]
+    reg = int(rule[1]) % protocol.registers
+    others = {
+        s: r for s, r in rules.items()
+        if s != state and int(r[1]) % protocol.registers == reg
+    }
+    other_ops = {others[s][0] for s in others}
+    if "tas" in other_ops:
+        legal = ["read", "tas"]
+    elif "swap" in other_ops or "write" in other_ops:
+        # A write elsewhere rules out promoting the register to tas
+        # (write is illegal on test&set bits); swap keeps write legal.
+        legal = ["read", "write", "swap"]
+    else:
+        legal = ["read", "write", "swap", "tas"]
+    candidates = [op for op in legal if op != rule[0]]
+    opcode = rng.choice(candidates)
+    if opcode == "read":
+        rules[state] = ("read", reg)
+    elif opcode == "write":
+        rules[state] = ("write", reg, rng.choice(VALUES))
+    elif opcode == "swap":
+        rules[state] = ("swap", reg, rng.choice(VALUES))
+    else:
+        rules[state] = ("tas", reg)
+    return _rebuild(protocol, rules=rules)
+
+
+def grow_registers(rng: random.Random, protocol: TableProtocol) -> TableProtocol:
+    """Add one register and retarget one rule at it."""
+    initial, rules, transitions, defaults, decisions = _tables(protocol)
+    registers = protocol.registers + 1
+    if rules:
+        state = rng.choice(sorted(rules))
+        rule = rules[state]
+        rules[state] = (rule[0], registers - 1) + tuple(rule[2:])
+    return _rebuild(protocol, registers=registers, rules=rules)
+
+
+def shrink_registers(
+    rng: random.Random, protocol: TableProtocol
+) -> TableProtocol:
+    """Drop the last register, folding its rules onto the survivors.
+
+    Register indices are taken modulo the declared count by the
+    constructor, so re-issuing the same rule tuples over a smaller
+    universe is always well-formed -- unless folding lands a test&set
+    rule and a write/swap rule on the same register (no object kind
+    admits both), in which case the mutation is a no-op (returns an
+    equivalent rebuild).
+    """
+    if protocol.registers <= 1:
+        return _rebuild(protocol)
+    registers = protocol.registers - 1
+    initial, rules, transitions, defaults, decisions = _tables(protocol)
+    folded_ops: Dict[int, set] = {}
+    for state in sorted(rules):
+        rule = rules[state]
+        folded_ops.setdefault(int(rule[1]) % registers, set()).add(rule[0])
+    for ops in folded_ops.values():
+        if "tas" in ops and ops & {"write", "swap"}:
+            return _rebuild(protocol)  # no kind admits tas + write/swap
+    folded = {
+        state: (rule[0], int(rule[1]) % registers) + tuple(rule[2:])
+        for state, rule in rules.items()
+    }
+    return _rebuild(protocol, registers=registers, rules=folded)
+
+
+def toggle_decision(
+    rng: random.Random, protocol: TableProtocol
+) -> TableProtocol:
+    """Flip one decision's value, or promote a halted state to a decider."""
+    initial, rules, transitions, defaults, decisions = _tables(protocol)
+    halted = sorted(
+        (set(initial.values()) | set(defaults.values())
+         | set(transitions.values())) - set(rules) - set(decisions)
+    )
+    if decisions and (not halted or rng.random() < 0.5):
+        state = rng.choice(sorted(decisions, key=repr))
+        decisions[state] = rng.choice(
+            [v for v in VALUES if v != decisions[state]] or list(VALUES)
+        )
+    elif halted:
+        decisions[rng.choice(halted)] = rng.choice(VALUES)
+    return _rebuild(protocol, decisions=decisions)
+
+
+#: The mutator suite, in the fixed order campaigns draw from.
+MUTATORS = (
+    splice_states,
+    retarget_transition,
+    swap_op_kind,
+    grow_registers,
+    shrink_registers,
+    toggle_decision,
+)
+
+
+def mutate_protocol(
+    rng: random.Random, protocol: TableProtocol, rounds: int = 1
+) -> TableProtocol:
+    """Apply ``rounds`` randomly chosen mutators in sequence."""
+    mutant = protocol
+    for index in range(max(1, rounds)):
+        mutator = rng.choice(MUTATORS)
+        mutant = mutator(rng, mutant)
+    if mutant.name == protocol.name:
+        mutant = _rebuild(mutant, name=f"{protocol.name}-mut")
+    return mutant

@@ -1,0 +1,146 @@
+"""``repro fuzz`` CLI: exit contract, determinism, zoo subcommands."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+FAST = [
+    "--count", "4", "--mutants", "1",
+    "--max-configs", "1200", "--max-depth", "20",
+]
+
+
+def run_args(tmp_path, *extra, seed="5", zoo="z"):
+    return [
+        "fuzz", "run", "--seed", seed, "--zoo", str(tmp_path / zoo),
+        *FAST, *extra,
+    ]
+
+
+class TestRunExitContract:
+    def test_clean_campaign_exits_zero(self, tmp_path, capsys):
+        assert main(run_args(tmp_path)) == 0
+        out = capsys.readouterr().out
+        assert "fuzz campaign seed=5" in out
+
+    def test_injected_divergence_exits_two(self, tmp_path, capsys):
+        code = main(
+            run_args(tmp_path, "--inject", "forget-value", seed="3")
+        )
+        assert code == 2
+        out = capsys.readouterr().out
+        assert "DIVERGENCE" in out
+        assert "sabotaged" in out
+
+    def test_bad_flag_exits_with_argparse_error(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["fuzz", "run", "--inject", "not-a-mode"])
+
+    def test_unreadable_zoo_specimen_exits_one(self, tmp_path, capsys):
+        zoo = tmp_path / "zoo"
+        zoo.mkdir()
+        (zoo / "deadbeef00000000.json").write_text("{not json")
+        assert main(
+            ["fuzz", "zoo", "replay", "--zoo", str(zoo)]
+        ) == 1
+        assert "error:" in capsys.readouterr().out
+
+
+class TestRunDeterminism:
+    def test_same_seed_same_journal_bytes(self, tmp_path):
+        j1, j2 = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        assert main(
+            run_args(tmp_path, "--journal", str(j1), zoo="za")
+        ) == 0
+        assert main(
+            run_args(tmp_path, "--journal", str(j2), zoo="zb")
+        ) == 0
+        assert j1.read_bytes() == j2.read_bytes()
+
+    def test_budget_flag_stops_and_stays_deterministic(self, tmp_path):
+        j1, j2 = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        args = ["--budget", "8", "--count", "30"]
+        assert main(
+            run_args(tmp_path, "--journal", str(j1), *args, zoo="za")
+        ) == 0
+        assert main(
+            run_args(tmp_path, "--journal", str(j2), *args, zoo="zb")
+        ) == 0
+        assert j1.read_bytes() == j2.read_bytes()
+        summary = json.loads(j1.read_text().splitlines()[-1])
+        assert summary["stopped"] == "budget"
+
+
+class TestZooSubcommands:
+    @pytest.fixture()
+    def seeded_zoo(self, tmp_path):
+        from repro.fuzz import Zoo
+        from repro.model.table import TableProtocol
+
+        zoo = Zoo(tmp_path / "zoo")
+        zoo.add(
+            TableProtocol(
+                n=2, registers=1, initial={0: 0, 1: 1},
+                rules={0: ("swap", 0, 0), 1: ("swap", 0, 1)},
+                transitions={
+                    (0, None): 2, (0, 1): 3, (1, None): 3, (1, 0): 2,
+                },
+                decisions={2: 0, 3: 1},
+                name="cli-swap",
+            ),
+            {"tag": "cli-test"},
+        )
+        return zoo
+
+    def test_zoo_list(self, seeded_zoo, capsys):
+        assert main(["fuzz", "zoo", "list", "--zoo", str(seeded_zoo.root)]) == 0
+        out = capsys.readouterr().out
+        assert "cli-swap" in out and "cli-test" in out
+
+    def test_zoo_replay_all_ok(self, seeded_zoo, capsys):
+        assert main(
+            ["fuzz", "zoo", "replay", "--zoo", str(seeded_zoo.root),
+             "--max-configs", "2000"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "0 divergent" in out
+
+    def test_zoo_replay_by_digest_prefix(self, seeded_zoo, capsys):
+        digest = seeded_zoo.specimens()[0].digest
+        assert main(
+            ["fuzz", "zoo", "replay", digest[:10],
+             "--zoo", str(seeded_zoo.root), "--max-configs", "2000"]
+        ) == 0
+        assert "replayed 1 specimen" in capsys.readouterr().out
+
+    def test_zoo_replay_unknown_prefix_exits_one(self, seeded_zoo, capsys):
+        assert main(
+            ["fuzz", "zoo", "replay", "ffffffffffff",
+             "--zoo", str(seeded_zoo.root)]
+        ) == 1
+        assert "error:" in capsys.readouterr().out
+
+    def test_zoo_replay_empty_zoo_is_ok(self, tmp_path, capsys):
+        assert main(
+            ["fuzz", "zoo", "replay", "--zoo", str(tmp_path / "none")]
+        ) == 0
+        assert "empty" in capsys.readouterr().out
+
+
+def test_inject_campaign_persists_minimized_specimens(tmp_path, capsys):
+    zoo = tmp_path / "zoo"
+    code = main(
+        ["fuzz", "run", "--seed", "3", "--count", "8", "--mutants", "1",
+         "--max-configs", "1200", "--max-depth", "20",
+         "--zoo", str(zoo), "--inject", "forget-value"]
+    )
+    assert code == 2
+    assert any(zoo.glob("*.json"))
+    capsys.readouterr()
+    # The freshly persisted specimens replay clean on honest engines.
+    assert main(
+        ["fuzz", "zoo", "replay", "--zoo", str(zoo),
+         "--max-configs", "2000"]
+    ) == 0

@@ -1,0 +1,171 @@
+"""Protocol shrinking (satellite S3): predicate preserved, deterministic."""
+
+import random
+
+import pytest
+
+from repro.analysis.shrink import shrink_components, shrink_protocol
+from repro.fuzz.generator import GeneratorConfig, generate_protocol
+from repro.fuzz.oracle import DEFAULT_ENGINES, EngineSpec, differential
+from repro.fuzz.zoo import specimen_digest
+from repro.model.system import System
+from repro.model.table import TableProtocol
+
+
+def split_brain():
+    return TableProtocol(
+        n=3,
+        registers=1,
+        initial={0: 0, 1: 1},
+        rules={
+            0: ("write", 0, 0), 1: ("write", 0, 1), 2: ("read", 0),
+            # Noise: states the violation never needs.
+            7: ("read", 0), 8: ("write", 0, 1),
+        },
+        transitions={
+            (0, None): 2, (1, None): 2, (2, 0): 3, (2, 1): 4,
+            (7, 0): 8, (8, None): 7,
+        },
+        defaults={7: 8, 8: 7},
+        decisions={3: 0, 4: 1},
+        name="split-noise",
+    )
+
+
+def violates_agreement(protocol) -> bool:
+    from repro.analysis.checker import check_consensus_exhaustive
+
+    result = check_consensus_exhaustive(
+        System(protocol), [0, 1, 1], max_configs=20_000, strict=False
+    )
+    return any(v.kind == "agreement" for v in result.violations)
+
+
+class TestShrinkComponents:
+    def test_minimises_to_the_load_bearing_subset(self):
+        components = list(range(20))
+        target = {3, 11, 17}
+
+        def predicate(obj):
+            return target <= set(obj)
+
+        remaining = shrink_components(components, list, predicate)
+        assert set(remaining) == target
+
+    def test_rejects_non_witnessing_input(self):
+        with pytest.raises(ValueError):
+            shrink_components([1, 2], list, lambda obj: 99 in obj)
+
+    def test_raising_candidates_count_as_uninteresting(self):
+        def rebuild(parts):
+            if len(parts) < 2:
+                raise RuntimeError("malformed")
+            return list(parts)
+
+        remaining = shrink_components(
+            [1, 2, 3, 4], rebuild, lambda obj: 4 in obj
+        )
+        assert 4 in remaining and len(remaining) == 2
+
+    def test_deterministic(self):
+        components = list(range(30))
+
+        def predicate(obj):
+            return sum(obj) >= 50
+
+        a = shrink_components(components, list, predicate)
+        b = shrink_components(components, list, predicate)
+        assert a == b
+
+
+class TestShrinkProtocol:
+    def test_noise_states_are_removed_violation_kept(self):
+        minimized = shrink_protocol(split_brain(), violates_agreement)
+        assert violates_agreement(minimized)
+        assert 7 not in minimized.rules and 8 not in minimized.rules
+        assert len(minimized.rules) < len(split_brain().rules)
+
+    def test_shrunk_protocol_is_renamed(self):
+        minimized = shrink_protocol(split_brain(), violates_agreement)
+        assert minimized.name == "split-noise-min"
+
+    def test_returns_original_when_nothing_removable(self):
+        p = TableProtocol(
+            n=2, registers=1, initial={0: 0, 1: 1},
+            rules={0: ("write", 0, 0), 1: ("write", 0, 1), 2: ("read", 0)},
+            transitions={(0, None): 2, (1, None): 2, (2, 0): 3, (2, 1): 4},
+            decisions={3: 0, 4: 1},
+            name="tight",
+        )
+
+        def pred(candidate):
+            from repro.analysis.checker import check_consensus_exhaustive
+
+            result = check_consensus_exhaustive(
+                System(candidate), [0, 1], max_configs=10_000, strict=False
+            )
+            return any(v.kind == "agreement" for v in result.violations)
+
+        if not pred(p):
+            pytest.skip("fixture is not a violation under these inputs")
+        minimized = shrink_protocol(p, pred)
+        if len(minimized.rules) == len(p.rules) and (
+            len(minimized.transitions) == len(p.transitions)
+            and len(minimized.decisions) == len(p.decisions)
+        ):
+            assert minimized is p
+
+    def test_deterministic_for_fixed_input(self):
+        a = shrink_protocol(split_brain(), violates_agreement)
+        b = shrink_protocol(split_brain(), violates_agreement)
+        assert specimen_digest(a) == specimen_digest(b)
+
+    def test_register_kinds_pinned_through_shrink(self):
+        p = TableProtocol(
+            n=2, registers=2, initial={0: 0, 1: 1},
+            rules={
+                0: ("swap", 0, 0), 1: ("swap", 0, 1), 2: ("read", 1),
+            },
+            transitions={(0, None): 3, (0, 1): 4, (1, None): 4, (1, 0): 3},
+            defaults={2: 2},
+            decisions={3: 0, 4: 1},
+            name="swappy",
+        )
+
+        def has_swap_object(candidate):
+            return candidate.register_kinds[0] == "swap"
+
+        minimized = shrink_protocol(p, has_swap_object)
+        # Even if every swap rule were removed, the pinned kinds keep
+        # register 0 a swap object -- the object model never shifts
+        # under the shrinker's feet.
+        assert minimized.register_kinds[0] == "swap"
+
+    def test_divergence_predicate_preserved_with_sabotaged_engine(self):
+        rng = random.Random(2)
+        config = GeneratorConfig(n=(2, 2), states=(3, 6), registers=(1, 2))
+        protocol = None
+        for _ in range(20):
+            candidate = generate_protocol(rng, config, name="div")
+            probe = differential(
+                candidate, DEFAULT_ENGINES[:1], max_configs=2_000
+            )
+            if any(
+                entry["decided"]
+                for entry in probe.baseline["explorations"]
+            ):
+                protocol = candidate
+                break
+        assert protocol is not None, "no deciding specimen in 20 draws"
+        matrix = (
+            DEFAULT_ENGINES[0],
+            EngineSpec("sabotaged", sabotage="forget-value"),
+        )
+
+        def diverges(candidate):
+            report = differential(candidate, matrix, max_configs=2_000)
+            return not report.ok
+
+        assert diverges(protocol)
+        minimized = shrink_protocol(protocol, diverges, max_passes=4)
+        assert diverges(minimized)

@@ -1,0 +1,161 @@
+"""Swap/test&set table automata: kinds resolution and step semantics."""
+
+import pickle
+
+import pytest
+
+from repro.errors import ModelError
+from repro.model.system import System
+from repro.model.table import TableProtocol
+
+
+def swap_race():
+    return TableProtocol(
+        n=2,
+        registers=1,
+        initial={0: 0, 1: 1},
+        rules={0: ("swap", 0, 0), 1: ("swap", 0, 1)},
+        transitions={(0, None): 2, (0, 1): 3, (1, None): 3, (1, 0): 2},
+        decisions={2: 0, 3: 1},
+        name="swap-race",
+    )
+
+
+class TestKindResolution:
+    def test_swap_rule_infers_swap_register(self):
+        p = swap_race()
+        assert p.register_kinds == {0: "swap"}
+
+    def test_tas_rule_infers_tas_register(self):
+        p = TableProtocol(
+            n=2, registers=2, initial={0: 0},
+            rules={0: ("tas", 1)},
+        )
+        assert p.register_kinds == {0: "register", 1: "tas"}
+
+    def test_plain_rules_stay_register(self):
+        p = TableProtocol(
+            n=2, registers=1, initial={0: 0},
+            rules={0: ("write", 0, 1), 1: ("read", 0)},
+        )
+        assert p.register_kinds == {0: "register"}
+
+    def test_explicit_kind_pins_win(self):
+        p = TableProtocol(
+            n=2, registers=1, initial={0: 0},
+            rules={0: ("read", 0)},
+            kinds={0: "swap"},
+        )
+        assert p.register_kinds == {0: "swap"}
+
+    def test_swap_and_tas_on_one_register_rejected(self):
+        with pytest.raises(ModelError):
+            TableProtocol(
+                n=2, registers=1, initial={0: 0},
+                rules={0: ("swap", 0, 1), 1: ("tas", 0)},
+            )
+
+    def test_write_on_tas_register_rejected(self):
+        with pytest.raises(ModelError):
+            TableProtocol(
+                n=2, registers=1, initial={0: 0},
+                rules={0: ("write", 0, 1)},
+                kinds={0: "tas"},
+            )
+
+    def test_swap_rule_on_plain_register_rejected(self):
+        with pytest.raises(ModelError):
+            TableProtocol(
+                n=2, registers=1, initial={0: 0},
+                rules={0: ("swap", 0, 1)},
+                kinds={0: "register"},
+            )
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ModelError):
+            TableProtocol(
+                n=2, registers=1, initial={0: 0},
+                rules={0: ("read", 0)},
+                kinds={0: "fetch-add"},
+            )
+
+    def test_register_index_taken_modulo(self):
+        p = TableProtocol(
+            n=2, registers=2, initial={0: 0},
+            rules={0: ("swap", 5, 1)},  # 5 % 2 == 1
+        )
+        assert p.register_kinds[1] == "swap"
+
+
+class TestSwapSemantics:
+    def test_first_swapper_sees_initial_memory(self):
+        system = System(swap_race())
+        config = system.initial_configuration([0, 1])
+        config, _ = system.run(config, [0])
+        # pid 0 swapped first: response None -> state 2, decides 0.
+        assert system.decided_values(config) == {0}
+
+    def test_loser_adopts_winner_value(self):
+        system = System(swap_race())
+        config = system.initial_configuration([0, 1])
+        config, _ = system.run(config, [0, 1])
+        # pid 1 swaps second, receives pid 0's value 0 and adopts it.
+        assert system.decided_values(config) == {0}
+
+    def test_swap_race_agrees_on_all_interleavings(self):
+        from repro.analysis.checker import check_consensus_exhaustive
+
+        system = System(swap_race())
+        result = check_consensus_exhaustive(system, [0, 1])
+        assert result.ok and result.exhaustive
+
+
+class TestTasSemantics:
+    def tas_pair(self):
+        return TableProtocol(
+            n=2, registers=1, initial={0: 0, 1: 0},
+            rules={0: ("tas", 0)},
+            transitions={(0, 0): 1, (0, 1): 2},
+            decisions={1: "won", 2: "lost"},
+            name="tas-pair",
+        )
+
+    def test_exactly_one_winner(self):
+        system = System(self.tas_pair())
+        config = system.initial_configuration([0, 0])
+        config, _ = system.run(config, [0, 1])
+        decided = [
+            system.protocol.decision(p, config.states[p]) for p in (0, 1)
+        ]
+        assert sorted(decided) == ["lost", "won"]
+
+    def test_tas_initializes_to_zero_regardless_of_initial_memory(self):
+        p = TableProtocol(
+            n=2, registers=1, initial={0: 0, 1: 0},
+            rules={0: ("tas", 0)},
+            transitions={(0, 0): 1, (0, 1): 2},
+            decisions={1: "won", 2: "lost"},
+            initial_memory="garbage",
+        )
+        system = System(p)
+        config = system.initial_configuration([0, 0])
+        config, _ = system.run(config, [0])
+        assert system.protocol.decision(0, config.states[0]) == "won"
+
+
+class TestRecipeCompat:
+    def test_ctor_recipe_roundtrips_through_pickle(self):
+        p = swap_race()
+        clone = pickle.loads(pickle.dumps(p))
+        assert clone.rules == p.rules
+        assert clone.register_kinds == p.register_kinds
+
+    def test_kinds_kwarg_absent_from_legacy_recipes(self):
+        # Pre-existing TableProtocol call sites never pass `kinds`;
+        # their ctor recipe (and so fingerprints) must be unchanged.
+        p = TableProtocol(
+            n=2, registers=1, initial={0: 0},
+            rules={0: ("read", 0)},
+        )
+        args, kwargs = p._ctor_args
+        assert "kinds" not in kwargs
