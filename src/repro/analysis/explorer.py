@@ -141,6 +141,7 @@ class Explorer:
         budget=None,
         por: bool = False,
         engine=None,
+        kernel: str = "interp",
     ):
         """``strict`` explorers raise :class:`ExplorationLimitError` when
         the configuration budget is exceeded; non-strict explorers return
@@ -165,7 +166,15 @@ class Explorer:
         through the engine's interned memo tables and registers
         exhausted graphs for frontier reuse.  Memoising pure functions
         is invisible to the search -- results, metrics and early-exit
-        points are bit-identical with or without an engine."""
+        points are bit-identical with or without an engine.
+
+        ``kernel`` selects the exploration engine: ``"interp"`` (this
+        class's object-walking loop) or ``"compiled"`` (the packed-row
+        kernel of :mod:`repro.kernel`, bit-identical by the same
+        differential contract).  An unsupported system falls back to
+        the interpreter automatically; the reason is recorded in
+        ``kernel.fallback.*`` counters, a ``kernel.fallback`` trace
+        event, and :attr:`kernel_fallback_reason`."""
         self.system = system
         self.max_configs = max_configs
         self.max_depth = max_depth
@@ -173,6 +182,43 @@ class Explorer:
         self.budget = budget
         self.por = por
         self.engine = engine
+        self.kernel = kernel
+        self.kernel_fallback_reason: Optional[str] = None
+        self._kernel_explorer = None
+        self._kernel_resolved = False
+
+    def _resolve_kernel(self):
+        """Build (once) the compiled kernel explorer, or record why not."""
+        if self._kernel_resolved:
+            return self._kernel_explorer
+        self._kernel_resolved = True
+        from repro.errors import KernelError
+        from repro.kernel import KernelExplorer, kernel_unsupported_reason
+
+        reason = kernel_unsupported_reason(self.system)
+        if reason is None:
+            try:
+                self._kernel_explorer = KernelExplorer(self.system)
+                return self._kernel_explorer
+            except KernelError:
+                reason = "compile-error"
+        self.kernel_fallback_reason = reason
+        metrics = get_metrics()
+        metrics.counter("kernel.fallbacks").inc()
+        metrics.counter(f"kernel.fallback.{reason}").inc()
+        get_tracer().event(
+            "kernel.fallback",
+            reason=reason,
+            protocol=type(self.system.protocol).__name__,
+        )
+        return None
+
+    def close(self) -> None:
+        """Release kernel resources (spill segments, mmaps), if any."""
+        if self._kernel_explorer is not None:
+            self._kernel_explorer.close()
+            self._kernel_explorer = None
+            self._kernel_resolved = False
 
     def explore(
         self,
@@ -194,6 +240,20 @@ class Explorer:
         non-strict budget truncation are reported via ``truncated`` /
         ``complete`` on the result.
         """
+        if self.kernel == "compiled":
+            kernel_explorer = self._resolve_kernel()
+            if kernel_explorer is not None:
+                return kernel_explorer.explore(
+                    root,
+                    pids,
+                    stop_when,
+                    max_configs=self.max_configs,
+                    max_depth=self.max_depth,
+                    strict=self.strict,
+                    budget=self.budget,
+                    por=self.por,
+                    engine=self.engine,
+                )
         system = self.system
         protocol = system.protocol
         pid_set = frozenset(pids)

@@ -211,6 +211,7 @@ def cmd_adversary(args) -> int:
             certificate = space_lower_bound_auto(
                 system, workers=args.workers, cache_dir=args.cache_dir,
                 por=args.por, incremental=args.incremental,
+                kernel=args.kernel,
             )
         except AdversaryError as exc:
             print(f"construction failed: {exc}")
@@ -242,6 +243,7 @@ def cmd_adversary(args) -> int:
         max_retries=args.max_retries,
         task_timeout=args.task_timeout,
         checkpoint=args.resume,
+        kernel=args.kernel,
     )
     if outcome.status == "certificate":
         print(outcome.certificate.summary())
@@ -333,6 +335,7 @@ def cmd_audit(args) -> int:
             workers=args.workers, cache_dir=args.cache_dir,
             por=args.por, incremental=args.incremental,
             max_retries=args.max_retries, task_timeout=args.task_timeout,
+            kernel=args.kernel,
         )
         if outcome.status == "certificate":
             bound = f"{outcome.certificate.bound} pinned"
@@ -618,6 +621,31 @@ def cmd_stats(args) -> int:
         ["level snapshots", counters.get("checkpoint.level_saves", 0)],
     ]
     print_table("resilience", ["quantity", "value"], resilience)
+
+    # Compiled-kernel activity.  Same n/a discipline: a journal from an
+    # interpreter-only run (or one predating the kernel) renders zeros
+    # and "n/a" rows, never a KeyError or division crash.
+    batches = histograms.get("kernel.batch", {})
+    batch_count = batches.get("count", 0)
+    kernel_rows = [
+        ["programs compiled", counters.get("kernel.compiles", 0)],
+        ["batch explorations", batch_count],
+        ["mean batch size",
+         "n/a" if not batch_count
+         else f"{batches.get('sum', 0) / batch_count:.1f}"],
+        ["spill segments written", counters.get("kernel.spill.segments", 0)],
+        ["rows spilled", counters.get("kernel.spill.rows", 0)],
+        ["interpreter fallbacks", counters.get("kernel.fallbacks", 0)],
+    ]
+    reasons = sorted(
+        name[len("kernel.fallback."):]
+        for name in counters
+        if name.startswith("kernel.fallback.")
+    )
+    kernel_rows.append(
+        ["fallback reasons", ", ".join(reasons) if reasons else "n/a"]
+    )
+    print_table("kernel", ["quantity", "value"], kernel_rows)
     return EXIT_OK
 
 
@@ -729,14 +757,19 @@ def cmd_cache(args) -> int:
     return EXIT_OK
 
 
-def _fuzz_engines(workers: int):
-    """The differential matrix with the sharded row at ``workers``."""
+def _fuzz_engines(workers: int, kernel: str = "compiled"):
+    """The differential matrix with the sharded row at ``workers``.
+
+    ``kernel="interp"`` drops the compiled-kernel leg (the matrix is
+    then the five interpreter engines); the default keeps all six.
+    """
     from repro.fuzz import DEFAULT_ENGINES, EngineSpec
 
     return tuple(
         EngineSpec("sharded", workers=max(2, workers))
         if spec.name == "sharded" else spec
         for spec in DEFAULT_ENGINES
+        if kernel == "compiled" or spec.kernel == "interp"
     )
 
 
@@ -760,7 +793,7 @@ def cmd_fuzz_run(args) -> int:
     from repro.fuzz import run_campaign
     from repro.fuzz.campaign import CampaignConfig
 
-    engines = _fuzz_engines(args.workers)
+    engines = _fuzz_engines(args.workers, args.kernel)
     config = CampaignConfig(
         seed=args.seed,
         count=args.count,
@@ -835,7 +868,7 @@ def cmd_fuzz_zoo_replay(args) -> int:
     if not specimens:
         print(f"zoo at {zoo.root} is empty")
         return EXIT_OK
-    engines = _fuzz_engines(args.workers)
+    engines = _fuzz_engines(args.workers, args.kernel)
     divergent = 0
     with _fuzz_pool(engines) as pool:
         for specimen in specimens:
@@ -939,6 +972,12 @@ def _add_parallel_flags(p) -> None:
         "--task-timeout", type=float, default=None, metavar="SECONDS",
         help="declare a worker wedged (and respawn it) if one shard "
         "takes longer than this",
+    )
+    p.add_argument(
+        "--kernel", choices=("compiled", "interp"), default="compiled",
+        help="exploration kernel: 'compiled' lowers the protocol to the "
+        "packed-integer batch engine where supported (automatic recorded "
+        "fallback otherwise); results are bit-identical either way",
     )
 
 
@@ -1133,9 +1172,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     fp.add_argument(
         "--inject", default=None,
-        choices=["drop-witness-step", "forget-value"],
+        choices=["drop-witness-step", "forget-value", "collide-packed-row"],
         help="append a deliberately sabotaged engine to the matrix (the "
         "oracle must catch it; self-test of the harness)",
+    )
+    fp.add_argument(
+        "--kernel", choices=("compiled", "interp"), default="compiled",
+        help="'interp' drops the compiled-kernel leg from the "
+        "differential matrix",
     )
     _add_obs_flags(fp)
     fp.set_defaults(func=cmd_fuzz_run)
@@ -1167,6 +1211,11 @@ def build_parser() -> argparse.ArgumentParser:
     zr.add_argument(
         "--workers", type=int, default=2, metavar="N",
         help="worker processes for the sharded differential leg",
+    )
+    zr.add_argument(
+        "--kernel", choices=("compiled", "interp"), default="compiled",
+        help="'interp' drops the compiled-kernel leg from the "
+        "differential matrix",
     )
     _add_obs_flags(zr)
     zr.set_defaults(func=cmd_fuzz_zoo_replay)

@@ -39,6 +39,7 @@ def space_lower_bound(
     cache_dir=None,
     por: bool = False,
     incremental: bool = True,
+    kernel: str = "interp",
 ) -> SpaceBoundCertificate:
     """Run the Theorem 1 adversary and return a validated certificate.
 
@@ -74,6 +75,7 @@ def space_lower_bound(
             cache_dir=cache_dir,
             por=por,
             incremental=incremental,
+            kernel=kernel,
         )
     with get_tracer().span(
         "theorem1", protocol=protocol.name, n=n
@@ -117,6 +119,7 @@ def space_lower_bound_auto(
     cache_dir=None,
     por: bool = False,
     incremental: bool = True,
+    kernel: str = "interp",
 ) -> SpaceBoundCertificate:
     """Run the adversary with escalating oracle budgets.
 
@@ -139,6 +142,7 @@ def space_lower_bound_auto(
                 cache_dir=cache_dir,
                 por=por,
                 incremental=incremental,
+                kernel=kernel,
             )
         except ViolationError:
             raise

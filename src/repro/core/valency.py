@@ -67,6 +67,7 @@ class ValencyOracle:
         por: bool = False,
         incremental: bool = True,
         checkpoint_dir=None,
+        kernel: str = "interp",
     ):
         """``strict`` oracles answer exactly: a "cannot decide" is backed
         by an exhausted reachable graph, and budget overruns raise
@@ -106,6 +107,13 @@ class ValencyOracle:
         killed campaign resumes mid-query at the last completed level.
         Like the cache, snapshots accelerate and never decide: results
         are bit-identical with or without them.
+
+        ``kernel`` selects the exploration engine: ``"compiled"`` lowers
+        the protocol to the packed-integer batch kernel
+        (:mod:`repro.kernel`) where supported, falling back to the
+        interpreter with the reason recorded in ``kernel.fallback.*``
+        metrics.  Answers, witnesses and certificates are bit-identical
+        either way.
         """
         self.system = system
         self.values = tuple(values)
@@ -124,6 +132,7 @@ class ValencyOracle:
         self.budget = budget
         self.workers = workers
         self.por = por
+        self.kernel = kernel
         self.incremental = incremental
         if incremental:
             from repro.core.incremental import IncrementalEngine
@@ -146,6 +155,7 @@ class ValencyOracle:
                 pool=pool,
                 por=por,
                 engine=self._engine,
+                kernel=kernel,
             )
         else:
             self.explorer = Explorer(
@@ -156,6 +166,7 @@ class ValencyOracle:
                 budget=budget,
                 por=por,
                 engine=self._engine,
+                kernel=kernel,
             )
         #: BFS level snapshots are only meaningful for the sharded
         #: engine (the sequential explorer's queries are assumed cheap

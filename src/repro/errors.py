@@ -106,6 +106,34 @@ class JournalError(ReproError):
     """A trace journal is malformed (bad JSON line, schema violation)."""
 
 
+class KernelError(ReproError):
+    """The compiled exploration kernel hit an internal invariant failure.
+
+    Raised when a packed row cannot represent a configuration (field
+    overflow), or a spilled segment fails its checksum on reload.  The
+    kernel never silently degrades mid-exploration -- budget ticks have
+    already been billed, so a fallback would double-bill them; instead
+    the error surfaces and the caller may retry with ``kernel="interp"``.
+    """
+
+
+class KernelSpillError(KernelError):
+    """An on-disk frontier/visited segment is corrupt or unreadable.
+
+    Carries the path of the quarantined segment so operators can inspect
+    the evidence (the file is renamed ``*.corrupt-N``, mirroring
+    :class:`repro.parallel.cache.ValencyCache` poisoning handling).
+    """
+
+    def __init__(self, message: str, path: str = ""):
+        super().__init__(message)
+        self.path = path
+
+    def __reduce__(self):
+        # Keep the quarantine path when crossing a worker boundary.
+        return (type(self), (self.args[0], self.path))
+
+
 class LintError(ReproError):
     """A static analysis could not run (bad target, malformed report).
 

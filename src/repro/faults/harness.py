@@ -82,6 +82,7 @@ def run_adversary_guarded(
     task_timeout=None,
     chaos=None,
     checkpoint=None,
+    kernel: str = "interp",
 ) -> AdversaryOutcome:
     """Run the Theorem 1 adversary to one of the three outcomes.
 
@@ -104,6 +105,13 @@ def run_adversary_guarded(
     ``task_timeout`` declares a wedged worker dead, ``chaos`` accepts a
     deterministic fault plan (:mod:`repro.faults.chaos`), and ``pool``
     shares an externally-owned :class:`repro.parallel.WorkerPool`.
+
+    ``kernel`` selects the oracle's exploration engine
+    (``"compiled"`` = the packed-integer batch kernel of
+    :mod:`repro.kernel`, with automatic recorded fallback to the
+    interpreter where unsupported).  Like ``por`` and ``workers`` it is
+    transparent to the three-outcome contract: certificates, violation
+    witnesses and partial-progress reports are bit-identical.
 
     ``checkpoint`` names a journal file persisted *live*
     (:class:`repro.resilience.CheckpointJournal`): every computed oracle
@@ -158,6 +166,7 @@ def run_adversary_guarded(
         por=por,
         incremental=incremental,
         checkpoint_dir=checkpoint_dir,
+        kernel=kernel,
     )
 
     def partial(note: str) -> PartialProgress:

@@ -1,4 +1,4 @@
-"""The cross-engine differential oracle: five engines, one truth.
+"""The cross-engine differential oracle: six engines, one truth.
 
 Each surviving specimen runs through every engine configuration and the
 results are compared *as bytes*: exploration fingerprints (decided
@@ -12,7 +12,8 @@ of inside a lemma driver.
 
 The engine matrix mirrors the proof-preservation claims the repo makes
 (THEORY.md): sharded-vs-sequential, POR on/off, incremental cold/warm,
-and budget-guarded runs must all be bit-identical.  ``sabotage`` exists
+the compiled packed-integer kernel (:mod:`repro.kernel`), and
+budget-guarded runs must all be bit-identical.  ``sabotage`` exists
 so the harness can prove *itself* non-vacuous: a deterministic
 perturbation of one engine's fingerprint must be caught, minimized and
 persisted (the seeded known-divergence fixture in the tests and the
@@ -56,15 +57,17 @@ class EngineSpec:
     incremental: bool = False
     warm: bool = False
     sabotage: Optional[str] = None
+    kernel: str = "interp"
 
 
-#: The default matrix: the five proof-preservation claims, one row each.
+#: The default matrix: the six proof-preservation claims, one row each.
 DEFAULT_ENGINES: Tuple[EngineSpec, ...] = (
     EngineSpec("sequential"),
     EngineSpec("sharded", workers=2),
     EngineSpec("por", por=True),
     EngineSpec("incremental", incremental=True),
     EngineSpec("incremental-warm", incremental=True, warm=True),
+    EngineSpec("compiled", kernel="compiled"),
 )
 
 
@@ -128,6 +131,12 @@ def _sabotage_fingerprint(fingerprint: Dict[str, Any], mode: str) -> None:
             if decided:
                 decided.pop()
                 entry["visited"] = max(0, entry["visited"] - 1)
+        elif mode == "collide-packed-row":
+            # The lie an undetected packed-fingerprint collision would
+            # tell: two distinct configurations merged into one visited
+            # row.  Catching this proves the oracle guards the kernel's
+            # fingerprint-indexed spill dedup, not just decision sets.
+            entry["visited"] = max(0, entry["visited"] - 1)
         else:
             raise ValueError(f"unknown sabotage mode {mode!r}")
 
@@ -164,6 +173,7 @@ def engine_fingerprint(
             pool=pool,
             por=spec.por,
             engine=engine,
+            kernel=spec.kernel,
         )
     else:
         explorer = Explorer(
@@ -173,6 +183,7 @@ def engine_fingerprint(
             strict=False,
             por=spec.por,
             engine=engine,
+            kernel=spec.kernel,
         )
     replay = fresh_system(protocol)
     explorations: List[Dict[str, Any]] = []
@@ -195,9 +206,10 @@ def engine_fingerprint(
                 "truncated": bool(result.truncated),
                 "witnesses_replay": bool(result.witnesses_replay(replay)),
             })
-    close = getattr(explorer, "close", None)
-    if close is not None and spec.workers > 1 and pool is None:
-        close()
+    # Always release the engine: a shared pool survives (ShardedExplorer
+    # only closes a pool it owns) and the compiled kernel's spill
+    # segments / mmap handles are dropped eagerly.
+    explorer.close()
     fingerprint = {"engine": spec.name, "explorations": explorations}
     if spec.sabotage:
         _sabotage_fingerprint(fingerprint, spec.sabotage)
@@ -255,6 +267,7 @@ def guarded_outcome(
         por=spec.por,
         incremental=spec.incremental,
         pool=pool,
+        kernel=spec.kernel,
     )
     payload: Any
     if outcome.status == "certificate":

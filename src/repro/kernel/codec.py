@@ -1,0 +1,179 @@
+"""Packed configuration codec: one big-int row per configuration.
+
+A configuration ``(states, memory, coins)`` packs into a single Python
+integer of 32-bit fields, little-field-first::
+
+    field 0 .. n-1        state id of process pid        (interned)
+    field n .. n+r-1      value id of register j         (interned)
+    field n+r .. 2n+r-1   coins consumed by process pid  (raw count,
+                          present only when the codec tracks coins)
+
+State and value ids are interned in first-seen order through plain
+dict lookups, so interning follows Python ``==``/``hash`` semantics
+exactly like :class:`~repro.model.configuration.Configuration` equality
+does.  In particular ``True`` and ``1`` (equal, equal hashes) intern to
+the *same* id -- the packed row and the object configuration can never
+disagree about which configurations are duplicates.  (Contrast
+``repro.parallel.fingerprint.stable_digest``, which deliberately
+encodes ``True`` and ``1`` differently for cache addressing; see the
+audit note in that module.)
+
+Why one big int instead of ``array('I')``: successor computation
+becomes a *single addition* of a precomputed delta (the compiler's
+effect tables store ``(new_state - state) << state_shift +
+(new_value - value) << value_shift``), dedup is one dict probe on an
+int, and the fixed-width little-endian byte image
+(:meth:`PackedCodec.row_bytes`) is the contiguous block the spill
+store appends to its mmap'd segments.  Field extraction is a shift and
+a mask; no per-configuration object allocation happens anywhere on the
+hot path.
+
+Structural fingerprints are FNV-1a over the fixed-width byte image,
+masked to 64 bits: process-stable (no ``PYTHONHASHSEED`` dependence),
+cheap, and injective-checked -- the store verifies fingerprint matches
+by fetching the candidate row, so a collision costs a probe, never a
+wrong answer.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.errors import KernelError
+from repro.model.configuration import Configuration
+
+FIELD_BITS = 32
+FIELD_MASK = (1 << FIELD_BITS) - 1
+
+_FNV_OFFSET = 0xCBF29CE484222325
+_FNV_PRIME = 0x100000001B3
+_U64 = 0xFFFFFFFFFFFFFFFF
+
+
+def fnv1a64(data: bytes) -> int:
+    """FNV-1a over ``data``, masked to 64 bits."""
+    h = _FNV_OFFSET
+    for byte in data:
+        h = ((h ^ byte) * _FNV_PRIME) & _U64
+    return h
+
+
+def row_fingerprint(row: int, width_bytes: int) -> int:
+    """u64 structural fingerprint of a packed row.
+
+    Defined over the fixed-width little-endian byte image so the same
+    value is computed whether the row lives in RAM or was reloaded from
+    a spilled segment, and is identical across process boundaries.
+    """
+    return fnv1a64(row.to_bytes(width_bytes, "little"))
+
+
+class PackedCodec:
+    """Bidirectional packer between ``Configuration`` and int rows.
+
+    ``on_new_state`` fires once per freshly interned state object (the
+    compiler hooks decision probing there so the hot loop never calls
+    ``protocol.decision``).
+    """
+
+    def __init__(
+        self,
+        n: int,
+        registers: int,
+        *,
+        track_coins: bool,
+        on_new_state: Optional[Callable[[object, int], None]] = None,
+    ):
+        self.n = n
+        self.registers = registers
+        self.track_coins = track_coins
+        self.field_count = n + registers + (n if track_coins else 0)
+        self.width_bytes = self.field_count * (FIELD_BITS // 8)
+        self.state_shifts = tuple(pid * FIELD_BITS for pid in range(n))
+        self.mem_shifts = tuple((n + j) * FIELD_BITS for j in range(registers))
+        self.coin_shifts = tuple(
+            (n + registers + pid) * FIELD_BITS for pid in range(n)
+        ) if track_coins else ()
+        # Interners: id -> object list, object -> id dict (== semantics).
+        self.states: list = []
+        self.values: list = []
+        self._state_ids: dict = {}
+        self._value_ids: dict = {}
+        self._on_new_state = on_new_state
+
+    # -- interning ----------------------------------------------------
+
+    def state_id(self, state) -> int:
+        sid = self._state_ids.get(state)
+        if sid is None:
+            sid = len(self.states)
+            if sid > FIELD_MASK:
+                raise KernelError("state interner overflowed a 32-bit field")
+            self._state_ids[state] = sid
+            self.states.append(state)
+            if self._on_new_state is not None:
+                self._on_new_state(state, sid)
+        return sid
+
+    def value_id(self, value) -> int:
+        vid = self._value_ids.get(value)
+        if vid is None:
+            vid = len(self.values)
+            if vid > FIELD_MASK:
+                raise KernelError("value interner overflowed a 32-bit field")
+            self._value_ids[value] = vid
+            self.values.append(value)
+        return vid
+
+    # -- pack / unpack ------------------------------------------------
+
+    def pack(self, config: Configuration) -> int:
+        """Pack a configuration; interns novel states/values on the way."""
+        row = 0
+        for pid, state in enumerate(config.states):
+            row |= self.state_id(state) << self.state_shifts[pid]
+        for j, value in enumerate(config.memory):
+            row |= self.value_id(value) << self.mem_shifts[j]
+        coins = config.coins
+        if self.track_coins:
+            for pid, count in enumerate(coins):
+                if count > FIELD_MASK:
+                    raise KernelError("coin counter overflowed a 32-bit field")
+                row |= count << self.coin_shifts[pid]
+        elif any(coins):
+            raise KernelError(
+                "codec compiled without coin tracking cannot pack a "
+                "configuration with consumed coins"
+            )
+        return row
+
+    def unpack(self, row: int) -> Configuration:
+        """Inverse of :meth:`pack`, up to ``==`` on interned values.
+
+        The returned configuration is built from the interned
+        *representatives* (first-seen objects), so it is ``==`` to --
+        and hashes identically to -- every configuration that packs to
+        ``row``.
+        """
+        states = tuple(
+            self.states[(row >> shift) & FIELD_MASK] for shift in self.state_shifts
+        )
+        memory = tuple(
+            self.values[(row >> shift) & FIELD_MASK] for shift in self.mem_shifts
+        )
+        if self.track_coins:
+            coins = tuple((row >> shift) & FIELD_MASK for shift in self.coin_shifts)
+        else:
+            coins = (0,) * self.n
+        return Configuration(states=states, memory=memory, coins=coins)
+
+    # -- bytes / fingerprints -----------------------------------------
+
+    def row_bytes(self, row: int) -> bytes:
+        return row.to_bytes(self.width_bytes, "little")
+
+    def row_from_bytes(self, blob: bytes) -> int:
+        return int.from_bytes(blob, "little")
+
+    def fingerprint(self, row: int) -> int:
+        return row_fingerprint(row, self.width_bytes)

@@ -1,0 +1,244 @@
+"""Lowering protocols to flat delta tables over packed rows.
+
+A successor under the compiled kernel is ``row + delta`` -- one big-int
+addition.  The compiler builds, per ``(pid, state-id)``, a *plan*::
+
+    None                                   process halted/decided
+    (PROBE, shift, table, tok, op, pid, sid)
+        shared op or coin flip: ``cur = (row >> shift) & MASK`` reads
+        the affected field (register value id, or the pid's coin
+        counter); ``table[cur]`` is the precomputed delta.  A table
+        miss falls back to :meth:`CompiledProgram.effect_miss`, which
+        consults the object model once and memoises the delta forever.
+    (FIXED, 0, delta, tok, op, pid, sid)
+        marker/local op with a constant response: one fixed delta.
+
+``tok`` is a small token identifying the operation's independence
+class ``(obj, is_write)``; the POR commute test becomes two list
+indexings (``commute[via_tok][tok]``), exactly matching
+:func:`repro.lint.independence.operations_commute` because commutation
+depends only on object identity, locality and writability.
+
+``TableProtocol`` lowers *statically*: the whole state/value universe
+is enumerated from the rule/transition/decision tables in a
+deterministic (repr-sorted) order and every table is pre-populated, so
+the hot loop runs with zero misses and the codec's id assignment -- and
+therefore every row fingerprint -- is process-stable.  Any other
+protocol (DSL programs such as ``CommitAdoptRounds``, randomized
+protocols with coin flips) lowers *dynamically*: plans and deltas are
+discovered through the miss handlers.  Both paths rely only on the
+purity contracts the incremental engine already assumes
+(``poised``/``transition``/``decision`` and the coin tape are pure
+functions of their arguments).
+
+Decision probing rides on state interning: the moment a novel state is
+interned the compiler asks ``protocol.decision(pid, state)`` for every
+pid and records the verdicts in per-pid tables, so the explorer's
+record-decisions step is dictionary probes only.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.errors import KernelError, ModelError
+from repro.kernel.codec import FIELD_MASK, PackedCodec
+from repro.model.operations import CoinFlip, Marker
+from repro.model.process import Protocol
+from repro.model.registers import apply_operation
+from repro.model.system import System
+from repro.model.table import TableProtocol
+
+#: Plan modes (plan[0]).
+PROBE = 0
+FIXED = 1
+
+#: Fallback reason slugs, also used as ``kernel.fallback.<slug>`` metric
+#: suffixes and recorded in trace events.
+REASON_SYSTEM_SUBCLASS = "system-subclass"
+REASON_SHARDED = "sharded-workers"
+
+
+def kernel_unsupported_reason(system) -> Optional[str]:
+    """Why ``system`` cannot run on the compiled kernel (None if it can).
+
+    The kernel applies shared-memory semantics through
+    :func:`apply_operation` directly; a ``System`` subclass (e.g. the
+    fault-injecting ``FaultyMemorySystem``) may override
+    ``_apply_shared``, so only exact ``System`` instances compile.
+    """
+    if type(system) is not System:
+        return REASON_SYSTEM_SUBCLASS
+    return None
+
+
+class CompiledProgram:
+    """A system lowered to packed-row delta tables."""
+
+    def __init__(self, system: System):
+        reason = kernel_unsupported_reason(system)
+        if reason is not None:
+            raise KernelError(f"system not compilable: {reason}")
+        protocol = system.protocol
+        self.system = system
+        self.protocol = protocol
+        self.tape = system.tape
+        self.n = protocol.n
+        self.kinds = tuple(spec.kind for spec in protocol.object_specs())
+        self.static = type(protocol) is TableProtocol
+        # TableProtocol never issues coin flips (rules are read/write/
+        # swap/tas only); everything else gets coin fields defensively.
+        self.codec = PackedCodec(
+            self.n,
+            len(self.kinds),
+            track_coins=not self.static,
+            on_new_state=self._on_new_state,
+        )
+        self.plans: List[dict] = [{} for _ in range(self.n)]
+        self.decisions: List[dict] = [{} for _ in range(self.n)]
+        self.deciding = False
+        # Token 0 is reserved ("no via edge", the BFS root sentinel).
+        self._token_keys: List[Optional[tuple]] = [None]
+        self._token_ids: dict = {}
+        self.commute: List[List[bool]] = [[True]]
+        # Canonical handling: protocols with the default exact canonical
+        # key dedup directly on rows (packing is injective w.r.t.
+        # configuration equality); protocols overriding the hooks get a
+        # per-row canonicalisation memo in the explorer's spaces.
+        self.exact_canonical = (
+            type(protocol).canonical_key is Protocol.canonical_key
+            and type(protocol).canonical_query_key
+            is Protocol.canonical_query_key
+        )
+        if self.static:
+            self._precompile(protocol)
+
+    # -- interning hooks ----------------------------------------------
+
+    def _on_new_state(self, state, sid: int) -> None:
+        # Fires from PackedCodec on every novel state: capture decisions
+        # now so the hot loop never calls into the protocol.
+        protocol = self.protocol
+        for pid in range(self.n):
+            value = protocol.decision(pid, state)
+            if value is not None:
+                self.decisions[pid][sid] = value
+                self.deciding = True
+
+    def _token_for(self, op) -> int:
+        obj = op.obj
+        key = (None, False) if obj is None else (obj, bool(op.is_write))
+        tok = self._token_ids.get(key)
+        if tok is not None:
+            return tok
+        tok = len(self._token_keys)
+        if tok > 0xFFFF:
+            raise KernelError("operation token space overflowed 16 bits")
+        self._token_ids[key] = tok
+        self._token_keys.append(key)
+        # Extend the commute matrix: token 0 (root) commutes with all
+        # (the POR guard never fires on root-discovered configurations).
+        for row_tok, row in enumerate(self.commute):
+            row.append(self._commute_keys(self._token_keys[row_tok], key))
+        self.commute.append(
+            [self._commute_keys(key, other) for other in self._token_keys]
+        )
+        return tok
+
+    @staticmethod
+    def _commute_keys(a: Optional[tuple], b: Optional[tuple]) -> bool:
+        # Mirrors operations_commute: local ops commute with everything,
+        # distinct objects commute, same object commutes iff read/read.
+        if a is None or b is None:
+            return True
+        obj_a, write_a = a
+        obj_b, write_b = b
+        if obj_a is None or obj_b is None:
+            return True
+        if obj_a != obj_b:
+            return True
+        return not (write_a or write_b)
+
+    # -- miss handlers (cold path) ------------------------------------
+
+    def plan_miss(self, pid: int, sid: int):
+        """Build (and memoise) the plan for ``(pid, sid)``."""
+        codec = self.codec
+        state = codec.states[sid]
+        op = self.protocol.poised(pid, state)
+        if op is None:
+            plan = None
+        elif isinstance(op, CoinFlip):
+            plan = (PROBE, codec.coin_shifts[pid], {}, self._token_for(op), op, pid, sid)
+        elif isinstance(op, Marker):
+            new_state = self.protocol.transition(pid, state, None)
+            delta = (codec.state_id(new_state) - sid) << codec.state_shifts[pid]
+            plan = (FIXED, 0, delta, self._token_for(op), op, pid, sid)
+        else:
+            obj = op.obj
+            if obj is None or not 0 <= obj < len(self.kinds):
+                raise ModelError(f"operation {op!r} names bad object {obj!r}")
+            plan = (PROBE, codec.mem_shifts[obj], {}, self._token_for(op), op, pid, sid)
+        self.plans[pid][sid] = plan
+        return plan
+
+    def effect_miss(self, plan, cur: int) -> int:
+        """Compute (and memoise) the delta for ``plan`` at field ``cur``."""
+        codec = self.codec
+        _, shift, table, _, op, pid, sid = plan
+        state = codec.states[sid]
+        if isinstance(op, CoinFlip):
+            # ``cur`` is the pid's coin counter; the tape is pure.
+            response = self.tape(pid, cur)
+            new_state = self.protocol.transition(pid, state, response)
+            delta = (
+                (codec.state_id(new_state) - sid) << codec.state_shifts[pid]
+            ) + (1 << shift)
+        else:
+            value = codec.values[cur]
+            new_value, response = apply_operation(self.kinds[op.obj], value, op)
+            new_state = self.protocol.transition(pid, state, response)
+            delta = (
+                (codec.state_id(new_state) - sid) << codec.state_shifts[pid]
+            ) + ((codec.value_id(new_value) - cur) << shift)
+        table[cur] = delta
+        return delta
+
+    # -- static lowering ----------------------------------------------
+
+    def _precompile(self, protocol: TableProtocol) -> None:
+        """Exhaustively pre-populate tables for a ``TableProtocol``.
+
+        The state universe is every state named by the initial/rule/
+        transition/default/decision tables; the value universe is every
+        initial register value, every written/swapped constant, and the
+        test-and-set results 0/1.  Both are interned in repr-sorted
+        order so id assignment (hence fingerprints) is process-stable.
+        Completeness is not load-bearing: a state or value that somehow
+        escapes the enumeration just takes the dynamic miss path.
+        """
+        codec = self.codec
+        states = set(protocol.initial.values())
+        states.update(protocol.rules)
+        states.update(protocol.defaults.values())
+        states.update(protocol.decisions)
+        for (state, _resp), nxt in protocol.transitions.items():
+            states.add(state)
+            states.add(nxt)
+        for state in sorted(states, key=repr):
+            codec.state_id(state)
+        values = {spec.initial for spec in protocol.object_specs()}
+        for rule in protocol.rules.values():
+            if rule[0] in ("write", "swap"):
+                values.add(rule[2])
+        values.add(0)
+        values.add(1)
+        for value in sorted(values, key=repr):
+            codec.value_id(value)
+        for pid in range(self.n):
+            for sid in range(len(codec.states)):
+                plan = self.plan_miss(pid, sid)
+                if plan is None or plan[0] != PROBE:
+                    continue
+                for cur in range(len(codec.values)):
+                    self.effect_miss(plan, cur)

@@ -38,6 +38,7 @@ from repro.lint.independence import operations_commute
 from repro.lint.protocol import crosscheck_certificate, lint_protocol
 from repro.lint.selfcheck import (
     check_determinism,
+    check_kernel_hot_path,
     check_picklable_errors,
     check_trace_schema,
     lint_repository,
@@ -51,6 +52,7 @@ __all__ = [
     "ProgramCfg",
     "TableCfg",
     "check_determinism",
+    "check_kernel_hot_path",
     "check_picklable_errors",
     "check_trace_schema",
     "consensus_impossible",

@@ -21,6 +21,10 @@ they were enforced only by review:
   together with a version bump, so the lint keeps an independent copy
   and reports drift (double-entry bookkeeping with
   ``tests/test_obs_schema.py``).
+* **Kernel hot path.**  The compiled kernel's speedup rests on its
+  ``_hot_*`` functions doing only integer work; object-model calls and
+  per-edge comprehensions in them are flagged
+  (:func:`check_kernel_hot_path`).
 
 All checks are AST-based (:mod:`ast` on source files, no imports of the
 checked code), so the self-lint runs in milliseconds and works on any
@@ -198,6 +202,116 @@ def check_picklable_errors(root: Path) -> LintReport:
     return report
 
 
+# -- kernel hot path ------------------------------------------------------
+
+
+#: Object-model and allocation-heavy call names banned inside ``_hot_*``
+#: functions of the compiled kernel: per-edge work must stay shifts,
+#: masks, one big-int add and dict probes; anything touching the object
+#: model belongs in a cold ``*_miss``/``resolve`` handler.
+KERNEL_HOT_BANNED_CALLS = frozenset({
+    "Configuration",
+    "pack",
+    "unpack",
+    "intern",
+    "step",
+    "poised",
+    "transition",
+    "decision",
+    "decided_values",
+    "apply_operation",
+    "canonical_key",
+    "canonical_query_key",
+    "canonical_query_key_cached",
+    "deepcopy",
+})
+
+_COMPREHENSION_NODES = (
+    ast.ListComp,
+    ast.SetComp,
+    ast.DictComp,
+    ast.GeneratorExp,
+)
+
+
+def _call_name(node: ast.Call) -> str:
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return ""
+
+
+def check_kernel_hot_path(root: Path) -> LintReport:
+    """``_hot_*`` functions in :mod:`repro.kernel` stay allocation-free.
+
+    The compiled kernel's ≥5x claim rests on its inner loop doing only
+    integer work; a well-meaning edit that constructs a
+    ``Configuration``, calls back into the object model, or builds a
+    comprehension per popped record silently erodes it.  The ``_hot_``
+    name prefix is the opt-in marker: any function carrying it, anywhere
+    under ``repro/kernel/``, is audited.  ``explore.py`` must define at
+    least one (the batch expansion loop itself) -- deleting or renaming
+    it away from audit is flagged, not silently accepted.  Trees without
+    a ``kernel`` package (the lint tests' seeded fixtures) lint clean.
+    """
+    report = LintReport()
+    kernel_dir = root / "kernel"
+    if not kernel_dir.is_dir():
+        return report
+    hot_in_explore = False
+    for path in _python_files(kernel_dir):
+        tree, _ = _parse(path)
+        relative = _relative(path, root)
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.FunctionDef):
+                continue
+            if not node.name.startswith("_hot_"):
+                continue
+            if path.name == "explore.py":
+                hot_in_explore = True
+            for inner in ast.walk(node):
+                if isinstance(inner, _COMPREHENSION_NODES):
+                    report.add(Diagnostic(
+                        code="kernel-hot-alloc",
+                        severity="error",
+                        message=(
+                            f"{node.name} contains a comprehension: the "
+                            "kernel hot path must not allocate per edge; "
+                            "hoist it to the caller or a cold handler"
+                        ),
+                        path=relative,
+                        line=inner.lineno,
+                    ))
+                elif isinstance(inner, ast.Call):
+                    name = _call_name(inner)
+                    if name in KERNEL_HOT_BANNED_CALLS:
+                        report.add(Diagnostic(
+                            code="kernel-hot-alloc",
+                            severity="error",
+                            message=(
+                                f"{node.name} calls {name}(): object-model "
+                                "calls are banned in the kernel hot path; "
+                                "delegate to a cold *_miss/resolve handler"
+                            ),
+                            path=relative,
+                            line=inner.lineno,
+                        ))
+    if not hot_in_explore:
+        report.add(Diagnostic(
+            code="kernel-hot-missing",
+            severity="error",
+            message=(
+                "repro/kernel/explore.py defines no _hot_* function: the "
+                "batch expansion loop must live in a lint-audited hot "
+                "function (the _hot_ prefix is the audit opt-in)"
+            ),
+            path=_relative(kernel_dir / "explore.py", root),
+        ))
+    return report
+
+
 # -- trace schema ---------------------------------------------------------
 
 
@@ -272,6 +386,7 @@ def lint_repository(root: Optional[Path] = None) -> LintReport:
         report.extend(check_determinism(target))
         report.extend(check_picklable_errors(target))
         report.extend(check_trace_schema(target))
+        report.extend(check_kernel_hot_path(target))
     metrics = get_metrics()
     metrics.counter("lint.self_runs").inc()
     metrics.counter("lint.diagnostics").inc(len(report))

@@ -88,6 +88,29 @@ class Histogram:
         if self.max is None or value > self.max:
             self.max = value
 
+    def observe_many(self, value: float, times: int) -> None:
+        """Record ``value`` as if observed ``times`` times.
+
+        Exactly equivalent to ``times`` calls to :meth:`observe` -- the
+        compiled kernel accumulates per-value tallies locally and
+        flushes them in one call per distinct value, keeping hot-loop
+        metric updates out of Python attribute churn.
+        """
+        if times <= 0:
+            return
+        index = 0
+        for edge in self.edges:
+            if value <= edge:
+                break
+            index += 1
+        self.counts[index] += times
+        self.count += times
+        self.sum += value * times
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
 
 class MetricsRegistry:
     """Create-or-get instrument store with deterministic snapshot/merge."""
@@ -206,6 +229,9 @@ class _NullInstrument:
         pass
 
     def observe(self, value: float) -> None:
+        pass
+
+    def observe_many(self, value: float, times: int) -> None:
         pass
 
 

@@ -10,6 +10,17 @@ length-prefixed, unordered containers are serialized in sorted-digest
 order, and anything without a canonical encoding raises
 :class:`UnstableKeyError` -- refusing to cache beats caching under an
 ambiguous address.
+
+Audit note: unlike everywhere configurations are compared, this digest
+is *finer* than ``==`` -- ``True``/``1`` and ``False``/``0`` encode
+differently (``T;`` vs ``i1;``) on purpose.  A cache address is only
+ever compared against a digest recomputed from the same in-memory
+object, so distinguishing types can never split a dedup class; it can
+only invalidate a cache entry, which is the safe direction.  The packed
+codec (:mod:`repro.kernel.codec`) makes the opposite choice for the
+same soundness reason: its rows *are* the dedup classes of the visited
+set, so its interner is ``==``-keyed and must collapse exactly what
+``Configuration`` equality collapses.
 """
 
 from __future__ import annotations

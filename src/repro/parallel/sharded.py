@@ -181,6 +181,7 @@ class ShardedExplorer:
         mp_context: str = DEFAULT_MP_CONTEXT,
         por: bool = False,
         engine=None,
+        kernel: str = "interp",
     ):
         self.system = system
         self.workers = workers
@@ -189,6 +190,13 @@ class ShardedExplorer:
         self.strict = strict
         self.budget = budget
         self.por = por
+        #: Exploration kernel.  The compiled kernel is a whole-frontier
+        #: batch engine with its own packed visited store, so it only
+        #: applies on the sequential path (``workers=1``); multi-worker
+        #: merges record a ``sharded-workers`` fallback and keep the
+        #: interpreter (results are bit-identical either way).
+        self.kernel = kernel
+        self.kernel_fallback_reason: Optional[str] = None
         #: Optional incremental engine (see
         #: :mod:`repro.core.incremental`).  Workers keep their own
         #: per-process interned memo tables (:mod:`repro.parallel.worker`);
@@ -203,7 +211,21 @@ class ShardedExplorer:
             budget=budget,
             por=por,
             engine=engine,
+            kernel=kernel if workers <= 1 else "interp",
         )
+        if workers > 1 and kernel == "compiled":
+            from repro.kernel.compiler import REASON_SHARDED
+
+            self.kernel_fallback_reason = REASON_SHARDED
+            metrics = get_metrics()
+            metrics.counter("kernel.fallbacks").inc()
+            metrics.counter(f"kernel.fallback.{REASON_SHARDED}").inc()
+            get_tracer().event(
+                "kernel.fallback",
+                reason=REASON_SHARDED,
+                protocol=system.protocol.name,
+                workers=workers,
+            )
         if workers > 1:
             try:
                 self._blob = pickle.dumps(system)
@@ -227,6 +249,7 @@ class ShardedExplorer:
         """Shut down the worker pool (only if this explorer owns it)."""
         if self._owns_pool and self._pool is not None:
             self._pool.close()
+        self._sequential.close()
 
     def __enter__(self) -> "ShardedExplorer":
         return self

@@ -1,0 +1,160 @@
+"""Packed configuration codec: round trips, fingerprints, hash equality.
+
+The codec's contract is *injectivity up to configuration equality*:
+``pack`` maps ``==``-equal configurations to the same row, distinct
+configurations to distinct rows, and ``unpack(pack(c)) == c``.  The u64
+structural fingerprint must be a pure function of the row bytes --
+stable across process boundaries (no ``PYTHONHASHSEED`` dependence) and
+across spill/reload, because the out-of-core store indexes spilled
+segments by it.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from hypothesis import given
+import hypothesis.strategies as st
+
+import pytest
+
+from repro.errors import KernelError
+from repro.kernel import PackedCodec, row_fingerprint
+from repro.kernel.codec import FIELD_MASK, fnv1a64
+from repro.model.configuration import Configuration
+from repro.model.system import System
+
+from tests.test_parallel_differential import table_protocols
+
+SRC = str(Path(__file__).resolve().parent.parent / "src")
+
+
+def make_codec(n=2, registers=2, track_coins=False):
+    return PackedCodec(n, registers, track_coins=track_coins)
+
+
+class TestRoundTrip:
+    def test_pack_unpack_identity_on_reachable_graph(self):
+        """Every configuration the explorer can reach round-trips."""
+        from repro.analysis.explorer import Explorer
+        from repro.protocols.consensus import CommitAdoptRounds
+
+        system = System(CommitAdoptRounds(2))
+        explorer = Explorer(system, max_configs=5_000, strict=False)
+        root = system.initial_configuration([0, 1])
+        codec = PackedCodec(
+            2, system.protocol.num_objects, track_coins=True
+        )
+        seen = 0
+        for config, _schedule in explorer.iter_reachable(
+            root, frozenset({0, 1})
+        ):
+            row = codec.pack(config)
+            again = codec.unpack(row)
+            assert again == config
+            assert hash(again) == hash(config)
+            assert codec.pack(again) == row
+            seen += 1
+            if seen >= 200:
+                break
+        assert seen > 0
+
+    @given(protocol=table_protocols(), inputs_seed=st.integers(0, 7))
+    def test_pack_unpack_identity_on_generated_protocols(
+        self, protocol, inputs_seed
+    ):
+        system = System(protocol)
+        inputs = [(inputs_seed >> pid) & 1 for pid in range(protocol.n)]
+        config = system.initial_configuration(inputs)
+        codec = PackedCodec(
+            protocol.n, protocol.num_objects, track_coins=False
+        )
+        assert codec.unpack(codec.pack(config)) == config
+
+    def test_row_bytes_round_trip(self):
+        codec = make_codec()
+        config = Configuration(
+            states=(1, 2), memory=(0, 1), coins=(0, 0)
+        )
+        row = codec.pack(config)
+        data = codec.row_bytes(row)
+        assert len(data) == codec.width_bytes
+        assert codec.row_from_bytes(data) == row
+
+    def test_equal_configurations_pack_identically(self):
+        """Satellite-6 regression: values equal under ``==`` (True/1,
+        0/False) must intern to the same field id, exactly as
+        ``Configuration`` equality treats them -- the packed row and the
+        object configuration can never disagree about duplicates."""
+        codec = make_codec()
+        a = Configuration(
+            states=(True, 0), memory=(False, 1), coins=(0, 0)
+        )
+        b = Configuration(states=(1, 0), memory=(0, 1), coins=(0, 0))
+        assert a == b
+        assert codec.pack(a) == codec.pack(b)
+        assert codec.unpack(codec.pack(a)) == b
+
+    def test_distinct_configurations_pack_distinctly(self):
+        codec = make_codec()
+        rows = set()
+        for s0 in (0, 1, 2):
+            for m0 in (0, 1):
+                rows.add(
+                    codec.pack(
+                        Configuration(
+                            states=(s0, 0), memory=(m0, 0), coins=(0, 0)
+                        )
+                    )
+                )
+        assert len(rows) == 6
+
+
+class TestErrors:
+    def test_coins_without_tracking_raise(self):
+        codec = make_codec(track_coins=False)
+        config = Configuration(states=(0, 0), memory=(0, 0), coins=(1, 0))
+        with pytest.raises(KernelError):
+            codec.pack(config)
+
+    def test_coin_counter_overflow_raises(self):
+        codec = make_codec(track_coins=True)
+        config = Configuration(
+            states=(0, 0), memory=(0, 0), coins=(FIELD_MASK + 1, 0)
+        )
+        with pytest.raises(KernelError):
+            codec.pack(config)
+
+
+class TestFingerprint:
+    def test_fingerprint_is_pure_function_of_row(self):
+        codec = make_codec()
+        config = Configuration(
+            states=(2, 1), memory=(1, 0), coins=(0, 0)
+        )
+        row = codec.pack(config)
+        assert codec.fingerprint(row) == row_fingerprint(
+            row, codec.width_bytes
+        )
+        assert codec.fingerprint(row) == fnv1a64(codec.row_bytes(row))
+
+    def test_fingerprint_stable_across_process_boundary(self):
+        """Spilled segments are fingerprint-indexed; a hash-seed
+        dependence would corrupt every reload.  Recompute in a child
+        interpreter with a different PYTHONHASHSEED."""
+        rows = [0, 1, (1 << 32) | 7, (1 << 96) + 12345]
+        width = 16
+        expected = [row_fingerprint(row, width) for row in rows]
+        script = (
+            "from repro.kernel import row_fingerprint\n"
+            f"print([row_fingerprint(r, {width}) for r in {rows!r}])\n"
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+        env["PYTHONHASHSEED"] = "12345"
+        out = subprocess.run(
+            [sys.executable, "-c", script],
+            env=env, capture_output=True, text=True, check=True,
+        )
+        assert eval(out.stdout.strip()) == expected

@@ -10,6 +10,7 @@ import pytest
 from repro.errors import LintError
 from repro.lint import (
     check_determinism,
+    check_kernel_hot_path,
     check_picklable_errors,
     check_trace_schema,
     lint_repository,
@@ -142,6 +143,71 @@ class TestTraceSchema:
     def test_pinned_schema_matches(self, tmp_path):
         root = seed_tree(tmp_path)
         assert len(check_trace_schema(root)) == 0
+
+
+HOT_CLEAN = """
+def _hot_expand(store, rows):
+    total = 0
+    for row in rows:
+        rid = store.find(row)
+        if rid is None:
+            rid = store.append(row)
+            total += 1
+    return total
+"""
+
+HOT_ALLOCATING = """
+def _hot_expand(codec, configs):
+    rows = [codec.pack(config) for config in configs]
+    return rows
+"""
+
+HOT_OBJECT_CALL = """
+def _hot_step(program, config):
+    return program.protocol.canonical_query_key(config)
+"""
+
+
+class TestKernelHotPath:
+    def seed_kernel(self, tmp_path, explore):
+        root = seed_tree(tmp_path)
+        kernel = root / "kernel"
+        kernel.mkdir()
+        (kernel / "explore.py").write_text(explore, encoding="utf-8")
+        return root
+
+    def test_clean_hot_loop_passes(self, tmp_path):
+        root = self.seed_kernel(tmp_path, HOT_CLEAN)
+        assert len(check_kernel_hot_path(root)) == 0
+
+    def test_comprehension_in_hot_loop_is_flagged(self, tmp_path):
+        root = self.seed_kernel(tmp_path, HOT_ALLOCATING)
+        diags = check_kernel_hot_path(root).by_code("kernel-hot-alloc")
+        # Both the list comprehension and the pack() call are flagged.
+        assert len(diags) == 2
+        for diag in diags:
+            assert "_hot_expand" in diag.message
+            assert diag.path.endswith("kernel/explore.py")
+
+    def test_object_layer_call_in_hot_loop_is_flagged(self, tmp_path):
+        """pack/canonical_query_key etc. belong in setup, never in the
+        per-row loop -- that is the whole point of the kernel."""
+        root = self.seed_kernel(tmp_path, HOT_OBJECT_CALL)
+        report = check_kernel_hot_path(root)
+        assert report.by_code("kernel-hot-alloc")
+
+    def test_explore_without_hot_function_is_flagged(self, tmp_path):
+        root = self.seed_kernel(tmp_path, "def expand():\n    pass\n")
+        assert check_kernel_hot_path(root).by_code("kernel-hot-missing")
+
+    def test_tree_without_kernel_package_is_clean(self, tmp_path):
+        root = seed_tree(tmp_path)
+        assert len(check_kernel_hot_path(root)) == 0
+
+    def test_banned_calls_outside_hot_functions_are_fine(self, tmp_path):
+        source = HOT_CLEAN + "\ndef setup(codec, c):\n    return codec.pack(c)\n"
+        root = self.seed_kernel(tmp_path, source)
+        assert len(check_kernel_hot_path(root)) == 0
 
 
 class TestLintRepository:

@@ -323,6 +323,20 @@ outcome = run_adversary_guarded(
 sys.exit(0 if outcome.status == "certificate" else 1)
 """
 
+# Same campaign through the compiled kernel; the parent environment
+# forces REPRO_KERNEL_SPILL_THRESHOLD=1 so every row spills to disk.
+KILL_SPILL_SCRIPT = """
+import sys
+from repro.faults import run_adversary_guarded
+from repro.model.system import System
+from repro.protocols.consensus import CommitAdoptRounds
+
+outcome = run_adversary_guarded(
+    System(CommitAdoptRounds(3)), checkpoint=sys.argv[1], kernel="compiled"
+)
+sys.exit(0 if outcome.status == "certificate" else 1)
+"""
+
 
 class TestSigkillResume:
     def test_sigkilled_campaign_resumes_to_same_certificate(self, tmp_path):
@@ -353,6 +367,49 @@ class TestSigkillResume:
         assert progress is not None
         resumed = run_adversary_guarded(
             System(CommitAdoptRounds(3)), resume=progress
+        )
+        assert resumed.status == "certificate"
+        assert to_json(resumed.certificate) == to_json(reference)
+
+    def test_sigkill_during_forced_spill_resumes_byte_identical(
+        self, tmp_path
+    ):
+        """Satellite: SIGKILL the compiled kernel while every frontier
+        row is being spilled to disk segments (threshold forced to one
+        configuration).  Segments are written write-temp/fsync/rename,
+        so the kill can tear nothing the resume would read: the
+        checkpoint journal replays and the certificate comes out byte
+        for byte the interpreter's."""
+        reference = space_lower_bound(
+            System(CommitAdoptRounds(3)), kernel="interp"
+        )
+        path = tmp_path / "killed-spill.ckpt"
+        env = dict(os.environ)
+        src = str(Path(__file__).resolve().parent.parent / "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        env["REPRO_KERNEL_SPILL_THRESHOLD"] = "1"
+        env["REPRO_KERNEL_FP_BITS"] = "8"
+        child = subprocess.Popen(
+            [sys.executable, "-c", KILL_SPILL_SCRIPT, str(path)], env=env
+        )
+        try:
+            deadline = time.monotonic() + 60.0
+            while time.monotonic() < deadline:
+                if child.poll() is not None:
+                    break
+                if path.exists() and path.read_text().count("\n") >= 3:
+                    break
+                time.sleep(0.005)
+            if child.poll() is None:
+                child.send_signal(signal.SIGKILL)
+            child.wait(timeout=30)
+        finally:
+            if child.poll() is None:
+                child.kill()
+        progress = load_checkpoint(path)
+        assert progress is not None
+        resumed = run_adversary_guarded(
+            System(CommitAdoptRounds(3)), resume=progress, kernel="compiled"
         )
         assert resumed.status == "certificate"
         assert to_json(resumed.certificate) == to_json(reference)
