@@ -1,0 +1,138 @@
+"""Abstract domains for the protocol abstract interpreter.
+
+The analysis tracks one fact per shared register ("which values can this
+register ever hold?") and one fact per automaton ("which local states can
+any process ever occupy?").  Both are finite powerset domains with an
+explicit top element: :class:`ValueSet` is either an exact finite set of
+concrete values or ⊤ ("any value"), mirroring the widening discipline of
+:mod:`repro.lint.footprint` — whenever a fact depends on a callable DSL
+operand the analysis cannot evaluate, the affected set is widened to ⊤ so
+every reported set remains a sound *over*-approximation of the concrete
+reachable values (abstract ⊇ concrete, the direction that preserves
+refutations).
+
+Join is set union; the lattice height is bounded by the (finite) universe
+of constants appearing in the protocol text, so the fixpoint in
+:mod:`repro.absint.fixpoint` always terminates.  A cardinality cap
+(:data:`WIDEN_WIDTH`) additionally widens pathological programs that
+enumerate huge constant sets — precision is lost, soundness is not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Hashable, Iterable, Tuple
+
+__all__ = ["WIDEN_WIDTH", "ValueSet", "atom"]
+
+#: Maximum cardinality a :class:`ValueSet` may track exactly; beyond this
+#: the set widens to ⊤.  Generous relative to real protocols (the fuzz
+#: generator draws from {0, 1}); exists so adversarial inputs cannot make
+#: the fixpoint chase thousands of constants.
+WIDEN_WIDTH = 64
+
+
+def atom(value: Hashable):
+    """A JSON-safe stand-in for ``value`` (shared certificate convention).
+
+    ``None``/``bool``/``int``/``str`` pass through; anything else is
+    rendered with ``repr`` — the same convention the differential
+    oracle's ``_decision_key`` uses, so static certificates and dynamic
+    fingerprints agree on how exotic values are spelled.
+    """
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    return repr(value)
+
+
+@dataclass(frozen=True)
+class ValueSet:
+    """A finite set of concrete values, or ⊤ (``top=True``, any value).
+
+    Immutable; all operations return new sets.  When ``top`` is true the
+    ``values`` field is empty and membership is universally true.
+    """
+
+    values: FrozenSet[Hashable] = frozenset()
+    top: bool = False
+
+    # -- constructors -------------------------------------------------
+
+    @classmethod
+    def of(cls, *values: Hashable) -> "ValueSet":
+        return cls(frozenset(values))
+
+    @classmethod
+    def from_iterable(cls, values: Iterable[Hashable]) -> "ValueSet":
+        return cls(frozenset(values))._capped()
+
+    @classmethod
+    def top_set(cls) -> "ValueSet":
+        return cls(frozenset(), top=True)
+
+    @classmethod
+    def bottom(cls) -> "ValueSet":
+        return cls(frozenset())
+
+    # -- lattice ------------------------------------------------------
+
+    def _capped(self) -> "ValueSet":
+        if not self.top and len(self.values) > WIDEN_WIDTH:
+            return ValueSet.top_set()
+        return self
+
+    def join(self, other: "ValueSet") -> "ValueSet":
+        if self.top or other.top:
+            return ValueSet.top_set()
+        return ValueSet(self.values | other.values)._capped()
+
+    def add(self, value: Hashable) -> "ValueSet":
+        if self.top or value in self.values:
+            return self
+        return ValueSet(self.values | {value})._capped()
+
+    def widen(self) -> "ValueSet":
+        return ValueSet.top_set()
+
+    # -- queries ------------------------------------------------------
+
+    def __contains__(self, value: Hashable) -> bool:
+        return self.top or value in self.values
+
+    def is_top(self) -> bool:
+        return self.top
+
+    def is_empty(self) -> bool:
+        return not self.top and not self.values
+
+    def __len__(self) -> int:
+        if self.top:
+            raise ValueError("⊤ has no cardinality")
+        return len(self.values)
+
+    def contains_set(self, other: "ValueSet") -> bool:
+        """``other ⊆ self`` in the lattice order."""
+        if self.top:
+            return True
+        if other.top:
+            return False
+        return other.values <= self.values
+
+    def sorted(self) -> Tuple[Hashable, ...]:
+        """Deterministic enumeration (repr order); ⊤ has none."""
+        if self.top:
+            raise ValueError("⊤ cannot be enumerated")
+        return tuple(sorted(self.values, key=repr))
+
+    # -- rendering ----------------------------------------------------
+
+    def describe(self) -> str:
+        if self.top:
+            return "⊤"
+        return "{" + ", ".join(repr(v) for v in self.sorted()) + "}"
+
+    def to_json(self):
+        """JSON form: the string ``"top"`` or a sorted list of atoms."""
+        if self.top:
+            return "top"
+        return [atom(v) for v in self.sorted()]

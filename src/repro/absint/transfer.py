@@ -1,0 +1,148 @@
+"""Transfer functions: abstract effects of one rule or one instruction.
+
+The table transfer mirrors :func:`repro.model.registers.apply_operation`
+exactly — ``read`` leaves memory alone and can observe any abstractly
+possible value, ``write v`` stores ``v`` and observes nothing, ``swap v``
+stores ``v`` and observes any previously possible value, ``tas`` stores
+``1`` and observes any previously possible value.  The crucial precision
+win over :func:`repro.lint.cfg.table_cfg` is that successor states follow
+``transition(state, response)`` only for *abstractly possible* responses:
+a transition keyed on a response value no execution can produce is dead,
+even though the value-blind CFG follows it.
+
+The program transfer is flow-insensitive over CFG-reachable instructions
+and widens on every callable operand, exactly like
+:func:`repro.lint.footprint.program_footprint` does for register indices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, List, Optional, Tuple
+
+from repro.errors import AbsintError
+from repro.lint.cfg import EXIT, ProgramCfg, program_cfg
+from repro.lint.footprint import _constant_register
+from repro.model.program import (
+    ICompareAndSwap,
+    IDecide,
+    IFetchAndAdd,
+    ISwap,
+    ITestAndSet,
+    IWrite,
+    Program,
+)
+from repro.model.table import TableProtocol
+
+from repro.absint.domains import ValueSet
+
+__all__ = [
+    "RuleEffect",
+    "table_rule_effect",
+    "program_effects",
+    "ProgramEffects",
+]
+
+
+@dataclass(frozen=True)
+class RuleEffect:
+    """Abstract effect of firing one table rule against register set V.
+
+    ``written`` is the value stored (None means memory is unchanged —
+    encoded as a flag, not a sentinel, because protocols may legally
+    write the value ``None``).  ``responses`` enumerates every response
+    the operation can abstractly return; the fixpoint follows
+    ``transition`` once per response.
+    """
+
+    register: int
+    writes: bool
+    written: Optional[Hashable]
+    responses: Tuple[Hashable, ...]
+
+
+def table_rule_effect(
+    rule: Tuple, universe: int, possible: ValueSet
+) -> RuleEffect:
+    """Abstract one table rule against the register's current value set."""
+    opcode = rule[0]
+    register = int(rule[1]) % universe
+    if possible.is_top():
+        raise AbsintError(
+            "table register value sets never widen; ⊤ here is a fixpoint bug"
+        )
+    old = possible.sorted()
+    if opcode == "read":
+        return RuleEffect(register, writes=False, written=None, responses=old)
+    if opcode == "write":
+        return RuleEffect(
+            register, writes=True, written=rule[2], responses=(None,)
+        )
+    if opcode == "swap":
+        return RuleEffect(register, writes=True, written=rule[2], responses=old)
+    if opcode == "tas":
+        return RuleEffect(register, writes=True, written=1, responses=old)
+    raise AbsintError(f"unknown table opcode {opcode!r}")
+
+
+@dataclass(frozen=True)
+class ProgramEffects:
+    """Flow-insensitive abstract effects of one whole DSL program.
+
+    ``register_values[j]`` over-approximates every value the program can
+    store in register ``j``; ``decisions`` over-approximates every value
+    it can decide.  Widening mirrors the footprint: a callable register
+    operand smears its stored value over all registers, a callable value
+    operand widens the target set(s) to ⊤, and fetch&add widens because
+    arithmetic escapes any finite constant set.
+    """
+
+    register_values: Tuple[ValueSet, ...]
+    decisions: ValueSet
+
+
+def program_effects(
+    program: Program, universe: int, cfg: Optional[ProgramCfg] = None
+) -> ProgramEffects:
+    """Abstract every CFG-reachable instruction of ``program``."""
+    if cfg is None:
+        cfg = program_cfg(program)
+    values: List[ValueSet] = [ValueSet.bottom() for _ in range(universe)]
+    decisions = ValueSet.bottom()
+    for pc in cfg.reachable:
+        if pc == EXIT:
+            continue
+        instr = program.instructions[pc]
+        if isinstance(instr, IDecide):
+            if callable(instr.value):
+                decisions = decisions.widen()
+            else:
+                decisions = decisions.add(instr.value)
+            continue
+        stored = _stored_values(instr)
+        if stored is None:
+            continue
+        target, widened = _constant_register(instr.reg, universe)
+        targets = range(universe) if widened else (target,)
+        for j in targets:
+            values[j] = values[j].join(stored)
+    return ProgramEffects(register_values=tuple(values), decisions=decisions)
+
+
+def _stored_values(instr) -> Optional[ValueSet]:
+    """The abstract set of values ``instr`` can store, or None for reads."""
+    if isinstance(instr, IWrite) or isinstance(instr, ISwap):
+        if callable(instr.value):
+            return ValueSet.top_set()
+        return ValueSet.of(instr.value)
+    if isinstance(instr, ITestAndSet):
+        return ValueSet.of(1)
+    if isinstance(instr, ICompareAndSwap):
+        if callable(instr.new):
+            return ValueSet.top_set()
+        return ValueSet.of(instr.new)
+    if isinstance(instr, IFetchAndAdd):
+        # Arithmetic on an unknown current value: no finite constant set
+        # over-approximates the result.
+        return ValueSet.top_set()
+    return None

@@ -1,0 +1,152 @@
+"""Verdict computation: from fixpoint results to static refutations.
+
+Three refutation kinds, all sound because the underlying sets only ever
+over-approximate:
+
+* ``validity`` — on some unanimous input ``v`` the abstract decide set
+  is non-empty yet excludes ``v``.  Since abstract ⊇ concrete, no
+  execution can decide ``v`` either, so any decision violates validity.
+* ``no-decide`` — on some unanimous input no deciding state is
+  abstractly reachable, so no execution ever decides: the protocol
+  cannot terminate with a decision on that input.
+* ``write-bound`` — the value-aware abstract write set has fewer than
+  n−1 registers.  This is the Theorem 1 contrapositive again, but
+  computed over *abstractly reachable* states only: a rule guarded by a
+  transition on a response value no execution can produce does not
+  count, so this bound is never larger — and sometimes strictly
+  smaller — than :func:`repro.lint.footprint.table_footprint`'s.
+
+Verdicts are only emitted for exact table analyses; widened results
+(programs, hand-written automata) refute nothing, mirroring the
+footprint lint's discipline of staying silent when it cannot know.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.model.program import ProgramProtocol
+from repro.model.table import TableProtocol
+from repro.obs.runtime import get_metrics, get_tracer
+
+from repro.absint.certificates import StaticCertificate, StaticVerdict
+from repro.absint.fixpoint import (
+    AbstractReachability,
+    analyze_protocol,
+    analyze_table,
+)
+
+__all__ = ["static_certificate", "absint_refutation", "absint_summary"]
+
+
+def _representation(protocol) -> str:
+    if type(protocol) is TableProtocol:
+        return "table"
+    if isinstance(protocol, ProgramProtocol):
+        return "program"
+    return "opaque"
+
+
+def _table_verdicts(
+    protocol: TableProtocol,
+    overall: AbstractReachability,
+    per_input: Tuple[Tuple, ...],
+) -> List[StaticVerdict]:
+    verdicts: List[StaticVerdict] = []
+    for value, reach in per_input:
+        decide = reach.decisions
+        if decide.is_empty():
+            verdicts.append(
+                StaticVerdict(
+                    kind="no-decide",
+                    input=value,
+                    message=(
+                        f"no deciding state is abstractly reachable when "
+                        f"every process has input {value!r}: the protocol "
+                        "can never decide on that input"
+                    ),
+                )
+            )
+        elif value not in decide:
+            verdicts.append(
+                StaticVerdict(
+                    kind="validity",
+                    input=value,
+                    message=(
+                        f"abstract decide set {decide.describe()} excludes "
+                        f"the unanimous input {value!r}: any decision "
+                        "violates validity"
+                    ),
+                )
+            )
+    n = protocol.n
+    bound = len(overall.writes)
+    if bound < n - 1:
+        verdicts.append(
+            StaticVerdict(
+                kind="write-bound",
+                message=(
+                    f"abstractly writable registers "
+                    f"{sorted(overall.writes)} (|W| = {bound}) < n-1 = "
+                    f"{n - 1}: by Theorem 1 no execution of this protocol "
+                    f"can solve {n}-process consensus (value-aware bound)"
+                ),
+            )
+        )
+    return verdicts
+
+
+def static_certificate(protocol) -> StaticCertificate:
+    """Analyze ``protocol`` and package every verdict as a certificate.
+
+    Table protocols get the per-input fixpoints and all three verdict
+    kinds; everything else gets the widened overall analysis and an
+    empty verdict list (sound silence).
+    """
+    representation = _representation(protocol)
+    name = getattr(protocol, "name", type(protocol).__name__)
+    with get_tracer().span(
+        "absint.certificate", protocol=name, representation=representation
+    ):
+        if representation == "table":
+            inputs = tuple(sorted(protocol.initial, key=repr))
+            overall = analyze_table(protocol, inputs)
+            per_input = tuple(
+                (value, analyze_table(protocol, (value,))) for value in inputs
+            )
+            verdicts = tuple(_table_verdicts(protocol, overall, per_input))
+        else:
+            overall = analyze_protocol(protocol)
+            per_input = ()
+            verdicts = ()
+        certificate = StaticCertificate(
+            protocol=name,
+            n=protocol.n,
+            universe=overall.universe,
+            representation=representation,
+            overall=overall,
+            per_input=per_input,
+            verdicts=verdicts,
+        )
+        metrics = get_metrics()
+        metrics.counter("absint.certificates").inc()
+        if certificate.refuted:
+            metrics.counter("absint.refuted").inc()
+            for kind in certificate.kinds:
+                metrics.counter(f"absint.verdict.{kind}").inc()
+        return certificate
+
+
+def absint_refutation(protocol) -> Optional[StaticVerdict]:
+    """The first static refutation of ``protocol``, or None."""
+    return static_certificate(protocol).refutation()
+
+
+def absint_summary(protocol) -> Dict:
+    """Compact JSON-safe tag for fuzz journals and zoo provenance."""
+    certificate = static_certificate(protocol)
+    return {
+        "refuted": certificate.refuted,
+        "kinds": list(certificate.kinds),
+        "writes": sorted(certificate.overall.writes),
+    }

@@ -646,6 +646,33 @@ def cmd_stats(args) -> int:
         ["fallback reasons", ", ".join(reasons) if reasons else "n/a"]
     )
     print_table("kernel", ["quantity", "value"], kernel_rows)
+
+    # Abstract interpretation.  Same n/a discipline again: a journal
+    # from a run that never analyzed anything (or one predating absint)
+    # renders zeros and "n/a" rows, never a KeyError or a division.
+    analyses = counters.get("absint.analyses", 0)
+    certificates = counters.get("absint.certificates", 0)
+    absint_rows = [
+        ["fixpoint analyses", analyses],
+        ["static certificates", certificates],
+        ["protocols refuted", counters.get("absint.refuted", 0)],
+        ["refutation rate",
+         rate(counters.get("absint.refuted", 0), certificates)],
+    ]
+    for kind in ("validity", "no-decide", "write-bound"):
+        absint_rows.append(
+            [f"{kind} verdicts",
+             counters.get(f"absint.verdict.{kind}", 0)]
+        )
+    absint_rows += [
+        ["soundness checks", counters.get("absint.soundness.checks", 0)],
+        ["soundness violations",
+         counters.get("absint.soundness.violations", 0)],
+        ["codecs narrowed", counters.get("kernel.narrowed", 0)],
+        ["narrowed row bytes saved",
+         counters.get("kernel.narrow.saved_bytes", 0)],
+    ]
+    print_table("absint", ["quantity", "value"], absint_rows)
     return EXIT_OK
 
 
@@ -738,6 +765,73 @@ def cmd_lint(args) -> int:
         if blocking:
             print(f"{blocking} blocking diagnostic(s) (warning or error)")
     return EXIT_VIOLATION if report.blocking else EXIT_OK
+
+
+def cmd_absint(args) -> int:
+    """Abstract-interpretation verdicts for protocols and zoo specimens.
+
+    Exit codes refine the global contract the same way ``lint`` does:
+    0 every certificate is clean, 2 at least one protocol is statically
+    refuted, 1 the analysis itself failed
+    (:class:`repro.errors.AbsintError` reaches the generic handler).
+    """
+    from repro.absint import static_certificate
+
+    targets = []
+    for spec in args.protocols:
+        targets.append((spec, parse_protocol(spec)))
+    if args.zoo is not None:
+        from repro.fuzz import Zoo
+
+        zoo = Zoo(args.zoo)
+        specimens = (
+            [zoo.find(args.digest)] if args.digest else zoo.specimens()
+        )
+        for specimen in specimens:
+            targets.append((specimen.digest[:16], specimen.build()))
+    if not targets:
+        raise SystemExit(
+            "nothing to analyze: name protocol specs (e.g. split-brain:4) "
+            "and/or pass --zoo DIR"
+        )
+
+    certificates = []
+    refuted = 0
+    for label, protocol in targets:
+        certificate = static_certificate(protocol)
+        certificates.append((label, certificate))
+        if certificate.refuted:
+            refuted += 1
+
+    if args.json:
+        payload = [
+            dict(certificate.to_json_dict(), target=label)
+            for label, certificate in certificates
+        ]
+        json.dump(payload, sys.stdout, indent=2, sort_keys=True)
+        sys.stdout.write("\n")
+    else:
+        rows = []
+        for label, certificate in certificates:
+            overall = certificate.overall
+            writes = sorted(overall.writes)
+            rows.append([
+                label,
+                certificate.representation,
+                "⊤" if overall.states.is_top() else len(overall.states),
+                "⊤" if overall.widened_writes else writes,
+                ", ".join(certificate.kinds) if certificate.refuted
+                else "clean",
+            ])
+        print_table(
+            f"absint ({len(certificates)} certificates, {refuted} refuted)",
+            ["target", "repr", "|states|", "writes", "verdicts"],
+            rows,
+        )
+        for label, certificate in certificates:
+            for verdict in certificate.verdicts:
+                print(f"  {label}: [{verdict.kind}] {verdict.message}")
+    return EXIT_VIOLATION if refuted else EXIT_OK
 
 
 def cmd_cache(args) -> int:
@@ -1105,6 +1199,31 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.set_defaults(func=cmd_lint)
 
+    p = sub.add_parser(
+        "absint",
+        help="fixpoint abstract interpretation: static decide sets, "
+        "write bounds, refutation verdicts",
+    )
+    p.add_argument(
+        "protocols", nargs="*",
+        help="protocol specs to analyze (e.g. split-brain:4)",
+    )
+    p.add_argument(
+        "--zoo", default=None, metavar="DIR",
+        help="also analyze every specimen in this regression zoo",
+    )
+    p.add_argument(
+        "--digest", default=None, metavar="PREFIX",
+        help="with --zoo: analyze only the specimen matching this "
+        "digest prefix",
+    )
+    p.add_argument(
+        "--json", action="store_true",
+        help="emit the full machine-checkable certificates as JSON",
+    )
+    _add_obs_flags(p)
+    p.set_defaults(func=cmd_absint)
+
     p = sub.add_parser("cache", help="persistent valency cache admin")
     p.add_argument("action", choices=["stats", "clear"])
     p.add_argument(
@@ -1172,7 +1291,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     fp.add_argument(
         "--inject", default=None,
-        choices=["drop-witness-step", "forget-value", "collide-packed-row"],
+        choices=[
+            "drop-witness-step", "forget-value", "collide-packed-row",
+            "absint-unsound",
+        ],
         help="append a deliberately sabotaged engine to the matrix (the "
         "oracle must catch it; self-test of the harness)",
     )

@@ -142,3 +142,16 @@ class LintError(ReproError):
     lint itself failed (CLI exit 1).
     """
 
+
+class AbsintError(ReproError):
+    """The abstract interpreter failed or a static certificate is stale.
+
+    Distinct from a *verdict*: refutations are data
+    (:class:`repro.absint.StaticVerdict`, CLI exit 2); this error means
+    the analysis itself could not run, a serialized
+    :class:`repro.absint.StaticCertificate` no longer matches a fresh
+    analysis of its protocol, or a soundness cross-check caught the
+    analyzer under-approximating (which is always a bug, never a
+    finding).
+    """
+

@@ -33,10 +33,12 @@ from repro.fuzz.generator import (
     MUTATORS,
 )
 from repro.fuzz.oracle import (
+    ABSINT_UNSOUND,
     DEFAULT_ENGINES,
     Divergence,
     DifferentialReport,
     EngineSpec,
+    abstract_soundness_check,
     differential,
     engine_fingerprint,
     fingerprint_bytes,
@@ -57,6 +59,8 @@ from repro.fuzz.campaign import (
 )
 
 __all__ = [
+    "ABSINT_UNSOUND",
+    "abstract_soundness_check",
     "GENERATOR_VERSION",
     "GeneratorConfig",
     "generate_protocol",

@@ -27,6 +27,7 @@ from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro.absint import absint_summary, static_certificate
 from repro.analysis.shrink import shrink_protocol
 from repro.fuzz.generator import (
     GENERATOR_VERSION,
@@ -47,24 +48,44 @@ from repro.model.table import TableProtocol
 from repro.obs.runtime import get_metrics, get_tracer
 
 #: Journal format version -- bump with any change to line layouts.
-JOURNAL_FORMAT = 1
+#: (2: specimen records carry an ``absint`` verdict tag.)
+JOURNAL_FORMAT = 2
 
 
-def boring_reason(protocol: TableProtocol) -> Optional[str]:
+def boring_reason(protocol: TableProtocol, reach=None) -> Optional[str]:
     """Why a candidate is not worth an engine run (None = interesting).
 
-    Built on the static lint pass's reachability graph: an automaton
-    whose reachable states never take a shared-memory step cannot
-    distinguish any pair of engines, so exploring it five times is pure
-    waste.  Hand-picked zoo entries bypass this filter -- curation
-    outranks heuristics.
+    Built on abstract reachability: an automaton whose *abstractly*
+    reachable states never take a shared-memory step cannot distinguish
+    any pair of engines, so exploring it seven times is pure waste.
+    This is value-aware and therefore strictly stronger than the old
+    CFG-based check (a rule state only reachable via a transition on an
+    impossible response is dead here, live in the CFG); it stays sound
+    because abstract ⊇ concrete.  Statically *refuted* specimens are
+    deliberately not filtered — a protocol that, say, constant-decides
+    is exactly the shape whose decision plumbing should agree across
+    engines, so it gets tagged (journal ``absint`` field) and explored.
+    Hand-picked zoo entries bypass this filter -- curation outranks
+    heuristics.
+
+    ``reach`` accepts a precomputed
+    :class:`~repro.absint.AbstractReachability` (campaigns analyze each
+    specimen once for the journal tag and reuse it here); a widened
+    result falls back to the CFG graph.
     """
-    cfg = table_cfg(protocol)
     initial_states = set(protocol.initial.values())
     if initial_states and initial_states <= set(protocol.decisions):
         return "instant-decide"
+    if reach is None and type(protocol) is TableProtocol:
+        from repro.absint import analyze_table
+
+        reach = analyze_table(protocol)
+    if reach is not None and not reach.states.is_top():
+        reachable = reach.states.values
+    else:
+        reachable = table_cfg(protocol).reachable
     live = [
-        state for state in cfg.reachable
+        state for state in reachable
         if state in protocol.rules and state not in protocol.decisions
     ]
     if not live:
@@ -187,7 +208,16 @@ def run_campaign(
             "name": protocol.name,
             "digest": digest,
         }
-        reason = boring_reason(protocol)
+        # One static analysis per specimen: the certificate tags the
+        # journal (refuted shapes are kept, not dropped) and its
+        # fixpoint feeds the value-aware liveness prefilter.
+        certificate = static_certificate(protocol)
+        record["absint"] = {
+            "refuted": certificate.refuted,
+            "kinds": list(certificate.kinds),
+            "writes": sorted(certificate.overall.writes),
+        }
+        reason = boring_reason(protocol, reach=certificate.overall)
         if reason is not None:
             stats["filtered"] += 1
             metrics.counter("fuzz.filtered").inc()
@@ -339,6 +369,7 @@ def _persist_divergence(
         "engines": [spec.name for spec in engines],
         "max_configs": config.max_configs,
         "max_depth": config.max_depth,
+        "absint": absint_summary(minimized),
     }
     specimen, added = zoo.add(minimized, provenance)
     if added:

@@ -24,9 +24,10 @@ from __future__ import annotations
 
 import hashlib
 import json
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Dict, Hashable, List, Optional, Sequence, Tuple
 
+from repro.absint import ValueSet, analyze_table
 from repro.analysis.checker import check_consensus_exhaustive
 from repro.analysis.explorer import Explorer
 from repro.core.incremental import IncrementalEngine
@@ -37,6 +38,10 @@ from repro.obs.runtime import get_metrics
 #: CLI exit codes the guarded-outcome leg maps statuses onto
 #: (mirrors repro.cli: certificate -> 0, violation -> 2, budget -> 3).
 _STATUS_EXIT = {"certificate": 0, "violation": 2, "budget": 3}
+
+#: Sabotage mode handled before any engine runs: under-approximate the
+#: abstract state set and demand the soundness leg notices.
+ABSINT_UNSOUND = "absint-unsound"
 
 
 @dataclass(frozen=True)
@@ -216,6 +221,64 @@ def engine_fingerprint(
     return fingerprint
 
 
+def abstract_soundness_check(
+    protocol: TableProtocol,
+    *,
+    max_configs: int = 20_000,
+    max_depth: Optional[int] = None,
+    sabotage: bool = False,
+) -> Optional[Divergence]:
+    """The seventh differential leg: abstract ⊇ concrete, checked live.
+
+    For every input vector of the standard sweep, run the table
+    fixpoint for that unanimous/mixed input set and walk the concrete
+    reachable graph asserting every visited configuration is contained
+    in the abstract one (states per process, values per register).  A
+    violation is *never* a protocol finding: it means the abstract
+    interpreter under-approximated, i.e. every static verdict and every
+    codec narrowing decision is suspect.  ``sabotage=True``
+    deliberately drops the root state from the abstract set —
+    concretely visited by definition — so campaigns can prove this leg
+    is not vacuous.
+    """
+    if type(protocol) is not TableProtocol:
+        return None
+    n = protocol.n
+    for inputs in input_vectors(n):
+        reach = analyze_table(protocol, tuple(set(inputs)))
+        if sabotage:
+            root_state = protocol.initial[inputs[0]]
+            reach = replace(
+                reach,
+                states=ValueSet(
+                    frozenset(
+                        s for s in reach.states.values if s != root_state
+                    )
+                ),
+            )
+        system = fresh_system(protocol)
+        explorer = Explorer(
+            system, max_configs=max_configs, max_depth=max_depth, strict=False
+        )
+        root = system.initial_configuration(list(inputs))
+        try:
+            for config, _schedule in explorer.iter_reachable(
+                root, frozenset(range(n))
+            ):
+                problem = reach.violation_for(config)
+                if problem is not None:
+                    get_metrics().counter("absint.soundness.violations").inc()
+                    return Divergence(
+                        engine="absint",
+                        kind="soundness",
+                        detail=f"inputs {list(inputs)}: {problem}",
+                    )
+        finally:
+            explorer.close()
+    get_metrics().counter("absint.soundness.checks").inc()
+    return None
+
+
 def _decision_key(value: Hashable) -> Any:
     """Decision values as JSON-safe atoms (zoo discipline)."""
     if value is None or isinstance(value, (bool, int, str)):
@@ -323,7 +386,30 @@ def differential(
         entry["visited"] for entry in baseline["explorations"]
     )
     _check_replays(report, baseline_spec.name, baseline)
+    soundness = abstract_soundness_check(
+        protocol, max_configs=max_configs, max_depth=max_depth
+    )
+    if soundness is not None:
+        report.divergences.append(soundness)
     for spec in engines[1:]:
+        if spec.sabotage == ABSINT_UNSOUND:
+            # This sabotage lies to the analysis, not to a fingerprint:
+            # re-run the soundness leg with an under-approximated
+            # abstract set and demand the oracle catches it.
+            sabotaged = abstract_soundness_check(
+                protocol,
+                max_configs=max_configs,
+                max_depth=max_depth,
+                sabotage=True,
+            )
+            if sabotaged is not None:
+                report.divergences.append(Divergence(
+                    engine=spec.name,
+                    kind="soundness",
+                    detail=f"[injected {ABSINT_UNSOUND}] {sabotaged.detail}",
+                ))
+            report.fingerprints[spec.name] = ABSINT_UNSOUND
+            continue
         fingerprint = engine_fingerprint(
             protocol, spec,
             max_configs=max_configs, max_depth=max_depth, pool=pool,

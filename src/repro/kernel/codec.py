@@ -68,12 +68,28 @@ def row_fingerprint(row: int, width_bytes: int) -> int:
     return fnv1a64(row.to_bytes(width_bytes, "little"))
 
 
+#: Field widths the codec may pack with.  32 is the compatibility
+#: default; 8/16 are chosen by the compiler when the abstract
+#: interpreter proves the state/value universes fit
+#: (see ``CompiledProgram``'s static narrowing).
+NARROW_BITS = (8, 16, 32)
+
+
 class PackedCodec:
     """Bidirectional packer between ``Configuration`` and int rows.
 
     ``on_new_state`` fires once per freshly interned state object (the
     compiler hooks decision probing there so the hot loop never calls
     ``protocol.decision``).
+
+    ``field_bits`` narrows every field from the default 32 bits; the
+    per-field delta arithmetic stays exact at any width because effect
+    tables are keyed by the actual old field value, so a successor add
+    never borrows across field boundaries.  ``state_universe`` /
+    ``value_universe`` optionally pin the closed universes the narrowing
+    was derived from: interning anything outside them raises
+    :class:`KernelError` — the lint-style cross-check that the abstract
+    value sets really contain every concretely reached value.
     """
 
     def __init__(
@@ -83,17 +99,33 @@ class PackedCodec:
         *,
         track_coins: bool,
         on_new_state: Optional[Callable[[object, int], None]] = None,
+        field_bits: int = FIELD_BITS,
+        state_universe=None,
+        value_universe=None,
     ):
+        if field_bits not in NARROW_BITS:
+            raise KernelError(
+                f"unsupported field width {field_bits} (expected one of "
+                f"{NARROW_BITS})"
+            )
         self.n = n
         self.registers = registers
         self.track_coins = track_coins
+        self.field_bits = field_bits
+        self.field_mask = (1 << field_bits) - 1
         self.field_count = n + registers + (n if track_coins else 0)
-        self.width_bytes = self.field_count * (FIELD_BITS // 8)
-        self.state_shifts = tuple(pid * FIELD_BITS for pid in range(n))
-        self.mem_shifts = tuple((n + j) * FIELD_BITS for j in range(registers))
+        self.width_bytes = self.field_count * (field_bits // 8)
+        self.state_shifts = tuple(pid * field_bits for pid in range(n))
+        self.mem_shifts = tuple((n + j) * field_bits for j in range(registers))
         self.coin_shifts = tuple(
-            (n + registers + pid) * FIELD_BITS for pid in range(n)
+            (n + registers + pid) * field_bits for pid in range(n)
         ) if track_coins else ()
+        self.state_universe = (
+            None if state_universe is None else frozenset(state_universe)
+        )
+        self.value_universe = (
+            None if value_universe is None else frozenset(value_universe)
+        )
         # Interners: id -> object list, object -> id dict (== semantics).
         self.states: list = []
         self.values: list = []
@@ -106,9 +138,16 @@ class PackedCodec:
     def state_id(self, state) -> int:
         sid = self._state_ids.get(state)
         if sid is None:
+            if self.state_universe is not None and state not in self.state_universe:
+                raise KernelError(
+                    f"narrowing unsound: state {state!r} was reached "
+                    "concretely but lies outside its static abstract set"
+                )
             sid = len(self.states)
-            if sid > FIELD_MASK:
-                raise KernelError("state interner overflowed a 32-bit field")
+            if sid > self.field_mask:
+                raise KernelError(
+                    f"state interner overflowed a {self.field_bits}-bit field"
+                )
             self._state_ids[state] = sid
             self.states.append(state)
             if self._on_new_state is not None:
@@ -118,9 +157,17 @@ class PackedCodec:
     def value_id(self, value) -> int:
         vid = self._value_ids.get(value)
         if vid is None:
+            if self.value_universe is not None and value not in self.value_universe:
+                raise KernelError(
+                    f"narrowing unsound: register value {value!r} was "
+                    "reached concretely but lies outside its static "
+                    "abstract set"
+                )
             vid = len(self.values)
-            if vid > FIELD_MASK:
-                raise KernelError("value interner overflowed a 32-bit field")
+            if vid > self.field_mask:
+                raise KernelError(
+                    f"value interner overflowed a {self.field_bits}-bit field"
+                )
             self._value_ids[value] = vid
             self.values.append(value)
         return vid
@@ -137,8 +184,10 @@ class PackedCodec:
         coins = config.coins
         if self.track_coins:
             for pid, count in enumerate(coins):
-                if count > FIELD_MASK:
-                    raise KernelError("coin counter overflowed a 32-bit field")
+                if count > self.field_mask:
+                    raise KernelError(
+                        f"coin counter overflowed a {self.field_bits}-bit field"
+                    )
                 row |= count << self.coin_shifts[pid]
         elif any(coins):
             raise KernelError(
@@ -155,14 +204,15 @@ class PackedCodec:
         and hashes identically to -- every configuration that packs to
         ``row``.
         """
+        mask = self.field_mask
         states = tuple(
-            self.states[(row >> shift) & FIELD_MASK] for shift in self.state_shifts
+            self.states[(row >> shift) & mask] for shift in self.state_shifts
         )
         memory = tuple(
-            self.values[(row >> shift) & FIELD_MASK] for shift in self.mem_shifts
+            self.values[(row >> shift) & mask] for shift in self.mem_shifts
         )
         if self.track_coins:
-            coins = tuple((row >> shift) & FIELD_MASK for shift in self.coin_shifts)
+            coins = tuple((row >> shift) & mask for shift in self.coin_shifts)
         else:
             coins = (0,) * self.n
         return Configuration(states=states, memory=memory, coins=coins)

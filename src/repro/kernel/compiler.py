@@ -42,12 +42,13 @@ from __future__ import annotations
 from typing import List, Optional
 
 from repro.errors import KernelError, ModelError
-from repro.kernel.codec import FIELD_MASK, PackedCodec
+from repro.kernel.codec import FIELD_BITS, NARROW_BITS, PackedCodec
 from repro.model.operations import CoinFlip, Marker
 from repro.model.process import Protocol
 from repro.model.registers import apply_operation
 from repro.model.system import System
 from repro.model.table import TableProtocol
+from repro.obs.runtime import get_metrics
 
 #: Plan modes (plan[0]).
 PROBE = 0
@@ -57,6 +58,17 @@ FIXED = 1
 #: suffixes and recorded in trace events.
 REASON_SYSTEM_SUBCLASS = "system-subclass"
 REASON_SHARDED = "sharded-workers"
+
+
+def _narrow_bits(universe_size: int) -> int:
+    """Smallest supported field width whose id space fits the universe."""
+    for bits in NARROW_BITS:
+        if universe_size <= (1 << bits):
+            return bits
+    raise KernelError(
+        f"universe of {universe_size} entries exceeds every supported "
+        "field width"
+    )
 
 
 def kernel_unsupported_reason(system) -> Optional[str]:
@@ -86,6 +98,25 @@ class CompiledProgram:
         self.n = protocol.n
         self.kinds = tuple(spec.kind for spec in protocol.object_specs())
         self.static = type(protocol) is TableProtocol
+        # Static protocols are abstractly interpreted up front: the
+        # fixpoint's state/value universes pick the narrowest packed
+        # field width that fits, and double as closed interning
+        # universes — any concrete value escaping them is a
+        # :class:`KernelError` (abstract ⊇ concrete, checked live).
+        self.reach = None
+        field_bits = FIELD_BITS
+        state_universe = value_universe = None
+        if self.static:
+            from repro.absint import analyze_table
+
+            self.reach = analyze_table(protocol)
+            state_universe = frozenset(self.reach.states.values)
+            value_universe = frozenset().union(
+                *(v.values for v in self.reach.memory)
+            )
+            field_bits = _narrow_bits(
+                max(len(state_universe), len(value_universe))
+            )
         # TableProtocol never issues coin flips (rules are read/write/
         # swap/tas only); everything else gets coin fields defensively.
         self.codec = PackedCodec(
@@ -93,7 +124,16 @@ class CompiledProgram:
             len(self.kinds),
             track_coins=not self.static,
             on_new_state=self._on_new_state,
+            field_bits=field_bits,
+            state_universe=state_universe,
+            value_universe=value_universe,
         )
+        if field_bits < FIELD_BITS:
+            metrics = get_metrics()
+            metrics.counter("kernel.narrowed").inc()
+            metrics.counter("kernel.narrow.saved_bytes").inc(
+                self.codec.field_count * (FIELD_BITS - field_bits) // 8
+            )
         self.plans: List[dict] = [{} for _ in range(self.n)]
         self.decisions: List[dict] = [{} for _ in range(self.n)]
         self.deciding = False
@@ -207,38 +247,33 @@ class CompiledProgram:
     # -- static lowering ----------------------------------------------
 
     def _precompile(self, protocol: TableProtocol) -> None:
-        """Exhaustively pre-populate tables for a ``TableProtocol``.
+        """Pre-populate tables from the abstract reachability universes.
 
-        The state universe is every state named by the initial/rule/
-        transition/default/decision tables; the value universe is every
-        initial register value, every written/swapped constant, and the
-        test-and-set results 0/1.  Both are interned in repr-sorted
-        order so id assignment (hence fingerprints) is process-stable.
-        Completeness is not load-bearing: a state or value that somehow
-        escapes the enumeration just takes the dynamic miss path.
+        The interpreter's fixpoint (``self.reach``) already enumerated
+        every abstractly reachable state and every value each register
+        can hold; interning exactly those — in repr-sorted order, so id
+        assignment (hence fingerprints) is process-stable — is what lets
+        the codec pack narrower fields.  Effect tables are populated
+        only for ``(plan, cur)`` pairs whose value is abstractly
+        possible *for that plan's register*: any other pair can only be
+        demanded by an execution the analysis missed, and then the
+        interning cross-check fails loudly instead of silently widening.
         """
         codec = self.codec
-        states = set(protocol.initial.values())
-        states.update(protocol.rules)
-        states.update(protocol.defaults.values())
-        states.update(protocol.decisions)
-        for (state, _resp), nxt in protocol.transitions.items():
-            states.add(state)
-            states.add(nxt)
-        for state in sorted(states, key=repr):
+        reach = self.reach
+        for state in sorted(reach.states.values, key=repr):
             codec.state_id(state)
-        values = {spec.initial for spec in protocol.object_specs()}
-        for rule in protocol.rules.values():
-            if rule[0] in ("write", "swap"):
-                values.add(rule[2])
-        values.add(0)
-        values.add(1)
-        for value in sorted(values, key=repr):
+        value_universe = frozenset().union(*(v.values for v in reach.memory))
+        for value in sorted(value_universe, key=repr):
             codec.value_id(value)
+        possible_ids = [
+            frozenset(codec.value_id(v) for v in vset.values)
+            for vset in reach.memory
+        ]
         for pid in range(self.n):
             for sid in range(len(codec.states)):
                 plan = self.plan_miss(pid, sid)
                 if plan is None or plan[0] != PROBE:
                     continue
-                for cur in range(len(codec.values)):
+                for cur in sorted(possible_ids[plan[4].obj]):
                     self.effect_miss(plan, cur)

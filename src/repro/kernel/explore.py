@@ -133,6 +133,7 @@ def _hot_expand(
     sorted_pids,
     all_pids,
     state_shifts,
+    field_mask,
     parents,
     level_sizes,
     branch_counts,
@@ -152,7 +153,11 @@ def _hot_expand(
     """
     log_get = log.get
     log_append = log.append
+    # Two masks: the frontier-log record layout is fixed at 32-bit
+    # fields regardless of codec narrowing; packed-row fields use the
+    # codec's (possibly narrowed) width.
     mask = FIELD_MASK
+    fmask = field_mask
     qi = 0
     total = 1
     while qi < total:
@@ -174,7 +179,7 @@ def _hot_expand(
         branch = 0
         for pid in sorted_pids:
             pplans = plans[pid]
-            sid = (row >> state_shifts[pid]) & mask
+            sid = (row >> state_shifts[pid]) & fmask
             plan = pplans.get(sid, _MISS)
             if plan is _MISS:
                 plan = plan_miss(pid, sid)
@@ -187,7 +192,7 @@ def _hot_expand(
             ctr[0] += 1
             if plan[0] == 0:
                 shift = plan[1]
-                cur = (row >> shift) & mask
+                cur = (row >> shift) & fmask
                 delta = plan[2].get(cur, _MISS)
                 if delta is _MISS:
                     delta = effect_miss(plan, cur)
@@ -229,7 +234,7 @@ def _hot_expand(
             # intern its first deciding state mid-exploration.
             if program.deciding:
                 for p2 in all_pids:
-                    value = decisions[p2].get((succ >> state_shifts[p2]) & mask)
+                    value = decisions[p2].get((succ >> state_shifts[p2]) & fmask)
                     if value is not None and value not in found:
                         found[value] = lid
                 if stop_when is not None and stop_when <= found.keys():
@@ -267,6 +272,7 @@ class KernelExplorer:
             mode="static" if self.program.static else "dynamic",
             states=len(self.program.codec.states),
             values=len(self.program.codec.values),
+            field_bits=self.program.codec.field_bits,
         )
 
     def space(self, pid_set: FrozenSet[int]) -> _Space:
@@ -344,7 +350,7 @@ class KernelExplorer:
         if program.deciding:
             for pid in all_pids:
                 value = decisions[pid].get(
-                    (row0 >> state_shifts[pid]) & FIELD_MASK
+                    (row0 >> state_shifts[pid]) & codec.field_mask
                 )
                 if value is not None and value not in found:
                     found[value] = 0
@@ -410,6 +416,7 @@ class KernelExplorer:
                 sorted_pids,
                 all_pids,
                 state_shifts,
+                codec.field_mask,
                 parents,
                 level_sizes,
                 branch_counts,

@@ -37,10 +37,12 @@ from repro.lint.footprint import (
 from repro.lint.independence import operations_commute
 from repro.lint.protocol import crosscheck_certificate, lint_protocol
 from repro.lint.selfcheck import (
+    check_checkpoint_fsync,
     check_determinism,
     check_kernel_hot_path,
     check_picklable_errors,
     check_trace_schema,
+    check_worker_shared_state,
     lint_repository,
 )
 
@@ -51,10 +53,12 @@ __all__ = [
     "LintReport",
     "ProgramCfg",
     "TableCfg",
+    "check_checkpoint_fsync",
     "check_determinism",
     "check_kernel_hot_path",
     "check_picklable_errors",
     "check_trace_schema",
+    "check_worker_shared_state",
     "consensus_impossible",
     "crosscheck_certificate",
     "lint_protocol",

@@ -203,6 +203,7 @@ def lint_protocol(protocol: Protocol) -> LintReport:
                 message=impossible,
                 protocol=name,
             ))
+        _lint_absint(report, protocol, footprint_refuted=impossible is not None)
     metrics = get_metrics()
     metrics.counter("lint.protocols").inc()
     metrics.counter("lint.diagnostics").inc(len(report))
@@ -213,6 +214,33 @@ def _footprint_message(protocol: Protocol) -> Optional[str]:
     from repro.lint.footprint import consensus_impossible
 
     return consensus_impossible(protocol)
+
+
+def _lint_absint(
+    report: LintReport, protocol: Protocol, *, footprint_refuted: bool
+) -> None:
+    """Value-aware verdicts from the abstract interpreter.
+
+    ``absint-validity`` and ``absint-no-decide`` have no footprint
+    counterpart and are always reported.  ``absint-write-bound`` is the
+    value-aware refinement of ``footprint-below-bound`` (abstractly
+    *reachable* writes instead of syntactically *present* ones), so it
+    is emitted only when the footprint check passed -- the diagnostic
+    then showcases exactly the protocols absint refutes and footprint
+    cannot, instead of double-reporting the easy ones.
+    """
+    from repro.absint import static_certificate
+
+    certificate = static_certificate(protocol)
+    for verdict in certificate.verdicts:
+        if verdict.kind == "write-bound" and footprint_refuted:
+            continue
+        report.add(Diagnostic(
+            code=f"absint-{verdict.kind}",
+            severity="error",
+            message=verdict.message,
+            protocol=protocol.name,
+        ))
 
 
 def crosscheck_certificate(protocol: Protocol, certificate) -> LintReport:
@@ -239,6 +267,21 @@ def crosscheck_certificate(protocol: Protocol, certificate) -> LintReport:
                 f"{footprint.writable_bound}: the footprint analysis "
                 "under-approximated"
             ),
+            protocol=protocol.name,
+        ))
+    # Second loop closure, value-aware this time: the abstract
+    # interpreter's write set over-approximates every execution's
+    # writes, and a statically *refuted* protocol can never replay a
+    # valid dynamic certificate.  Either contradiction is an analysis
+    # bug, same as the footprint inequality above.
+    from repro.absint import crosscheck_dynamic, static_certificate
+
+    static = static_certificate(protocol)
+    for problem in crosscheck_dynamic(static, certificate):
+        report.add(Diagnostic(
+            code="certificate-absint-mismatch",
+            severity="error",
+            message=problem,
             protocol=protocol.name,
         ))
     return report

@@ -25,6 +25,19 @@ they were enforced only by review:
   ``_hot_*`` functions doing only integer work; object-model calls and
   per-edge comprehensions in them are flagged
   (:func:`check_kernel_hot_path`).
+* **No ambient shared state in worker-facing code.**  Everything under
+  ``repro.parallel``, ``repro.resilience`` and ``repro.kernel`` runs in
+  (or feeds) worker processes; a module-level mutable container is
+  per-process state masquerading as shared state -- it silently forks at
+  ``spawn`` and the shards stop agreeing.  Deliberate per-process caches
+  opt in with ``# lint: allow-shared-state (reason)``
+  (:func:`check_worker_shared_state`).
+* **Durable checkpoint writes.**  Crash-tolerance rests on every
+  checkpoint write being fsync-then-rename; a bare write-mode ``open``
+  in ``repro.resilience`` that skips either half leaves torn files for
+  the resume path to trip over (:func:`check_checkpoint_fsync`).
+  Append-mode journals (flushed per record) are exempt; anything else
+  opts out with ``# lint: allow-unsynced-write (reason)``.
 
 All checks are AST-based (:mod:`ast` on source files, no imports of the
 checked code), so the self-lint runs in milliseconds and works on any
@@ -50,6 +63,22 @@ PROOF_PATHS = ("core", "model")
 
 #: The pragma that whitelists one import line, with a reason.
 PRAGMA = "lint: allow-nondeterminism"
+
+#: Packages whose modules run in (or feed) worker processes: ambient
+#: mutable state there forks at ``spawn`` and desynchronizes shards.
+WORKER_PATHS = ("parallel", "resilience", "kernel")
+
+#: The pragma that whitelists one deliberate per-process cache line.
+SHARED_STATE_PRAGMA = "lint: allow-shared-state"
+
+#: The pragma that whitelists one non-durable write line.
+FSYNC_PRAGMA = "lint: allow-unsynced-write"
+
+#: Constructors whose module-level call produces a mutable container.
+MUTABLE_CONSTRUCTORS = frozenset({
+    "dict", "list", "set", "bytearray",
+    "defaultdict", "deque", "OrderedDict", "Counter", "ChainMap",
+})
 
 #: Independent copy of the pinned trace schema (see module docstring).
 EXPECTED_SCHEMA_VERSION = 1
@@ -312,6 +341,180 @@ def check_kernel_hot_path(root: Path) -> LintReport:
     return report
 
 
+# -- worker shared state --------------------------------------------------
+
+
+def _mutable_literal(value: Optional[ast.AST]) -> Optional[str]:
+    """Why ``value`` is a mutable container, or None if it isn't."""
+    if isinstance(value, (ast.Dict, ast.DictComp)):
+        return "a dict display"
+    if isinstance(value, (ast.List, ast.ListComp)):
+        return "a list display"
+    if isinstance(value, (ast.Set, ast.SetComp)):
+        return "a set display"
+    if isinstance(value, ast.Call):
+        name = _call_name(value)
+        if name in MUTABLE_CONSTRUCTORS:
+            return f"a {name}() call"
+    return None
+
+
+def _assign_targets(node: ast.AST) -> List[str]:
+    if isinstance(node, ast.Assign):
+        return [t.id for t in node.targets if isinstance(t, ast.Name)]
+    if isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+        return [node.target.id]
+    return []
+
+
+def check_worker_shared_state(root: Path) -> LintReport:
+    """Module-level mutable containers in worker-facing packages.
+
+    ``spawn`` re-imports every module in every worker, so a module-level
+    dict/list/set is N independent copies pretending to be one -- reads
+    that happen to hit a warm copy agree, reads that don't silently
+    diverge.  The rule is syntactic and module-top-level only: mutable
+    state inside functions and classes has an owner; dunder assignments
+    (``__all__``) are declarative, not state.  A *deliberate*
+    per-process memo (e.g. the worker's system cache, rebuilt from the
+    task payload on miss) opts in with
+    ``# lint: allow-shared-state (reason)`` on the assignment line.
+    Trees without these packages (seeded lint fixtures) pass clean.
+    """
+    report = LintReport()
+    for package in WORKER_PATHS:
+        package_dir = root / package
+        if not package_dir.is_dir():
+            continue
+        for path in _python_files(package_dir):
+            tree, lines = _parse(path)
+            for node in tree.body:
+                targets = _assign_targets(node)
+                names = [
+                    name for name in targets
+                    if not (name.startswith("__") and name.endswith("__"))
+                ]
+                if not names:
+                    continue
+                value = node.value
+                why = _mutable_literal(value)
+                if why is None:
+                    continue
+                line = lines[node.lineno - 1] if node.lineno <= len(lines) else ""
+                if SHARED_STATE_PRAGMA in line:
+                    continue
+                report.add(Diagnostic(
+                    code="worker-shared-state",
+                    severity="error",
+                    message=(
+                        f"module-level {', '.join(names)} is {why}: "
+                        "worker processes re-import this module, so the "
+                        "container forks into per-process copies that "
+                        "silently diverge; move it into an owning object, "
+                        "or mark a deliberate per-process cache with "
+                        f"`# {SHARED_STATE_PRAGMA} (reason)`"
+                    ),
+                    path=_relative(path, root),
+                    line=node.lineno,
+                ))
+    return report
+
+
+# -- checkpoint durability ------------------------------------------------
+
+
+def _open_write_mode(node: ast.Call) -> Optional[str]:
+    """The mode literal of a write-capable ``open``/``fdopen`` call.
+
+    Returns None for reads, appends (flushed-per-record journals), or
+    calls whose mode is not a literal (nothing to prove syntactically).
+    """
+    name = _call_name(node)
+    if name == "open":
+        mode_node = node.args[1] if len(node.args) > 1 else None
+    elif name == "fdopen":
+        mode_node = node.args[1] if len(node.args) > 1 else None
+    elif name in {"write_text", "write_bytes"}:
+        return "w"
+    else:
+        return None
+    for keyword in node.keywords:
+        if keyword.arg == "mode":
+            mode_node = keyword.value
+    if not isinstance(mode_node, ast.Constant) or not isinstance(
+        mode_node.value, str
+    ):
+        return None
+    mode = mode_node.value
+    if "w" in mode or "x" in mode:
+        return mode
+    return None
+
+
+def check_checkpoint_fsync(root: Path) -> LintReport:
+    """Write-mode opens in ``repro.resilience`` must fsync-then-rename.
+
+    The checkpoint layer's whole contract is that a SIGKILL at any
+    instant leaves either the old file or the new one -- which holds
+    only if every fresh write goes through a temp file, ``fsync``, and
+    an atomic ``replace`` *in the same function* (the primitive must be
+    self-contained; "my caller renames it later" reintroduces the torn
+    window).  Append-mode journals are exempt (they flush per record
+    and tolerate a torn tail by design), as is anything annotated
+    ``# lint: allow-unsynced-write (reason)``.  Trees without a
+    ``resilience`` package (seeded lint fixtures) pass clean.
+    """
+    report = LintReport()
+    resilience_dir = root / "resilience"
+    if not resilience_dir.is_dir():
+        return report
+    for path in _python_files(resilience_dir):
+        tree, lines = _parse(path)
+        relative = _relative(path, root)
+        for node in ast.walk(tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            calls = [
+                inner for inner in ast.walk(node)
+                if isinstance(inner, ast.Call)
+            ]
+            names = {_call_name(call) for call in calls}
+            has_fsync = "fsync" in names
+            has_replace = "replace" in names or "rename" in names
+            for call in calls:
+                mode = _open_write_mode(call)
+                if mode is None:
+                    continue
+                if has_fsync and has_replace:
+                    continue
+                line = (
+                    lines[call.lineno - 1] if call.lineno <= len(lines) else ""
+                )
+                if FSYNC_PRAGMA in line:
+                    continue
+                missing = []
+                if not has_fsync:
+                    missing.append("fsync")
+                if not has_replace:
+                    missing.append("replace")
+                report.add(Diagnostic(
+                    code="checkpoint-unsynced-write",
+                    severity="error",
+                    message=(
+                        f"{node.name} opens a file in mode {mode!r} but "
+                        f"never calls {' or '.join(missing)}: checkpoint "
+                        "writes must be temp-file + fsync + atomic replace "
+                        "in the same function, or a crash leaves a torn "
+                        "file for the resume path; annotate a deliberate "
+                        "non-durable write with "
+                        f"`# {FSYNC_PRAGMA} (reason)`"
+                    ),
+                    path=relative,
+                    line=call.lineno,
+                ))
+    return report
+
+
 # -- trace schema ---------------------------------------------------------
 
 
@@ -387,6 +590,8 @@ def lint_repository(root: Optional[Path] = None) -> LintReport:
         report.extend(check_picklable_errors(target))
         report.extend(check_trace_schema(target))
         report.extend(check_kernel_hot_path(target))
+        report.extend(check_worker_shared_state(target))
+        report.extend(check_checkpoint_fsync(target))
     metrics = get_metrics()
     metrics.counter("lint.self_runs").inc()
     metrics.counter("lint.diagnostics").inc(len(report))

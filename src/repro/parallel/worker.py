@@ -35,12 +35,12 @@ from repro.model.system import System
 from repro.obs.metrics import MetricsRegistry
 
 #: Per-process memo of deserialized systems, keyed by the pickle blob.
-_SYSTEMS: Dict[bytes, System] = {}
+_SYSTEMS: Dict[bytes, System] = {}  # lint: allow-shared-state (per-process memo, rebuilt from the task payload on miss)
 _MAX_CACHED_SYSTEMS = 8
 
 #: Per-process incremental engines, keyed like ``_SYSTEMS`` (evicted
 #: together with it).
-_ENGINES: Dict[bytes, Any] = {}
+_ENGINES: Dict[bytes, Any] = {}  # lint: allow-shared-state (per-process memo, rebuilt from the task payload on miss)
 
 #: The discovery edge of a configuration: (pid, operation) of the step
 #: that first produced it, or None for the root.  Carried with each item

@@ -1,0 +1,135 @@
+"""The ``repro absint`` CLI surface and the stats absint table.
+
+Exit-code contract, same refinement as ``repro lint``: 0 every
+certificate clean, 2 at least one protocol statically refuted, 1 the
+analysis itself failed.  The stats table must render "n/a" rates (never
+divide) for journals from runs that touched no analysis at all.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.fuzz.zoo import Zoo
+from repro.model.table import TableProtocol
+
+
+def refuted_table():
+    """Constant-decides 0: footprint-clean, absint validity-refuted."""
+    return TableProtocol(
+        name="biased", n=3, registers=2,
+        initial={0: 0, 1: 1},
+        rules={0: ("write", 0, 0), 1: ("write", 1, 1), 2: ("read", 0)},
+        transitions={(0, None): 2, (1, None): 2},
+        defaults={2: 3},
+        decisions={3: 0},
+    )
+
+
+@pytest.fixture
+def refuted_zoo(tmp_path):
+    zoo = Zoo(tmp_path / "zoo")
+    specimen, added = zoo.add(refuted_table(), {"origin": "test"})
+    assert added
+    return zoo, specimen
+
+
+class TestExitCodes:
+    def test_clean_protocols_exit_zero(self, capsys):
+        assert main(["absint", "rounds:3", "tas:2"]) == 0
+        out = capsys.readouterr().out
+        assert "0 refuted" in out
+
+    def test_refuted_zoo_specimen_exits_two(self, refuted_zoo, capsys):
+        zoo, specimen = refuted_zoo
+        assert main(["absint", "--zoo", str(zoo.root)]) == 2
+        out = capsys.readouterr().out
+        assert "1 refuted" in out
+        assert "validity" in out
+
+    def test_digest_selects_one_specimen(self, refuted_zoo, capsys):
+        zoo, specimen = refuted_zoo
+        code = main([
+            "absint", "--zoo", str(zoo.root),
+            "--digest", specimen.digest[:12],
+        ])
+        assert code == 2
+        capsys.readouterr()
+
+    def test_no_targets_is_a_usage_error(self):
+        with pytest.raises(SystemExit):
+            main(["absint"])
+
+    def test_bad_spec_is_a_usage_error(self):
+        with pytest.raises(SystemExit, match="unknown protocol family"):
+            main(["absint", "no-such-family:3"])
+
+
+class TestJson:
+    def test_json_is_machine_checkable(self, refuted_zoo, capsys):
+        zoo, specimen = refuted_zoo
+        main(["absint", "--zoo", str(zoo.root), "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        [certificate] = payload
+        assert certificate["version"] == 1
+        assert certificate["representation"] == "table"
+        kinds = {v["kind"] for v in certificate["verdicts"]}
+        assert "validity" in kinds
+        assert certificate["overall"]["writes"] == [0, 1]
+
+    def test_json_byte_stable_across_runs(self, capsys):
+        main(["absint", "tas:2", "--json"])
+        first = capsys.readouterr().out
+        main(["absint", "tas:2", "--json"])
+        assert capsys.readouterr().out == first
+
+
+class TestObservability:
+    def test_trace_out_records_certificate_spans(self, tmp_path, capsys):
+        journal = tmp_path / "absint.jsonl"
+        main(["absint", "tas:2", "--trace-out", str(journal)])
+        capsys.readouterr()
+        names = {
+            json.loads(line).get("name")
+            for line in journal.read_text().splitlines()
+        }
+        assert "absint.certificate" in names
+
+    def test_stats_renders_absint_table(self, tmp_path, capsys):
+        journal = tmp_path / "absint.jsonl"
+        main(["absint", "tas:2", "--trace-out", str(journal)])
+        capsys.readouterr()
+        assert main(["stats", str(journal)]) == 0
+        out = capsys.readouterr().out
+        assert "absint" in out
+        assert "static certificates" in out
+
+    def test_stats_absint_table_na_on_empty_journal(self, tmp_path, capsys):
+        journal = tmp_path / "idle.jsonl"
+        record = {
+            "v": 1, "t": 0.0, "run": "idle", "type": "metrics",
+            "name": "metrics",
+            "data": {"counters": {}, "gauges": {}, "histograms": {}},
+        }
+        journal.write_text(json.dumps(record) + "\n", "utf-8")
+        assert main(["stats", str(journal)]) == 0
+        out = capsys.readouterr().out
+        line = next(
+            l for l in out.splitlines() if l.startswith("refutation rate")
+        )
+        assert line.rstrip().endswith("n/a"), line
+        line = next(
+            l for l in out.splitlines() if l.startswith("fixpoint analyses")
+        )
+        assert line.rstrip().endswith("0"), line
+
+
+class TestInjectFlag:
+    def test_absint_unsound_is_an_accepted_choice(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["fuzz", "run", "--inject", "absint-unsound"]
+        )
+        assert args.inject == "absint-unsound"

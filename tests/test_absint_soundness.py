@@ -1,0 +1,208 @@
+"""The soundness oracle: abstract reachability ⊇ concrete, everywhere.
+
+Three layers of evidence that the interpreter never under-approximates:
+
+* a hypothesis property drawing random table automata from the fuzz
+  generator and walking every concrete configuration of every engine's
+  shared exploration (the engines are byte-identical, so one sequential
+  walk per input vector stands for the whole matrix -- the zoo gate in
+  ``test_zoo_replay.py`` runs the full matrix with the soundness leg);
+* the checked-in zoo, specimen by specimen;
+* sabotage: an injected unsound analysis (the root state deleted from
+  the abstract set) must be caught by the oracle, in the direct check,
+  the differential matrix, and a whole campaign.
+
+Plus the narrowing consumer: abstract value universes pick packed-row
+field widths, with the codec's closed-universe intern check as the
+live cross-check.
+"""
+
+import random
+from pathlib import Path
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.fuzz import (
+    ABSINT_UNSOUND,
+    DEFAULT_ENGINES,
+    EngineSpec,
+    abstract_soundness_check,
+    differential,
+)
+from repro.fuzz.generator import GeneratorConfig, generate_protocol
+from repro.fuzz.zoo import Zoo
+from repro.model.table import TableProtocol
+
+ZOO_ROOT = Path(__file__).resolve().parent.parent / "corpus" / "zoo"
+
+SPECIMENS = Zoo(ZOO_ROOT).specimens()
+IDS = [s.digest[:12] for s in SPECIMENS]
+
+SMALL = GeneratorConfig(n=(2, 3), states=(3, 6), registers=(1, 2))
+
+
+@st.composite
+def table_protocols(draw):
+    seed = draw(st.integers(min_value=0, max_value=2**32 - 1))
+    return generate_protocol(random.Random(seed), SMALL)
+
+
+class TestSoundnessProperty:
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(protocol=table_protocols())
+    def test_abstract_reach_contains_concrete_reach(self, protocol):
+        assert abstract_soundness_check(protocol, max_configs=3_000) is None
+
+    def test_non_table_protocols_are_skipped(self):
+        from repro.protocols.consensus import CommitAdoptRounds
+
+        assert abstract_soundness_check(CommitAdoptRounds(2)) is None
+
+
+class TestZooSoundness:
+    @pytest.mark.parametrize("specimen", SPECIMENS, ids=IDS)
+    def test_every_specimen_is_soundly_abstracted(self, specimen):
+        assert abstract_soundness_check(specimen.build()) is None
+
+
+class TestSabotage:
+    def test_direct_sabotage_is_caught(self):
+        protocol = SPECIMENS[0].build()
+        divergence = abstract_soundness_check(protocol, sabotage=True)
+        assert divergence is not None
+        assert divergence.kind == "soundness"
+        assert "outside the abstract state set" in divergence.detail
+
+    def test_differential_matrix_catches_injected_unsoundness(self, worker_pool):
+        protocol = SPECIMENS[0].build()
+        engines = DEFAULT_ENGINES + (
+            EngineSpec("sabotaged", sabotage=ABSINT_UNSOUND),
+        )
+        report = differential(
+            protocol, engines, max_configs=5_000, pool=worker_pool
+        )
+        assert not report.ok
+        [finding] = [d for d in report.divergences if d.kind == "soundness"]
+        assert ABSINT_UNSOUND in finding.detail
+
+    def test_campaign_with_inject_finds_the_divergence(self, tmp_path):
+        from repro.fuzz.campaign import run_campaign, smoke_config
+
+        config = smoke_config(
+            count=2,
+            inject=ABSINT_UNSOUND,
+            zoo_root=tmp_path / "zoo",
+        )
+        result = run_campaign(config)
+        assert result.divergent
+        assert any(
+            f["divergence"] == "soundness" and ABSINT_UNSOUND in f["detail"]
+            for f in result.divergent
+        )
+
+
+class TestCampaignTags:
+    def test_specimen_records_carry_absint_provenance(self, tmp_path):
+        from repro.fuzz.campaign import (
+            JOURNAL_FORMAT,
+            run_campaign,
+            smoke_config,
+        )
+
+        assert JOURNAL_FORMAT == 2
+        journal = tmp_path / "journal.jsonl"
+        config = smoke_config(count=4, zoo_root=tmp_path / "zoo")
+        result = run_campaign(config, journal_path=journal)
+        assert result.stopped == "complete"
+        import json
+
+        records = [
+            json.loads(line)
+            for line in journal.read_text().splitlines()
+            if line
+        ]
+        specimens = [r for r in records if r.get("kind") == "specimen"]
+        assert specimens
+        for record in specimens:
+            tag = record["absint"]
+            assert set(tag) == {"refuted", "kinds", "writes"}
+            assert isinstance(tag["refuted"], bool)
+
+    def test_boring_reason_filters_steplessness_not_refutation(self):
+        from repro.absint import static_certificate
+        from repro.fuzz.campaign import boring_reason
+
+        # Halted outright: every initial state is rule-less.
+        stuck = TableProtocol(
+            name="stuck", n=2, registers=1,
+            initial={0: 0, 1: 1},
+            rules={5: ("write", 0, 1)},
+            transitions={(5, None): 5},
+            defaults={},
+            decisions={},
+        )
+        assert boring_reason(stuck) == "no-steps"
+
+        # Statically refuted (constant-decides) yet takes real shared
+        # steps: tagged, not dropped -- its decision plumbing is exactly
+        # what the engines must agree on.
+        biased = TableProtocol(
+            name="biased", n=2, registers=1,
+            initial={0: 0, 1: 1},
+            rules={0: ("write", 0, 0), 1: ("write", 0, 1)},
+            transitions={(0, None): 2, (1, None): 2},
+            defaults={},
+            decisions={2: 0},
+        )
+        certificate = static_certificate(biased)
+        assert certificate.refuted
+        assert boring_reason(biased, reach=certificate.overall) is None
+
+
+class TestCodecNarrowing:
+    def compiled(self, protocol):
+        from repro.kernel.compiler import CompiledProgram
+        from repro.model.system import System
+
+        return CompiledProgram(System(protocol))
+
+    def test_small_universe_narrows_to_byte_fields(self):
+        protocol = generate_protocol(random.Random(7), SMALL)
+        program = self.compiled(protocol)
+        assert program.codec.field_bits == 8
+        from repro.kernel.codec import FIELD_BITS
+
+        assert program.codec.width_bytes < (
+            FIELD_BITS * program.codec.field_count
+        ) // 8
+
+    def test_narrowed_kernel_agrees_with_every_engine(self, worker_pool):
+        protocol = generate_protocol(random.Random(7), SMALL)
+        report = differential(
+            protocol, DEFAULT_ENGINES, max_configs=5_000, pool=worker_pool
+        )
+        assert report.ok, "\n".join(d.describe() for d in report.divergences)
+
+    def test_out_of_universe_intern_fails_loudly(self):
+        from repro.errors import KernelError
+
+        protocol = generate_protocol(random.Random(7), SMALL)
+        program = self.compiled(protocol)
+        with pytest.raises(KernelError, match="narrowing unsound"):
+            program.codec.value_id("never-abstractly-reachable")
+
+    def test_wide_universe_keeps_wide_fields(self):
+        # A dynamic (program) protocol has no abstract universes: the
+        # codec must stay at the default width with open interning.
+        from repro.kernel.codec import FIELD_BITS
+        from repro.protocols.consensus import CommitAdoptRounds
+
+        program = self.compiled(CommitAdoptRounds(2))
+        assert program.codec.field_bits == FIELD_BITS
+        program.codec.value_id("anything")  # open universe: no error

@@ -210,6 +210,163 @@ class TestKernelHotPath:
         assert len(check_kernel_hot_path(root)) == 0
 
 
+SHARED_STATE = "CACHE = {}\n"
+
+SHARED_STATE_PRAGMA_LINE = (
+    "CACHE = {}  # lint: allow-shared-state (per-process memo)\n"
+)
+
+UNSYNCED_WRITE = """
+def save(path, data):
+    with open(path, "w") as handle:
+        handle.write(data)
+"""
+
+ATOMIC_WRITE = """
+import os, tempfile
+
+def save(path, data):
+    fd, tmp = tempfile.mkstemp()
+    with os.fdopen(fd, "w") as handle:
+        handle.write(data)
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+"""
+
+APPEND_JOURNAL = """
+def journal(path, line):
+    with open(path, "a") as handle:
+        handle.write(line)
+        handle.flush()
+"""
+
+
+class TestWorkerSharedState:
+    def seed_worker(self, tmp_path, source, package="parallel"):
+        root = seed_tree(tmp_path)
+        pkg = root / package
+        pkg.mkdir()
+        (pkg / "worker.py").write_text(source, encoding="utf-8")
+        return root
+
+    def test_module_level_dict_is_flagged(self, tmp_path):
+        from repro.lint import check_worker_shared_state
+
+        root = self.seed_worker(tmp_path, SHARED_STATE)
+        [diag] = check_worker_shared_state(root).by_code(
+            "worker-shared-state"
+        )
+        assert "per-process copies" in diag.message
+
+    def test_every_worker_package_is_audited(self, tmp_path):
+        from repro.lint import check_worker_shared_state
+
+        for package in ("parallel", "resilience", "kernel"):
+            root = self.seed_worker(
+                tmp_path / package, SHARED_STATE, package=package
+            )
+            assert check_worker_shared_state(root).by_code(
+                "worker-shared-state"
+            ), package
+
+    def test_constructor_calls_are_flagged_too(self, tmp_path):
+        from repro.lint import check_worker_shared_state
+
+        source = (
+            "from collections import defaultdict\n"
+            "MEMO = defaultdict(list)\n"
+        )
+        root = self.seed_worker(tmp_path, source)
+        assert check_worker_shared_state(root).by_code("worker-shared-state")
+
+    def test_pragma_whitelists_the_line(self, tmp_path):
+        from repro.lint import check_worker_shared_state
+
+        root = self.seed_worker(tmp_path, SHARED_STATE_PRAGMA_LINE)
+        assert len(check_worker_shared_state(root)) == 0
+
+    def test_dunders_and_immutables_are_fine(self, tmp_path):
+        from repro.lint import check_worker_shared_state
+
+        source = (
+            "__all__ = ['f']\n"
+            "LIMIT = 8\n"
+            "NAMES = ('a', 'b')\n"
+            "KINDS = frozenset({'x'})\n"
+            "def f():\n    cache = {}\n    return cache\n"
+        )
+        root = self.seed_worker(tmp_path, source)
+        assert len(check_worker_shared_state(root)) == 0
+
+    def test_tree_without_worker_packages_is_clean(self, tmp_path):
+        from repro.lint import check_worker_shared_state
+
+        assert len(check_worker_shared_state(seed_tree(tmp_path))) == 0
+
+
+class TestCheckpointFsync:
+    def seed_resilience(self, tmp_path, source):
+        root = seed_tree(tmp_path)
+        pkg = root / "resilience"
+        pkg.mkdir()
+        (pkg / "checkpoint.py").write_text(source, encoding="utf-8")
+        return root
+
+    def test_bare_write_open_is_flagged(self, tmp_path):
+        from repro.lint import check_checkpoint_fsync
+
+        root = self.seed_resilience(tmp_path, UNSYNCED_WRITE)
+        [diag] = check_checkpoint_fsync(root).by_code(
+            "checkpoint-unsynced-write"
+        )
+        assert "fsync" in diag.message
+
+    def test_fsync_then_replace_passes(self, tmp_path):
+        from repro.lint import check_checkpoint_fsync
+
+        root = self.seed_resilience(tmp_path, ATOMIC_WRITE)
+        assert len(check_checkpoint_fsync(root)) == 0
+
+    def test_append_mode_journals_are_exempt(self, tmp_path):
+        from repro.lint import check_checkpoint_fsync
+
+        root = self.seed_resilience(tmp_path, APPEND_JOURNAL)
+        assert len(check_checkpoint_fsync(root)) == 0
+
+    def test_fsync_without_replace_still_flagged(self, tmp_path):
+        from repro.lint import check_checkpoint_fsync
+
+        source = (
+            "import os\n"
+            "def save(path, data):\n"
+            "    with open(path, 'w') as handle:\n"
+            "        handle.write(data)\n"
+            "        os.fsync(handle.fileno())\n"
+        )
+        root = self.seed_resilience(tmp_path, source)
+        [diag] = check_checkpoint_fsync(root).by_code(
+            "checkpoint-unsynced-write"
+        )
+        assert "replace" in diag.message
+
+    def test_pragma_whitelists_the_line(self, tmp_path):
+        from repro.lint import check_checkpoint_fsync
+
+        source = (
+            "def save(path, data):\n"
+            "    with open(path, 'w') as handle:"
+            "  # lint: allow-unsynced-write (scratch file)\n"
+            "        handle.write(data)\n"
+        )
+        root = self.seed_resilience(tmp_path, source)
+        assert len(check_checkpoint_fsync(root)) == 0
+
+    def test_tree_without_resilience_package_is_clean(self, tmp_path):
+        from repro.lint import check_checkpoint_fsync
+
+        assert len(check_checkpoint_fsync(seed_tree(tmp_path))) == 0
+
+
 class TestLintRepository:
     def test_aggregates_all_checks_on_a_seeded_tree(self, tmp_path):
         root = seed_tree(
@@ -217,9 +374,16 @@ class TestLintRepository:
             core="import time\n",
             extra={"errs.py": PAYLOAD_ERROR},
         )
+        parallel = root / "parallel"
+        parallel.mkdir()
+        (parallel / "worker.py").write_text(SHARED_STATE, encoding="utf-8")
+        resilience = root / "resilience"
+        resilience.mkdir()
+        (resilience / "ckpt.py").write_text(UNSYNCED_WRITE, encoding="utf-8")
         report = lint_repository(root)
         assert set(report.codes) == {
-            "nondeterministic-import", "unpicklable-error"
+            "nondeterministic-import", "unpicklable-error",
+            "worker-shared-state", "checkpoint-unsynced-write",
         }
         assert report.blocking
 
