@@ -115,13 +115,33 @@ _OBJECT_FAMILIES = {
     "counter": ("wait-free counter, n-1 slots", "counter:n"),
     "lossy-counter": ("broken counter on k slots", "lossy-counter:n:k"),
     "snapshot": ("OF single-writer snapshot", "snapshot:n"),
+    "zoo": ("regression-zoo specimen by digest", "zoo:digest-prefix"),
 }
 
 
 def parse_protocol(spec: str):
-    """Instantiate a protocol from a ``family:n[:extra]`` spec string."""
+    """Instantiate a protocol from a ``family:n[:extra]`` spec string.
+
+    The ``zoo:<digest-prefix>`` family resolves a regression-zoo
+    specimen (``$REPRO_ZOO_DIR`` or ``corpus/zoo``) to its table
+    protocol, so zoo findings are runnable by every protocol-taking
+    command -- and by ``repro serve`` jobs -- under a stable name.
+    """
     parts = spec.split(":")
     family = parts[0]
+    if family == "zoo":
+        from repro.fuzz import Zoo, ZooError
+        from repro.fuzz.zoo import default_zoo_root
+
+        if len(parts) != 2 or not parts[1]:
+            raise SystemExit(
+                f"bad protocol spec {spec!r}: expected zoo:<digest-prefix>"
+            )
+        root = os.environ.get("REPRO_ZOO_DIR") or default_zoo_root()
+        try:
+            return Zoo(root).find(parts[1]).build()
+        except ZooError as exc:
+            raise SystemExit(f"bad protocol spec {spec!r}: {exc}")
     try:
         numbers = [int(part) for part in parts[1:]]
     except ValueError:
@@ -534,11 +554,34 @@ def cmd_chaos(args) -> int:
     return EXIT_VIOLATION
 
 
+def _parse_journal_gated(path, title: str, headers):
+    """Parse a journal, rendering the refusal surface for newer writers.
+
+    A journal whose records carry ``v > SCHEMA_VERSION`` is not torn
+    and not corrupt -- nothing in it can be trusted under this reader's
+    schema.  Instead of a traceback (or a corruption diagnosis), the
+    command prints the one-line version verdict, renders its table as
+    an ``n/a`` placeholder row, and returns ``None`` so the caller can
+    exit 1.
+    """
+    from repro.obs import SchemaTooNew, parse_journal_tolerant
+
+    try:
+        return parse_journal_tolerant(path)
+    except SchemaTooNew as exc:
+        print(exc)
+        print_table(title, headers, [["n/a"] * len(headers)])
+        return None
+
+
 def cmd_stats(args) -> int:
     """Render the final metrics record of a journal as tables."""
-    from repro.obs import parse_journal_tolerant
-
-    records, torn = parse_journal_tolerant(args.journal)
+    parsed = _parse_journal_gated(
+        args.journal, "metrics", ["kind", "name", "value"]
+    )
+    if parsed is None:
+        return EXIT_ERROR
+    records, torn = parsed
     if torn is not None:
         print(f"warning: journal has a torn final line (dropped): {torn}")
     snapshots = [r for r in records if r["type"] == "metrics"]
@@ -678,9 +721,12 @@ def cmd_stats(args) -> int:
 
 def cmd_trace(args) -> int:
     """Filter and pretty-print a journal's spans and events."""
-    from repro.obs import parse_journal_tolerant
-
-    records, torn = parse_journal_tolerant(args.journal)
+    parsed = _parse_journal_gated(
+        args.journal, "trace journal", ["t", "type", "name", "detail"]
+    )
+    if parsed is None:
+        return EXIT_ERROR
+    records, torn = parsed
     if torn is not None:
         print(f"warning: journal has a torn final line (dropped): {torn}")
     starts = {
@@ -1075,6 +1121,195 @@ def _add_parallel_flags(p) -> None:
     )
 
 
+# -- repro serve / repro db ---------------------------------------------------
+
+def _serve_run_dir(args):
+    from pathlib import Path
+
+    from repro.service.daemon import default_run_dir
+
+    return Path(args.run_dir) if args.run_dir else default_run_dir()
+
+
+def cmd_serve_start(args) -> int:
+    from repro.service.daemon import Daemon
+
+    return Daemon(
+        _serve_run_dir(args),
+        host=args.host,
+        port=args.port,
+        job_workers=args.job_workers,
+        drain_grace=args.drain_grace,
+    ).run()
+
+
+def cmd_serve_stop(args) -> int:
+    from repro.service.daemon import stop
+
+    if stop(_serve_run_dir(args)):
+        print("daemon stopped")
+        return EXIT_OK
+    print("daemon did not exit in time")
+    return EXIT_ERROR
+
+
+def cmd_serve_restart(args) -> int:
+    from repro.errors import ServiceError
+    from repro.service.daemon import stop
+
+    try:
+        stop(_serve_run_dir(args))
+    except ServiceError:
+        pass  # nothing running: restart degrades to start
+    return cmd_serve_start(args)
+
+
+def cmd_serve_status(args) -> int:
+    import urllib.request
+
+    from repro.service.daemon import status
+
+    snap = status(_serve_run_dir(args))
+    rows = [
+        ["run dir", snap["run_dir"]],
+        ["running", "yes" if snap["running"] else "no"],
+        ["pid", snap["pid"] if snap["pid"] else "n/a"],
+        ["port", snap["port"] if snap["port"] else "n/a"],
+    ]
+    for state, count in sorted(snap.get("jobs", {}).items()):
+        rows.append([f"jobs {state}", count])
+    if "schema_version" in snap:
+        rows.append(["ledger schema", f"v{snap['schema_version']}"])
+    for key, value in sorted(snap["config"].items()):
+        rows.append([f"config {key}", value])
+    if snap["running"]:
+        try:
+            with urllib.request.urlopen(
+                f"http://127.0.0.1:{snap['port']}/health", timeout=5
+            ) as response:
+                health = json.loads(response.read().decode("utf-8"))
+            queue = health.get("queue", {})
+            rows.append(["queued", queue.get("queued", "n/a")])
+            rows.append(["in flight", queue.get("inflight", "n/a")])
+        except OSError as exc:
+            rows.append(["health", f"unreachable: {exc}"])
+    print_table("repro serve", ["field", "value"], rows)
+    return EXIT_OK if snap["running"] else EXIT_ERROR
+
+
+def cmd_serve_configure(args) -> int:
+    from repro.service.daemon import save_config
+
+    updates = {}
+    for item in args.settings:
+        key, sep, value = item.partition("=")
+        if not sep:
+            raise SystemExit(f"bad setting {item!r}: expected key=value")
+        if value in ("", "null", "none"):
+            updates[key] = None
+        else:
+            try:
+                updates[key] = json.loads(value)
+            except json.JSONDecodeError:
+                updates[key] = value
+    config = save_config(_serve_run_dir(args), updates)
+    rows = sorted(config.items()) or [["(defaults)", ""]]
+    print_table("persisted daemon configuration", ["key", "value"], rows)
+    print("takes effect on the next `repro serve start`")
+    return EXIT_OK
+
+
+def _open_ledger(args):
+    from repro.service import ResultLedger
+    from repro.service.daemon import default_run_dir
+
+    path = args.db if args.db else default_run_dir() / "ledger.sqlite"
+    if not os.path.exists(path):
+        raise SystemExit(f"no ledger at {path} (run `repro serve` first?)")
+    return ResultLedger(path)
+
+
+def cmd_db_query(args) -> int:
+    ledger = _open_ledger(args)
+    if args.jobs:
+        rows = [
+            [
+                job["job_key"], job["kind"], job["spec"], job["state"],
+                "n/a" if job["exit_code"] is None else job["exit_code"],
+                (job["detail"] or "")[:60],
+            ]
+            for job in ledger.jobs(state=args.state, limit=args.limit)
+        ]
+        print_table(
+            "jobs",
+            ["job", "kind", "spec", "state", "exit", "detail"],
+            rows,
+        )
+        return EXIT_OK
+    rows = [
+        [
+            result["job_key"], result["kind"], result["protocol"],
+            result["exit_code"],
+            "n/a" if result["registers"] is None else result["registers"],
+            "n/a" if result["elapsed"] is None
+            else f"{result['elapsed']:.3f}s",
+            "yes" if result["certificate"] else "no",
+        ]
+        for result in ledger.results(
+            protocol=args.protocol, kind=args.kind, job_key=args.job,
+            limit=args.limit,
+        )
+    ]
+    print_table(
+        "results",
+        ["job", "kind", "protocol", "exit", "registers", "elapsed", "cert"],
+        rows,
+    )
+    return EXIT_OK
+
+
+def cmd_db_trend(args) -> int:
+    ledger = _open_ledger(args)
+    rows = [
+        [
+            row["protocol"], row["engine"] or "n/a", row["runs"],
+            row["certified"], row["violations"], row["partials"],
+            row["errors"],
+            "n/a" if row["best_elapsed"] is None
+            else f"{row['best_elapsed']:.3f}s",
+            "n/a" if row["last_elapsed"] is None
+            else f"{row['last_elapsed']:.3f}s",
+            "n/a" if row["registers"] is None else row["registers"],
+        ]
+        for row in ledger.trend(protocol=args.protocol)
+    ]
+    print_table(
+        "result trend by (protocol, engine)",
+        ["protocol", "engine", "runs", "cert", "viol", "part", "err",
+         "best", "last", "registers"],
+        rows,
+        note="best/last are elapsed seconds; registers is the latest "
+        "certificate's count",
+    )
+    return EXIT_OK
+
+
+def cmd_db_export(args) -> int:
+    ledger = _open_ledger(args)
+    payload = ledger.export(bench=args.bench)
+    text = json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(
+            f"wrote {args.out}: {len(payload['results'])} workload(s), "
+            f"schema v{payload['schema_version']}"
+        )
+    else:
+        print(text, end="")
+    return EXIT_OK
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -1395,6 +1630,114 @@ def build_parser() -> argparse.ArgumentParser:
         help="stop after N matching records",
     )
     p.set_defaults(func=cmd_trace)
+
+    p = sub.add_parser(
+        "serve",
+        help="adversary-as-a-service daemon (HTTP job queue + ledger)",
+    )
+    serve_sub = p.add_subparsers(dest="serve_command", required=True)
+
+    def _serve_common(sp, with_server=False):
+        sp.add_argument(
+            "--run-dir", default=None, metavar="DIR",
+            help="daemon state directory (default: $REPRO_SERVE_DIR "
+            "or .repro-serve)",
+        )
+        if with_server:
+            sp.add_argument(
+                "--host", default="127.0.0.1",
+                help="bind address (default: loopback only)",
+            )
+            sp.add_argument(
+                "--port", type=int, default=0, metavar="N",
+                help="bind port (default: 0 = ephemeral, recorded in "
+                "the pidfile)",
+            )
+            sp.add_argument(
+                "--job-workers", type=int, default=1, metavar="N",
+                help="concurrent jobs (each may shard further via its "
+                "own workers param)",
+            )
+            sp.add_argument(
+                "--drain-grace", type=float, default=10.0,
+                metavar="SECONDS",
+                help="how long shutdown waits for in-flight jobs; "
+                "expired jobs resume from their checkpoints on restart",
+            )
+
+    sp = serve_sub.add_parser(
+        "start", help="run the daemon in the foreground"
+    )
+    _serve_common(sp, with_server=True)
+    sp.set_defaults(func=cmd_serve_start)
+
+    sp = serve_sub.add_parser(
+        "stop", help="SIGTERM the daemon and wait for a clean drain"
+    )
+    _serve_common(sp)
+    sp.set_defaults(func=cmd_serve_stop)
+
+    sp = serve_sub.add_parser(
+        "restart", help="stop (if running), then start; interrupted "
+        "jobs resume from their checkpoints"
+    )
+    _serve_common(sp, with_server=True)
+    sp.set_defaults(func=cmd_serve_restart)
+
+    sp = serve_sub.add_parser(
+        "status", help="pidfile, ledger and live-queue snapshot"
+    )
+    _serve_common(sp)
+    sp.set_defaults(func=cmd_serve_status)
+
+    sp = serve_sub.add_parser(
+        "configure",
+        help="persist daemon defaults (key=value ...; value 'null' "
+        "resets a key)",
+    )
+    _serve_common(sp)
+    sp.add_argument(
+        "settings", nargs="+", metavar="KEY=VALUE",
+        help="job-param defaults (max_configs, kernel, ...) or daemon "
+        "knobs (job_workers, host, port)",
+    )
+    sp.set_defaults(func=cmd_serve_configure)
+
+    p = sub.add_parser(
+        "db", help="query the service result ledger"
+    )
+    db_sub = p.add_subparsers(dest="db_command", required=True)
+
+    def _db_common(sp):
+        sp.add_argument(
+            "--db", default=None, metavar="FILE",
+            help="ledger path (default: <run-dir>/ledger.sqlite)",
+        )
+
+    sp = db_sub.add_parser("query", help="list results (or --jobs)")
+    _db_common(sp)
+    sp.add_argument("--jobs", action="store_true", help="list jobs instead")
+    sp.add_argument("--state", default=None, help="filter jobs by state")
+    sp.add_argument("--protocol", default=None, help="filter by protocol")
+    sp.add_argument("--kind", default=None, help="filter by job kind")
+    sp.add_argument("--job", default=None, help="filter by job key")
+    sp.add_argument("--limit", type=int, default=50, metavar="N")
+    sp.set_defaults(func=cmd_db_query)
+
+    sp = db_sub.add_parser(
+        "trend", help="per-(protocol, engine) aggregates over history"
+    )
+    _db_common(sp)
+    sp.add_argument("--protocol", default=None, help="filter by protocol")
+    sp.set_defaults(func=cmd_db_trend)
+
+    sp = db_sub.add_parser(
+        "export", help="emit the ledger in the BENCH_*.json shape"
+    )
+    _db_common(sp)
+    sp.add_argument("--out", default=None, metavar="FILE")
+    sp.add_argument("--bench", default="service", help="bench tag")
+    sp.set_defaults(func=cmd_db_export)
 
     return parser
 

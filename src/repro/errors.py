@@ -106,6 +106,46 @@ class JournalError(ReproError):
     """A trace journal is malformed (bad JSON line, schema violation)."""
 
 
+class SchemaTooNew(JournalError):
+    """A journal was written by a newer schema than this reader supports.
+
+    Not corruption: the file is presumably fine, we are just too old to
+    interpret it.  Carries both versions so surfaces can print the
+    one-line ``journal schema vN > supported vM`` verdict instead of a
+    corrupt-journal diagnosis.
+    """
+
+    def __init__(self, message: str, found: int = 0, supported: int = 0):
+        super().__init__(message)
+        self.found = found
+        self.supported = supported
+
+    def __reduce__(self):
+        # Keep both version numbers across a worker-process boundary.
+        return (type(self), (self.args[0], self.found, self.supported))
+
+
+class ResilienceError(ReproError):
+    """The crash-tolerance layer refused an unsafe operation.
+
+    Raised for *refusals*, not failures: e.g. a checkpoint journal that
+    is currently open in another live process cannot be appended to or
+    resumed without risking interior tears, so the operation is denied
+    with a clean message (CLI exit 1) instead of proceeding into
+    corruption.
+    """
+
+
+class ServiceError(ReproError):
+    """The serve daemon or the result ledger hit an operational fault.
+
+    Covers pidfile conflicts (a daemon already runs for this run
+    directory), ledger schema refusals (a database written by a newer
+    service version), and malformed job submissions that slipped past
+    HTTP validation.
+    """
+
+
 class KernelError(ReproError):
     """The compiled exploration kernel hit an internal invariant failure.
 

@@ -41,6 +41,7 @@ from repro.lint.selfcheck import (
     check_determinism,
     check_kernel_hot_path,
     check_picklable_errors,
+    check_service_db,
     check_trace_schema,
     check_worker_shared_state,
     lint_repository,
@@ -57,6 +58,7 @@ __all__ = [
     "check_determinism",
     "check_kernel_hot_path",
     "check_picklable_errors",
+    "check_service_db",
     "check_trace_schema",
     "check_worker_shared_state",
     "consensus_impossible",

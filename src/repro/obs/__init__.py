@@ -40,7 +40,7 @@ from repro.obs.trace import (
     parse_journal_tolerant,
     validate_record,
 )
-from repro.errors import JournalError
+from repro.errors import JournalError, SchemaTooNew
 
 __all__ = [
     "DEFAULT_EDGES",
@@ -56,6 +56,7 @@ __all__ = [
     "Observation",
     "REQUIRED_KEYS",
     "SCHEMA_VERSION",
+    "SchemaTooNew",
     "Tracer",
     "current",
     "get_metrics",

@@ -36,7 +36,7 @@ import os
 import time
 from typing import Any, Dict, IO, Iterable, List, Optional
 
-from repro.errors import JournalError
+from repro.errors import JournalError, SchemaTooNew
 
 #: Version stamped into every record; readers reject anything else.
 SCHEMA_VERSION = 1
@@ -74,9 +74,21 @@ def validate_record(record: Any, line: Optional[int] = None) -> str:
     where = "" if line is None else f" (line {line})"
     if not isinstance(record, dict):
         raise JournalError(f"journal record is not an object{where}")
-    if record.get("v") != SCHEMA_VERSION:
+    version = record.get("v")
+    if version != SCHEMA_VERSION:
+        if isinstance(version, int) and version > SCHEMA_VERSION:
+            # A journal from a newer writer (e.g. the result ledger
+            # reading journals recorded by a later daemon): not corrupt,
+            # just unreadable here.  Surfaces render the one-line
+            # version verdict instead of a corruption diagnosis.
+            raise SchemaTooNew(
+                f"journal schema v{version} > supported "
+                f"v{SCHEMA_VERSION}{where}",
+                found=version,
+                supported=SCHEMA_VERSION,
+            )
         raise JournalError(
-            f"unsupported journal schema version {record.get('v')!r}{where}"
+            f"unsupported journal schema version {version!r}{where}"
         )
     kind = record.get("type")
     required = REQUIRED_KEYS.get(kind)
@@ -142,6 +154,11 @@ def _read_records(
             record = json.loads(stripped)
             validate_record(record, line=number)
         except (json.JSONDecodeError, JournalError) as exc:
+            if isinstance(exc, SchemaTooNew):
+                # Keep the type (and both version numbers): consumers
+                # print the version verdict, not a corruption report.
+                exc.torn_tail = False
+                return records, exc
             defect = JournalError(
                 f"bad journal record on line {number}: {exc}"
                 if isinstance(exc, json.JSONDecodeError)

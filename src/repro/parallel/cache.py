@@ -23,16 +23,30 @@ The store is bounded: ``max_bytes`` (default 256 MB) is enforced by
 least-recently-used eviction on file mtimes, which ``load`` refreshes.
 Writes are atomic (temp file + ``os.replace``), so a crashed writer
 leaves no half-written entry under the final name.
+
+Multiple processes may share one cache directory (a serve daemon plus
+ad-hoc CLI runs is the normal shape): mutations -- store + its LRU
+eviction pass, and ``clear`` -- are serialized by an advisory
+``fcntl.flock`` on ``<base>/.lock``, and the eviction census skips
+in-flight ``.tmp-*`` names, so one writer's eviction can neither delete
+another writer's half-landed entry nor interleave with its rename.
+Reads stay lock-free: entries only ever appear via atomic ``os.replace``.
 """
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import json
 import os
 import tempfile
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple
+
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX: single-writer only
+    fcntl = None  # type: ignore[assignment]
 
 from repro.obs.runtime import get_metrics, get_tracer
 
@@ -95,6 +109,31 @@ class ValencyCache:
     def _path(self, fingerprint: str, key_digest: str) -> Path:
         return self.root / fingerprint[:2] / f"{fingerprint}-{key_digest}.json"
 
+    # -- cross-process mutual exclusion -------------------------------------
+    @contextlib.contextmanager
+    def _write_lock(self):
+        """Advisory exclusive lock serializing mutations across processes.
+
+        Two concurrent writers (a serve daemon job plus a CLI run on the
+        same ``--cache-dir``) must not interleave a store's
+        temp-write/rename with another store's eviction pass: the census
+        would count (and could unlink) the in-flight temp file, turning
+        the second writer's ``os.replace`` into a lost entry.  The lock
+        file lives beside the versioned tree so ``clear`` never removes
+        it; the OS drops the lock if the holder dies, so a crashed
+        writer cannot wedge the cache.
+        """
+        if fcntl is None:
+            yield
+            return
+        self.base.mkdir(parents=True, exist_ok=True)
+        fd = os.open(self.base / ".lock", os.O_RDWR | os.O_CREAT, 0o644)
+        try:
+            fcntl.flock(fd, fcntl.LOCK_EX)
+            yield
+        finally:
+            os.close(fd)  # closing releases the flock
+
     # -- read ---------------------------------------------------------------
     def load(
         self, fingerprint: str, key_digest: str
@@ -152,22 +191,24 @@ class ValencyCache:
             "checksum": _body_checksum(body),
             "body": body,
         }
-        path.parent.mkdir(parents=True, exist_ok=True)
-        fd, tmp = tempfile.mkstemp(
-            dir=path.parent, prefix=".tmp-", suffix=".json"
-        )
-        try:
-            with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                json.dump(payload, handle, sort_keys=True)
-            os.replace(tmp, path)
-        except BaseException:
+        with self._write_lock():
+            path.parent.mkdir(parents=True, exist_ok=True)
+            # mkstemp opens O_EXCL under a .tmp- name the census skips.
+            fd, tmp = tempfile.mkstemp(
+                dir=path.parent, prefix=".tmp-", suffix=".json"
+            )
             try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
-        self._bump("stores")
-        self._evict_to_bound()
+                with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                    json.dump(payload, handle, sort_keys=True)
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+            self._bump("stores")
+            self._evict_to_bound()
 
     def _bump(self, name: str) -> None:
         """Advance a local counter and its ``valency_cache.*`` mirror."""
@@ -215,6 +256,11 @@ class ValencyCache:
             return []
         out = []
         for path in self.root.rglob("*.json"):
+            if path.name.startswith(".tmp-"):
+                # Another writer's in-flight temp file: not an entry yet.
+                # Counting it would inflate the census; evicting it would
+                # break that writer's rename into a lost entry.
+                continue
             try:
                 out.append((path, path.stat()))
             except OSError:
@@ -242,8 +288,14 @@ class ValencyCache:
         """Delete every cache file (entries and quarantined ones).
 
         Returns the number of files removed.  Empty shard directories
-        are pruned too, so a cleared cache directory is actually empty.
+        are pruned too.  The only survivor is the advisory ``.lock``
+        marker beside the versioned tree -- it is what serializes this
+        clear against concurrent writers, so it cannot delete itself.
         """
+        with self._write_lock():
+            return self._clear_locked()
+
+    def _clear_locked(self) -> int:
         removed = 0
         if self.root.is_dir():
             for path in self.root.rglob("*"):

@@ -26,13 +26,16 @@ results bit-for-bit lives in :mod:`repro.faults.chaos` (CLI:
 ``repro chaos``).
 """
 
+from repro.errors import ResilienceError
 from repro.resilience.checkpoint import (
     CHECKPOINT_KIND,
     CHECKPOINT_VERSION,
     CheckpointJournal,
     LevelCheckpoint,
+    acquire_journal_lock,
     atomic_write_bytes,
     atomic_write_text,
+    check_journal_unlocked,
     load_checkpoint,
 )
 from repro.resilience.supervisor import (
@@ -46,8 +49,11 @@ __all__ = [
     "CheckpointJournal",
     "KILL_EXIT_CODE",
     "LevelCheckpoint",
+    "ResilienceError",
     "SupervisedPool",
+    "acquire_journal_lock",
     "atomic_write_bytes",
     "atomic_write_text",
+    "check_journal_unlocked",
     "load_checkpoint",
 ]

@@ -35,8 +35,14 @@ import tempfile
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro.errors import ResilienceError
 from repro.faults.resume import PartialProgress, QueryJournal, ResumeError
 from repro.obs.runtime import get_metrics, get_tracer
+
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX: no concurrency guard
+    fcntl = None  # type: ignore[assignment]
 
 #: The ``kind`` tag of a JSONL checkpoint journal's header line.
 CHECKPOINT_KIND = "adversary-checkpoint"
@@ -81,6 +87,78 @@ def atomic_write_text(path: os.PathLike, text: str) -> None:
 
 
 # -- the live query journal ---------------------------------------------------
+
+
+def _lock_path(path: os.PathLike) -> Path:
+    return Path(f"{os.fspath(path)}.lock")
+
+
+def _holder_pid(lock_path: Path) -> str:
+    """Best-effort pid marker of the process holding a journal lock."""
+    try:
+        pid = lock_path.read_text(encoding="utf-8").strip()
+    except OSError:
+        pid = ""
+    return pid or "unknown"
+
+
+def acquire_journal_lock(path: os.PathLike) -> int:
+    """Take the writer lock guarding one checkpoint journal path.
+
+    The journal format tolerates exactly one torn *final* line -- the
+    artifact of a single writer dying mid-append.  Two live writers (a
+    daemon job plus a CLI ``--resume`` of the same path) could interleave
+    appends and produce *interior* tears no reader can distinguish from
+    corruption, so concurrent opens are refused outright: the second
+    opener gets a clean :class:`~repro.errors.ResilienceError` naming
+    the holder's pid.  The lock is an ``fcntl.flock`` on a ``.lock``
+    sibling (pid recorded inside as the marker), released automatically
+    by the OS if the holder dies -- a crashed writer never wedges the
+    path.  Returns the open lock fd; close it to release.
+    """
+    lock_path = _lock_path(path)
+    lock_path.parent.mkdir(parents=True, exist_ok=True)
+    fd = os.open(lock_path, os.O_RDWR | os.O_CREAT, 0o644)
+    if fcntl is not None:
+        try:
+            fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+        except OSError:
+            pid = _holder_pid(lock_path)
+            os.close(fd)
+            raise ResilienceError(
+                f"checkpoint journal {os.fspath(path)} is open in another "
+                f"process (pid {pid}); concurrent use would tear it -- "
+                f"wait for that run to finish"
+            ) from None
+    os.truncate(fd, 0)
+    os.write(fd, f"{os.getpid()}\n".encode("ascii"))
+    return fd
+
+
+def check_journal_unlocked(path: os.PathLike) -> None:
+    """Refuse (``ResilienceError``) if ``path``'s journal is open elsewhere.
+
+    Probe used by readers about to resume: acquires and immediately
+    releases the writer lock without touching the pid marker.
+    """
+    if fcntl is None:
+        return
+    lock_path = _lock_path(path)
+    try:
+        fd = os.open(lock_path, os.O_RDWR)
+    except OSError:
+        return  # no lock file: nobody has ever written this journal live
+    try:
+        try:
+            fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+        except OSError:
+            raise ResilienceError(
+                f"checkpoint journal {os.fspath(path)} is open in another "
+                f"process (pid {_holder_pid(lock_path)}); refusing to "
+                f"resume a journal that is still being written"
+            ) from None
+    finally:
+        os.close(fd)
 
 
 def _entry_payload(entry: Dict[str, Any]) -> Dict[str, Any]:
@@ -128,6 +206,9 @@ class CheckpointJournal(QueryJournal):
         self.path = Path(path)
         self.fsync_every = fsync_every
         self._since_fsync = 0
+        # Writer exclusivity first: the open below atomically *rewrites*
+        # the file, which must never happen under a live writer's feet.
+        self._lock_fd: Optional[int] = acquire_journal_lock(self.path)
         self._header = {
             "kind": CHECKPOINT_KIND,
             "v": CHECKPOINT_VERSION,
@@ -172,6 +253,9 @@ class CheckpointJournal(QueryJournal):
                 pass
             self._handle.close()
             self._handle = None
+        if self._lock_fd is not None:
+            os.close(self._lock_fd)  # closing releases the flock
+            self._lock_fd = None
 
     def __enter__(self) -> "CheckpointJournal":
         return self
@@ -215,8 +299,15 @@ def load_checkpoint(path: os.PathLike) -> Optional[PartialProgress]:
       *else* means mid-file corruption and raises;
     * the legacy whole-file ``partial-progress`` JSON document the CLI
       used to write on budget exhaustion.
+
+    A journal that is *currently open* in another live process is
+    refused with :class:`~repro.errors.ResilienceError` before a byte is
+    read: resuming it would race the writer's appends (interior tears),
+    and the subsequent re-open would atomically rewrite the file under
+    the writer.
     """
     path = Path(path)
+    check_journal_unlocked(path)
     try:
         raw = path.read_text(encoding="utf-8")
     except OSError:

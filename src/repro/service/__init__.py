@@ -1,0 +1,40 @@
+"""Adversary-as-a-service: daemon, job queue, and result ledger.
+
+The CLI's campaigns are one-shot: run, print, exit 0/2/3/1.  This
+package keeps the machinery warm and the history queryable:
+
+* :mod:`repro.service.daemon` -- ``repro serve start|stop|restart|
+  status|configure``: a pidfile-managed daemon whose SIGTERM handler
+  drains in-flight jobs and whose restart resumes interrupted ones from
+  their live checkpoint journals;
+* :mod:`repro.service.queue` -- the async job queue: protocol specs in
+  over HTTP/JSON, adversary / fuzz / absint campaigns out, each under
+  its per-job budget, each ending in exactly one terminal state of the
+  exit-code contract;
+* :mod:`repro.service.httpd` -- the stdlib-only HTTP/JSON surface;
+* :mod:`repro.service.db` -- the SQLite result ledger (``repro db
+  query|trend|export``): every certificate, witness and metrics
+  snapshot with full provenance, behind a versioned schema.
+"""
+
+from repro.errors import ServiceError
+from repro.service.db import (
+    EXIT_BY_STATE,
+    JOB_STATES,
+    LEDGER_SCHEMA_VERSION,
+    STATE_BY_EXIT,
+    ResultLedger,
+)
+from repro.service.queue import JOB_KINDS, JobQueue, validate_submission
+
+__all__ = [
+    "EXIT_BY_STATE",
+    "JOB_KINDS",
+    "JOB_STATES",
+    "LEDGER_SCHEMA_VERSION",
+    "STATE_BY_EXIT",
+    "JobQueue",
+    "ResultLedger",
+    "ServiceError",
+    "validate_submission",
+]

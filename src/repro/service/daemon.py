@@ -1,0 +1,235 @@
+"""Daemon lifecycle: pidfile, signals, graceful drain, restart-resume.
+
+``repro serve start`` runs the service in the foreground of its own
+process (callers background it with ``&`` or an init system; the test
+suite uses ``subprocess.Popen``).  The run directory is the daemon's
+whole world::
+
+    <run-dir>/
+        daemon.pid        pid + bound port, written atomically
+        config.json       persisted `repro serve configure` overrides
+        ledger.sqlite     the result ledger (repro.service.db)
+        journals/         per-job JSONL trace journals
+        checkpoints/      per-job resumable checkpoint journals
+
+Graceful shutdown: SIGTERM and SIGINT (and the HTTP ``/shutdown``
+route) all set one event; the main loop then stops accepting work,
+drains in-flight jobs for ``drain_grace`` seconds, and exits 0.  Jobs
+still running when the grace expires are simply abandoned mid-write --
+which is safe by construction: their checkpoint journals are live and
+fsynced, the ledger row stays ``running``, and the next ``start``
+requeues and resumes them to the byte-identical certificate.
+"""
+
+from __future__ import annotations
+
+import errno
+import json
+import os
+import signal
+import time
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+from repro.errors import ServiceError
+from repro.resilience.checkpoint import atomic_write_text
+from repro.service.db import ResultLedger
+from repro.service.httpd import ServiceServer
+from repro.service.queue import DEFAULT_PARAMS, JobQueue
+
+#: How long ``stop`` waits for the daemon to exit before reporting
+#: failure (the daemon itself may additionally wait out its drain).
+STOP_TIMEOUT = 30.0
+
+
+def default_run_dir() -> Path:
+    env = os.environ.get("REPRO_SERVE_DIR")
+    return Path(env) if env else Path(".repro-serve")
+
+
+def _pidfile(run_dir: Path) -> Path:
+    return run_dir / "daemon.pid"
+
+
+def _configfile(run_dir: Path) -> Path:
+    return run_dir / "config.json"
+
+
+def read_pidfile(run_dir: Path) -> Optional[Dict[str, Any]]:
+    """The running daemon's ``{pid, port}``, or None when stale/absent.
+
+    A pidfile whose pid no longer exists is stale (the daemon was
+    SIGKILLed); it is reported as absent so ``start`` can recover.
+    """
+    try:
+        payload = json.loads(_pidfile(run_dir).read_text(encoding="utf-8"))
+        pid = int(payload["pid"])
+    except (OSError, ValueError, KeyError, TypeError):
+        return None
+    try:
+        os.kill(pid, 0)
+    except OSError as exc:
+        if exc.errno == errno.ESRCH:
+            return None  # stale: process is gone
+        # EPERM etc.: the process exists but isn't ours.
+    return {"pid": pid, "port": int(payload.get("port") or 0)}
+
+
+def load_config(run_dir: Path) -> Dict[str, Any]:
+    try:
+        raw = json.loads(_configfile(run_dir).read_text(encoding="utf-8"))
+    except OSError:
+        return {}
+    if not isinstance(raw, dict):
+        raise ServiceError(f"{_configfile(run_dir)} is not a JSON object")
+    return raw
+
+
+def save_config(run_dir: Path, updates: Dict[str, Any]) -> Dict[str, Any]:
+    """Merge ``updates`` into the persisted daemon configuration.
+
+    Keys must be known job-param defaults or the daemon knobs
+    ``job_workers``/``host``/``port``; a ``null`` value resets the key.
+    """
+    known = set(DEFAULT_PARAMS) | {"job_workers", "host", "port"}
+    unknown = sorted(set(updates) - known)
+    if unknown:
+        raise ServiceError(f"unknown configure keys: {', '.join(unknown)}")
+    run_dir.mkdir(parents=True, exist_ok=True)
+    config = load_config(run_dir)
+    for key, value in updates.items():
+        if value is None:
+            config.pop(key, None)
+        else:
+            config[key] = value
+    atomic_write_text(
+        _configfile(run_dir),
+        json.dumps(config, indent=2, sort_keys=True) + "\n",
+    )
+    return config
+
+
+class Daemon:
+    """One foreground daemon run: bind, recover, serve, drain, exit."""
+
+    def __init__(
+        self,
+        run_dir: os.PathLike,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        job_workers: int = 1,
+        drain_grace: float = 10.0,
+    ):
+        self.run_dir = Path(run_dir)
+        self.host = host
+        self.port = port
+        self.job_workers = job_workers
+        self.drain_grace = drain_grace
+
+    def run(self) -> int:
+        alive = read_pidfile(self.run_dir)
+        if alive is not None:
+            raise ServiceError(
+                f"daemon already running (pid {alive['pid']}, "
+                f"port {alive['port']}) -- `repro serve stop` it first"
+            )
+        self.run_dir.mkdir(parents=True, exist_ok=True)
+        config = load_config(self.run_dir)
+        defaults = {
+            key: value
+            for key, value in config.items()
+            if key in DEFAULT_PARAMS
+        }
+        host = config.get("host", self.host)
+        port = int(config.get("port", self.port))
+        workers = int(config.get("job_workers", self.job_workers))
+
+        ledger = ResultLedger(self.run_dir / "ledger.sqlite")
+        queue = JobQueue(
+            ledger, self.run_dir, job_workers=workers, defaults=defaults
+        )
+        server = ServiceServer((host, port), queue)
+
+        def _on_signal(signum, frame):
+            server.request_shutdown()
+
+        signal.signal(signal.SIGTERM, _on_signal)
+        signal.signal(signal.SIGINT, _on_signal)
+
+        atomic_write_text(
+            _pidfile(self.run_dir),
+            json.dumps(
+                {"pid": os.getpid(), "port": server.server_port},
+                sort_keys=True,
+            )
+            + "\n",
+        )
+        try:
+            requeued = queue.recover()
+            queue.start()
+            server.serve_in_thread()
+            print(
+                f"repro serve: pid {os.getpid()} on "
+                f"http://{host}:{server.server_port} "
+                f"({workers} job worker(s), {len(requeued)} job(s) resumed)",
+                flush=True,
+            )
+            # A short tick, not a bare wait(): lock acquisition without
+            # a timeout is not interruptible by signals on the main
+            # thread, and shutdown latency bounds how "mid-job" a
+            # SIGTERM can land in the resume tests.
+            while not server.shutdown_requested.wait(timeout=0.05):
+                pass
+            clean = queue.drain(self.drain_grace)
+            server.shutdown()
+            if not clean:
+                print(
+                    "repro serve: drain grace expired; interrupted jobs "
+                    "will resume on restart",
+                    flush=True,
+                )
+            return 0
+        finally:
+            try:
+                _pidfile(self.run_dir).unlink()
+            except OSError:
+                pass
+
+
+def stop(run_dir: Path, timeout: float = STOP_TIMEOUT) -> bool:
+    """SIGTERM the running daemon and wait for it to exit.
+
+    Returns True once the pidfile is gone (clean exit), False on
+    timeout.  Raises :class:`ServiceError` when no daemon is running.
+    """
+    alive = read_pidfile(run_dir)
+    if alive is None:
+        raise ServiceError(f"no daemon running under {run_dir}")
+    os.kill(alive["pid"], signal.SIGTERM)
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if read_pidfile(run_dir) is None:
+            return True
+        time.sleep(0.05)
+    return False
+
+
+def status(run_dir: Path) -> Dict[str, Any]:
+    """A status snapshot for ``repro serve status`` (works daemon-down)."""
+    alive = read_pidfile(run_dir)
+    out: Dict[str, Any] = {
+        "run_dir": str(run_dir),
+        "running": alive is not None,
+        "pid": alive["pid"] if alive else None,
+        "port": alive["port"] if alive else None,
+        "config": load_config(run_dir),
+    }
+    ledger_path = run_dir / "ledger.sqlite"
+    if ledger_path.exists():
+        ledger = ResultLedger(ledger_path)
+        counts: Dict[str, int] = {}
+        for job in ledger.jobs(limit=1_000_000):
+            counts[job["state"]] = counts.get(job["state"], 0) + 1
+        out["jobs"] = counts
+        out["schema_version"] = ledger.schema_version()
+    return out

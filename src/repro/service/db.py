@@ -1,0 +1,468 @@
+"""SQLite result ledger: every campaign outcome, with full provenance.
+
+The ledger is the daemon's memory -- and the query surface that replaces
+the ad-hoc ``BENCH_*.json`` trajectory.  Two tables:
+
+``jobs``
+    One row per submitted job: kind (``adversary`` | ``fuzz`` |
+    ``absint``), the protocol spec or zoo digest, parameters as JSON,
+    the checkpoint path for resumable kinds, and the lifecycle state.
+    States map the 0/2/3/1 exit-code contract one-to-one:
+    ``certified`` (0), ``violation`` (2), ``partial`` (3), ``error``
+    (1); plus the pre-terminal ``queued`` and ``running``.
+``results``
+    One row per produced artifact: the certificate's canonical JSON
+    bytes (``repro.core.serialize.to_json`` -- byte-identical to what
+    the CLI's ``--out`` writes), violation witnesses, the final metrics
+    snapshot, the trace-journal path, and provenance -- protocol digest
+    via ``stable_digest``/``protocol_fingerprint``, engine kind,
+    kernel/POR/incremental flags, worker count, seed, elapsed seconds.
+
+Versioned-schema discipline
+---------------------------
+The schema carries a version in the ``meta`` table.  Opening a ledger
+written by a *newer* service refuses cleanly
+(:class:`~repro.errors.ServiceError`) instead of misreading it; opening
+an older one runs the ``MIGRATIONS`` chain one version at a time inside
+a transaction.  Every SQL statement in the repository lives in this
+module -- ``repro lint --self`` (``check_service_db``) flags raw
+``execute`` calls anywhere else under ``repro.service``, so schema
+changes cannot bypass the migration machinery.
+
+Concurrency: writers open short-lived connections with a busy timeout
+and WAL journaling, so the daemon's job threads and a concurrent
+``repro db`` CLI read never deadlock; SQLite serializes the writes.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import os
+import sqlite3
+import time
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Sequence
+
+from repro.errors import ServiceError
+
+#: Ledger layout version, stored in ``meta('schema_version')``.  Bump it
+#: together with a new ``MIGRATIONS`` entry; never edit ``_SCHEMA`` in a
+#: way an existing ledger cannot be migrated to.
+LEDGER_SCHEMA_VERSION = 1
+
+#: ``from_version -> [SQL, ...]`` upgrade steps, applied in order inside
+#: one transaction per version.  Empty at v1 by construction; the
+#: machinery (and its refusal of newer ledgers) is tested regardless.
+MIGRATIONS: Dict[int, Sequence[str]] = {}
+
+#: Job lifecycle states.  The terminal four mirror the CLI exit-code
+#: contract exactly; tests pin this mapping.
+JOB_STATES = (
+    "queued", "running", "certified", "violation", "partial", "error",
+)
+
+#: exit code -> terminal job state (the 0/2/3/1 contract).
+STATE_BY_EXIT = {0: "certified", 2: "violation", 3: "partial", 1: "error"}
+
+#: terminal job state -> exit code (inverse of :data:`STATE_BY_EXIT`).
+EXIT_BY_STATE = {state: code for code, state in STATE_BY_EXIT.items()}
+
+_SCHEMA = (
+    """CREATE TABLE IF NOT EXISTS meta (
+        key TEXT PRIMARY KEY,
+        value TEXT NOT NULL
+    )""",
+    """CREATE TABLE IF NOT EXISTS jobs (
+        id INTEGER PRIMARY KEY AUTOINCREMENT,
+        job_key TEXT NOT NULL UNIQUE,
+        kind TEXT NOT NULL,
+        spec TEXT NOT NULL,
+        state TEXT NOT NULL,
+        exit_code INTEGER,
+        detail TEXT,
+        params TEXT NOT NULL,
+        checkpoint TEXT,
+        submitted_at REAL NOT NULL,
+        started_at REAL,
+        finished_at REAL,
+        attempts INTEGER NOT NULL DEFAULT 0
+    )""",
+    """CREATE TABLE IF NOT EXISTS results (
+        id INTEGER PRIMARY KEY AUTOINCREMENT,
+        job_key TEXT NOT NULL REFERENCES jobs(job_key),
+        kind TEXT NOT NULL,
+        protocol TEXT NOT NULL,
+        protocol_digest TEXT,
+        n INTEGER,
+        registers INTEGER,
+        engine TEXT,
+        workers INTEGER,
+        por INTEGER,
+        incremental INTEGER,
+        seed INTEGER,
+        exit_code INTEGER NOT NULL,
+        certificate TEXT,
+        witness TEXT,
+        metrics TEXT,
+        trace_journal TEXT,
+        elapsed REAL,
+        created_at REAL NOT NULL
+    )""",
+    """CREATE INDEX IF NOT EXISTS idx_results_protocol
+        ON results (protocol, created_at)""",
+    """CREATE INDEX IF NOT EXISTS idx_jobs_state ON jobs (state)""",
+)
+
+
+def _row_dict(row: sqlite3.Row) -> Dict[str, Any]:
+    return {key: row[key] for key in row.keys()}
+
+
+class ResultLedger:
+    """The provenance-recording result database behind ``repro serve``.
+
+    Connections are per-operation (cheap, and thread-safe by
+    construction); the schema is created or migrated on first open and
+    re-verified cheaply afterwards.  All writes funnel through
+    :meth:`_write`, the versioned-schema layer the self-lint pins.
+    """
+
+    def __init__(self, path: os.PathLike, timeout: float = 30.0):
+        self.path = Path(path)
+        self.timeout = timeout
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._ensure_schema()
+
+    # -- connection + schema layer ------------------------------------------
+    @contextlib.contextmanager
+    def _connect(self) -> Iterator[sqlite3.Connection]:
+        """A short-lived connection: transaction on success, then closed.
+
+        ``sqlite3.Connection``'s own context manager commits or rolls
+        back but never closes; per-operation connections must do both
+        or the daemon's job threads leak file handles.
+        """
+        conn = sqlite3.connect(self.path, timeout=self.timeout)
+        try:
+            conn.row_factory = sqlite3.Row
+            conn.execute("PRAGMA journal_mode=WAL")
+            conn.execute("PRAGMA synchronous=NORMAL")
+            with conn:
+                yield conn
+        finally:
+            conn.close()
+
+    def _ensure_schema(self) -> None:
+        with self._connect() as conn:
+            conn.execute("BEGIN IMMEDIATE")
+            for statement in _SCHEMA:
+                conn.execute(statement)
+            row = conn.execute(
+                "SELECT value FROM meta WHERE key = 'schema_version'"
+            ).fetchone()
+            if row is None:
+                conn.execute(
+                    "INSERT INTO meta (key, value) VALUES (?, ?)",
+                    ("schema_version", str(LEDGER_SCHEMA_VERSION)),
+                )
+                return
+            found = int(row["value"])
+            if found > LEDGER_SCHEMA_VERSION:
+                raise ServiceError(
+                    f"ledger {self.path} has schema v{found} > supported "
+                    f"v{LEDGER_SCHEMA_VERSION}; upgrade repro to read it"
+                )
+            while found < LEDGER_SCHEMA_VERSION:
+                steps = MIGRATIONS.get(found)
+                if steps is None:
+                    raise ServiceError(
+                        f"ledger {self.path} is at schema v{found} and no "
+                        f"migration to v{found + 1} exists"
+                    )
+                for statement in steps:
+                    conn.execute(statement)
+                found += 1
+                conn.execute(
+                    "UPDATE meta SET value = ? WHERE key = 'schema_version'",
+                    (str(found),),
+                )
+
+    def schema_version(self) -> int:
+        with self._connect() as conn:
+            row = conn.execute(
+                "SELECT value FROM meta WHERE key = 'schema_version'"
+            ).fetchone()
+        return int(row["value"])
+
+    def _write(self, sql: str, params: Sequence[Any] = ()) -> int:
+        """The single write path: one statement, one transaction.
+
+        Returns the affected row's id (``lastrowid``).  Writes outside
+        this method (anywhere under ``repro.service``) are flagged by
+        ``repro lint --self``: the schema version recorded in ``meta``
+        is only meaningful if every mutation goes through the layer
+        that checked it.
+        """
+        with self._connect() as conn:
+            cursor = conn.execute(sql, tuple(params))
+            return int(cursor.lastrowid or 0)
+
+    def _read(
+        self, sql: str, params: Sequence[Any] = ()
+    ) -> List[Dict[str, Any]]:
+        with self._connect() as conn:
+            rows = conn.execute(sql, tuple(params)).fetchall()
+        return [_row_dict(row) for row in rows]
+
+    # -- jobs ----------------------------------------------------------------
+    def submit_job(
+        self,
+        kind: str,
+        spec: str,
+        params: Optional[Dict[str, Any]] = None,
+        checkpoint: Optional[str] = None,
+        job_key: Optional[str] = None,
+    ) -> str:
+        if job_key is None:
+            job_key = os.urandom(8).hex()
+        self._write(
+            "INSERT INTO jobs (job_key, kind, spec, state, params, "
+            "checkpoint, submitted_at) VALUES (?, ?, ?, 'queued', ?, ?, ?)",
+            (
+                job_key,
+                kind,
+                spec,
+                json.dumps(params or {}, sort_keys=True),
+                checkpoint,
+                time.time(),
+            ),
+        )
+        return job_key
+
+    def mark_running(self, job_key: str) -> None:
+        self._write(
+            "UPDATE jobs SET state = 'running', started_at = ?, "
+            "attempts = attempts + 1 WHERE job_key = ?",
+            (time.time(), job_key),
+        )
+
+    def finish_job(
+        self, job_key: str, exit_code: int, detail: str = ""
+    ) -> str:
+        state = STATE_BY_EXIT.get(exit_code)
+        if state is None:
+            raise ServiceError(
+                f"exit code {exit_code} is outside the 0/2/3/1 contract"
+            )
+        self._write(
+            "UPDATE jobs SET state = ?, exit_code = ?, detail = ?, "
+            "finished_at = ? WHERE job_key = ?",
+            (state, exit_code, detail, time.time(), job_key),
+        )
+        return state
+
+    def requeue_interrupted(self) -> List[str]:
+        """Put jobs a dead daemon left ``running`` back in the queue.
+
+        Their checkpoint paths are preserved, so a resumable kind picks
+        up from its journal instead of starting over.  Returns the
+        requeued job keys in submission order.
+        """
+        rows = self._read(
+            "SELECT job_key FROM jobs WHERE state = 'running' ORDER BY id"
+        )
+        for row in rows:
+            self._write(
+                "UPDATE jobs SET state = 'queued' WHERE job_key = ?",
+                (row["job_key"],),
+            )
+        return [row["job_key"] for row in rows]
+
+    def pending_jobs(self) -> List[Dict[str, Any]]:
+        return [
+            self._inflate_job(row)
+            for row in self._read(
+                "SELECT * FROM jobs WHERE state = 'queued' ORDER BY id"
+            )
+        ]
+
+    def job(self, job_key: str) -> Optional[Dict[str, Any]]:
+        rows = self._read(
+            "SELECT * FROM jobs WHERE job_key = ?", (job_key,)
+        )
+        if not rows:
+            return None
+        return self._inflate_job(rows[0])
+
+    def jobs(
+        self, state: Optional[str] = None, limit: int = 50
+    ) -> List[Dict[str, Any]]:
+        if state is not None and state not in JOB_STATES:
+            raise ServiceError(
+                f"unknown job state {state!r}; one of {JOB_STATES}"
+            )
+        if state is None:
+            rows = self._read(
+                "SELECT * FROM jobs ORDER BY id DESC LIMIT ?", (limit,)
+            )
+        else:
+            rows = self._read(
+                "SELECT * FROM jobs WHERE state = ? ORDER BY id DESC "
+                "LIMIT ?",
+                (state, limit),
+            )
+        return [self._inflate_job(row) for row in rows]
+
+    @staticmethod
+    def _inflate_job(row: Dict[str, Any]) -> Dict[str, Any]:
+        row = dict(row)
+        row["params"] = json.loads(row["params"])
+        return row
+
+    # -- results -------------------------------------------------------------
+    def add_result(
+        self,
+        job_key: str,
+        kind: str,
+        protocol: str,
+        exit_code: int,
+        protocol_digest: Optional[str] = None,
+        n: Optional[int] = None,
+        registers: Optional[int] = None,
+        engine: Optional[str] = None,
+        workers: Optional[int] = None,
+        por: Optional[bool] = None,
+        incremental: Optional[bool] = None,
+        seed: Optional[int] = None,
+        certificate: Optional[str] = None,
+        witness: Optional[Sequence[int]] = None,
+        metrics: Optional[Dict[str, Any]] = None,
+        trace_journal: Optional[str] = None,
+        elapsed: Optional[float] = None,
+    ) -> int:
+        return self._write(
+            "INSERT INTO results (job_key, kind, protocol, protocol_digest,"
+            " n, registers, engine, workers, por, incremental, seed,"
+            " exit_code, certificate, witness, metrics, trace_journal,"
+            " elapsed, created_at)"
+            " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+            (
+                job_key,
+                kind,
+                protocol,
+                protocol_digest,
+                n,
+                registers,
+                engine,
+                workers,
+                None if por is None else int(por),
+                None if incremental is None else int(incremental),
+                seed,
+                exit_code,
+                certificate,
+                None if witness is None else json.dumps(
+                    [int(pid) for pid in witness]
+                ),
+                None if metrics is None else json.dumps(
+                    metrics, sort_keys=True
+                ),
+                trace_journal,
+                elapsed,
+                time.time(),
+            ),
+        )
+
+    def results(
+        self,
+        protocol: Optional[str] = None,
+        kind: Optional[str] = None,
+        job_key: Optional[str] = None,
+        limit: int = 50,
+    ) -> List[Dict[str, Any]]:
+        clauses, params = [], []
+        for column, value in (
+            ("protocol", protocol), ("kind", kind), ("job_key", job_key)
+        ):
+            if value is not None:
+                clauses.append(f"{column} = ?")
+                params.append(value)
+        where = f" WHERE {' AND '.join(clauses)}" if clauses else ""
+        return self._read(
+            f"SELECT * FROM results{where} ORDER BY id DESC LIMIT ?",
+            (*params, limit),
+        )
+
+    # -- trend + export ------------------------------------------------------
+    def trend(
+        self, protocol: Optional[str] = None
+    ) -> List[Dict[str, Any]]:
+        """Per-(protocol, engine) aggregates over the result history.
+
+        This is the queryable replacement for eyeballing a directory of
+        BENCH files: run counts per terminal state, elapsed-time
+        best/latest (is the hot path regressing?), and the register
+        count of the latest certificate (is the bound stable?).
+        """
+        where, params = "", []
+        if protocol is not None:
+            where = " WHERE protocol = ?"
+            params.append(protocol)
+        return self._read(
+            "SELECT protocol, engine,"
+            " COUNT(*) AS runs,"
+            " SUM(exit_code = 0) AS certified,"
+            " SUM(exit_code = 2) AS violations,"
+            " SUM(exit_code = 3) AS partials,"
+            " SUM(exit_code = 1) AS errors,"
+            " MIN(elapsed) AS best_elapsed,"
+            " MAX(created_at) AS last_run,"
+            " (SELECT elapsed FROM results AS r2"
+            "   WHERE r2.protocol = results.protocol"
+            "     AND (r2.engine = results.engine"
+            "          OR (r2.engine IS NULL AND results.engine IS NULL))"
+            "   ORDER BY r2.id DESC LIMIT 1) AS last_elapsed,"
+            " (SELECT registers FROM results AS r3"
+            "   WHERE r3.protocol = results.protocol"
+            "     AND r3.registers IS NOT NULL"
+            "   ORDER BY r3.id DESC LIMIT 1) AS registers"
+            f" FROM results{where}"
+            " GROUP BY protocol, engine"
+            " ORDER BY protocol, engine",
+            params,
+        )
+
+    def export(self, bench: str = "service") -> Dict[str, Any]:
+        """The ledger's trend view in the ``BENCH_*.json`` shape.
+
+        Same top-level contract as every existing BENCH artifact -- a
+        ``bench`` tag plus a ``results`` list of flat JSON-native dicts
+        (one per workload) -- so the CI gates that parse those files
+        consume ledger exports unchanged.
+        """
+        results = []
+        for row in self.trend():
+            results.append({
+                "workload": row["protocol"],
+                "engine": row["engine"],
+                "runs": row["runs"],
+                "certified": row["certified"],
+                "violations": row["violations"],
+                "partials": row["partials"],
+                "errors": row["errors"],
+                "best_elapsed_s": row["best_elapsed"],
+                "last_elapsed_s": row["last_elapsed"],
+                "registers": row["registers"],
+            })
+        return {
+            "bench": bench,
+            "schema_version": self.schema_version(),
+            "jobs": {
+                state: sum(
+                    1 for job in self.jobs(limit=1_000_000)
+                    if job["state"] == state
+                )
+                for state in JOB_STATES
+            },
+            "results": results,
+        }

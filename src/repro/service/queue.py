@@ -1,0 +1,377 @@
+"""The daemon's job queue: accept specs, run campaigns, ledger the results.
+
+A job is one campaign request -- ``adversary`` (the Theorem 1
+construction through :func:`repro.faults.run_adversary_guarded`),
+``fuzz`` (one deterministic differential campaign), or ``absint`` (a
+static certificate).  Jobs carry per-job budgets; every run ends in one
+of the four terminal states of the 0/2/3/1 exit contract and leaves a
+provenance-complete row in the :class:`~repro.service.db.ResultLedger`.
+
+Crash story: adversary jobs run with a live
+:class:`~repro.resilience.CheckpointJournal` under the daemon's run
+directory.  A daemon killed mid-job leaves the job ``running`` in the
+ledger and a resumable journal on disk; on restart
+:meth:`JobQueue.recover` requeues it and the rerun resumes from the
+journal to the byte-identical certificate (the PR 6 guarantee).  The
+journal's writer lock means a concurrent CLI ``--resume`` of the same
+path is refused instead of tearing it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import queue
+import threading
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from repro.errors import ReproError, ServiceError
+from repro.service.db import ResultLedger
+
+#: Job kinds the queue accepts.
+JOB_KINDS = ("adversary", "fuzz", "absint")
+
+#: Per-job parameter defaults (overridable per submission and by
+#: ``repro serve configure``).
+DEFAULT_PARAMS: Dict[str, Any] = {
+    "max_configs": 30_000,
+    "max_depth": 60,
+    "budget": None,
+    "deadline": None,
+    "workers": 1,
+    "por": False,
+    "incremental": True,
+    "kernel": "compiled",
+    "seed": 0,
+    "count": 5,
+    "mutants": 1,
+}
+
+
+def build_protocol(spec: str):
+    """Instantiate a job's protocol from a CLI spec (zoo digests included).
+
+    Wraps :func:`repro.cli.parse_protocol` so its ``SystemExit`` (an
+    argparse idiom) becomes a :class:`~repro.errors.ServiceError` the
+    HTTP layer renders as a 400 instead of killing a job thread.
+    """
+    from repro.cli import parse_protocol
+
+    try:
+        return parse_protocol(spec)
+    except SystemExit as exc:
+        raise ServiceError(str(exc)) from None
+
+
+def validate_submission(payload: Any) -> Dict[str, Any]:
+    """Normalize one POST /jobs body; raises ``ServiceError`` when bad.
+
+    Returns ``{"kind": ..., "spec": ..., "params": {...}}`` with params
+    restricted to known keys and merged over :data:`DEFAULT_PARAMS`.
+    """
+    if not isinstance(payload, dict):
+        raise ServiceError("job body must be a JSON object")
+    kind = payload.get("kind", "adversary")
+    if kind not in JOB_KINDS:
+        raise ServiceError(f"unknown job kind {kind!r}; one of {JOB_KINDS}")
+    spec = payload.get("spec")
+    if kind in ("adversary", "absint"):
+        if not isinstance(spec, str) or not spec:
+            raise ServiceError(f"{kind} jobs need a protocol 'spec' string")
+        build_protocol(spec)  # reject unparseable specs at the door
+    else:
+        spec = spec or "generated"
+    params = payload.get("params", {})
+    if not isinstance(params, dict):
+        raise ServiceError("'params' must be a JSON object")
+    unknown = sorted(set(params) - set(DEFAULT_PARAMS))
+    if unknown:
+        raise ServiceError(f"unknown job params: {', '.join(unknown)}")
+    return {"kind": kind, "spec": spec, "params": params}
+
+
+class JobQueue:
+    """Worker threads pulling jobs from the ledger-backed queue.
+
+    The ledger is the durable source of truth; the in-memory queue only
+    carries job keys.  ``job_workers`` bounds concurrent jobs (each job
+    may additionally shard across a worker-process pool via its own
+    ``workers`` param, on the supervised execution plane).
+    """
+
+    def __init__(
+        self,
+        ledger: ResultLedger,
+        run_dir: os.PathLike,
+        job_workers: int = 1,
+        defaults: Optional[Dict[str, Any]] = None,
+    ):
+        self.ledger = ledger
+        self.run_dir = Path(run_dir)
+        self.job_workers = max(1, int(job_workers))
+        self.defaults = dict(DEFAULT_PARAMS)
+        self.defaults.update(defaults or {})
+        self._tasks: "queue.Queue[Optional[str]]" = queue.Queue()
+        self._threads: List[threading.Thread] = []
+        self._stop = threading.Event()
+        self._inflight = 0
+        self._state_lock = threading.Lock()
+
+    # -- lifecycle -----------------------------------------------------------
+    def start(self) -> None:
+        (self.run_dir / "journals").mkdir(parents=True, exist_ok=True)
+        (self.run_dir / "checkpoints").mkdir(parents=True, exist_ok=True)
+        for index in range(self.job_workers):
+            thread = threading.Thread(
+                target=self._run_loop,
+                name=f"repro-job-{index}",
+                # Daemon threads: a drain that outlives its grace period
+                # must not block process exit -- the live checkpoint
+                # journal already holds everything a resume needs.
+                daemon=True,
+            )
+            thread.start()
+            self._threads.append(thread)
+
+    def recover(self) -> List[str]:
+        """Requeue jobs a previous daemon left behind, oldest first."""
+        requeued = self.ledger.requeue_interrupted()
+        keys = [job["job_key"] for job in self.ledger.pending_jobs()]
+        for key in keys:
+            self._tasks.put(key)
+        return requeued
+
+    def drain(self, grace: float) -> bool:
+        """Stop pulling new jobs; wait up to ``grace`` s for in-flight ones.
+
+        Returns True when everything in flight finished (a clean drain);
+        False when the grace period expired first -- the interrupted
+        jobs stay ``running`` in the ledger and resume on restart.
+        """
+        self._stop.set()
+        deadline = time.monotonic() + max(0.0, grace)
+        while time.monotonic() < deadline:
+            with self._state_lock:
+                if self._inflight == 0:
+                    return True
+            time.sleep(0.02)
+        with self._state_lock:
+            return self._inflight == 0
+
+    # -- submission ----------------------------------------------------------
+    def submit(self, payload: Any) -> str:
+        if self._stop.is_set():
+            raise ServiceError("daemon is shutting down; job refused")
+        job = validate_submission(payload)
+        checkpoint = None
+        key = os.urandom(8).hex()
+        if job["kind"] == "adversary":
+            checkpoint = str(self.run_dir / "checkpoints" / f"{key}.ckpt")
+        self.ledger.submit_job(
+            job["kind"],
+            job["spec"],
+            params=job["params"],
+            checkpoint=checkpoint,
+            job_key=key,
+        )
+        self._tasks.put(key)
+        return key
+
+    def snapshot(self) -> Dict[str, Any]:
+        with self._state_lock:
+            inflight = self._inflight
+        return {
+            "queued": self._tasks.qsize(),
+            "inflight": inflight,
+            "job_workers": self.job_workers,
+            "draining": self._stop.is_set(),
+        }
+
+    # -- execution -----------------------------------------------------------
+    def _run_loop(self) -> None:
+        while not self._stop.is_set():
+            try:
+                key = self._tasks.get(timeout=0.1)
+            except queue.Empty:
+                continue
+            if key is None:
+                continue
+            with self._state_lock:
+                self._inflight += 1
+            try:
+                self.run_one(key)
+            finally:
+                with self._state_lock:
+                    self._inflight -= 1
+
+    def run_one(self, key: str) -> None:
+        """Run one job to a terminal state, whatever happens inside it."""
+        job = self.ledger.job(key)
+        if job is None or job["state"] not in ("queued", "running"):
+            return
+        self.ledger.mark_running(key)
+        params = dict(self.defaults)
+        params.update(job["params"])
+        journal_path = self.run_dir / "journals" / f"{key}.jsonl"
+        started = time.monotonic()
+        try:
+            runner = getattr(self, f"_run_{job['kind']}")
+            exit_code, detail = runner(job, params, journal_path, started)
+        except ReproError as exc:
+            exit_code, detail = 1, f"{type(exc).__name__}: {exc}"
+            self.ledger.add_result(
+                key,
+                kind=job["kind"],
+                protocol=job["spec"],
+                exit_code=1,
+                trace_journal=str(journal_path),
+                elapsed=time.monotonic() - started,
+            )
+        self.ledger.finish_job(key, exit_code, detail)
+
+    # -- per-kind runners ----------------------------------------------------
+    def _run_adversary(self, job, params, journal_path, started):
+        from repro.core.serialize import to_json
+        from repro.faults import Budget, run_adversary_guarded
+        from repro.model.system import System
+        from repro.obs import JsonlSink, MetricsRegistry, Tracer, observe
+        from repro.parallel.fingerprint import protocol_fingerprint
+        from repro.resilience import load_checkpoint
+
+        protocol = build_protocol(job["spec"])
+        system = System(protocol)
+        budget = None
+        if params["budget"] is not None or params["deadline"] is not None:
+            budget = Budget(
+                max_steps=params["budget"], deadline=params["deadline"]
+            )
+        resume = None
+        checkpoint = job["checkpoint"]
+        if checkpoint and os.path.exists(checkpoint):
+            resume = load_checkpoint(checkpoint)
+            if resume is not None and resume.protocol != job["spec"]:
+                raise ServiceError(
+                    f"checkpoint {checkpoint} belongs to "
+                    f"{resume.protocol!r}, not {job['spec']!r}"
+                )
+        tracer = Tracer(JsonlSink(journal_path))
+        registry = MetricsRegistry()
+        try:
+            with observe(tracer=tracer, metrics=registry):
+                outcome = run_adversary_guarded(
+                    system,
+                    budget=budget,
+                    resume=resume,
+                    max_configs=params["max_configs"],
+                    max_depth=params["max_depth"],
+                    spec=job["spec"],
+                    workers=params["workers"],
+                    por=params["por"],
+                    incremental=params["incremental"],
+                    checkpoint=checkpoint,
+                    kernel=params["kernel"],
+                )
+        finally:
+            try:
+                tracer.emit_metrics(registry)
+            finally:
+                tracer.close()
+        common = dict(
+            kind="adversary",
+            protocol=job["spec"],
+            protocol_digest=protocol_fingerprint(protocol),
+            n=protocol.n,
+            engine=params["kernel"],
+            workers=params["workers"],
+            por=params["por"],
+            incremental=params["incremental"],
+            metrics=registry.snapshot(),
+            trace_journal=str(journal_path),
+            elapsed=time.monotonic() - started,
+        )
+        if outcome.status == "certificate":
+            certificate = outcome.certificate
+            self.ledger.add_result(
+                job["job_key"],
+                exit_code=0,
+                registers=len(certificate.registers),
+                certificate=to_json(certificate),
+                **common,
+            )
+            return 0, certificate.summary()
+        if outcome.status == "violation":
+            witness = getattr(outcome.violation, "witness", None)
+            self.ledger.add_result(
+                job["job_key"], exit_code=2, witness=witness, **common
+            )
+            return 2, str(outcome.violation)
+        self.ledger.add_result(job["job_key"], exit_code=3, **common)
+        return 3, outcome.partial.summary()
+
+    def _run_fuzz(self, job, params, journal_path, started):
+        from repro.cli import _fuzz_engines, _fuzz_pool
+        from repro.fuzz import run_campaign
+        from repro.fuzz.campaign import CampaignConfig
+        from repro.parallel.fingerprint import stable_digest
+
+        engines = _fuzz_engines(params["workers"], params["kernel"])
+        config = CampaignConfig(
+            seed=params["seed"],
+            count=params["count"],
+            mutants=params["mutants"],
+            engines=engines,
+            max_configs=params["max_configs"],
+            max_depth=params["max_depth"],
+            budget_steps=params["budget"],
+            deadline=params["deadline"],
+            zoo_root=str(self.run_dir / "zoo"),
+        )
+        with _fuzz_pool(engines) as pool:
+            result = run_campaign(
+                config, pool=pool, journal_path=str(journal_path)
+            )
+        exit_code = 2 if result.divergent else 0
+        self.ledger.add_result(
+            job["job_key"],
+            kind="fuzz",
+            protocol=f"fuzz:seed={config.seed}",
+            protocol_digest=stable_digest(
+                ("fuzz", config.seed, config.count, config.mutants)
+            ),
+            exit_code=exit_code,
+            engine=params["kernel"],
+            workers=params["workers"],
+            seed=config.seed,
+            metrics=dict(result.stats),
+            witness=None,
+            trace_journal=str(journal_path),
+            elapsed=time.monotonic() - started,
+        )
+        detail = (
+            f"{result.stats['explored']} explored, "
+            f"{len(result.divergent)} divergent ({result.stopped})"
+        )
+        return exit_code, detail
+
+    def _run_absint(self, job, params, journal_path, started):
+        from repro.absint import static_certificate
+        from repro.parallel.fingerprint import protocol_fingerprint
+
+        protocol = build_protocol(job["spec"])
+        certificate = static_certificate(protocol)
+        exit_code = 2 if certificate.refuted else 0
+        self.ledger.add_result(
+            job["job_key"],
+            kind="absint",
+            protocol=job["spec"],
+            protocol_digest=protocol_fingerprint(protocol),
+            n=protocol.n,
+            exit_code=exit_code,
+            certificate=certificate.to_json(),
+            elapsed=time.monotonic() - started,
+        )
+        if certificate.refuted:
+            return 2, f"statically refuted: {', '.join(certificate.kinds)}"
+        return 0, "statically clean"

@@ -1,0 +1,167 @@
+"""Two-process ValencyCache regression: concurrent writers lose nothing.
+
+The bug this pins down: ``store()`` creates its entry as a dot-prefixed
+``.tmp-*.json`` file before the atomic rename, and the eviction census
+used ``rglob("*.json")`` -- which matches dotfiles -- so a concurrent
+process's eviction pass could count (and unlink) another writer's
+in-flight temp file, turning its ``os.replace`` into a crash and a lost
+entry.  The fix serializes mutations with an advisory ``fcntl.flock``
+on ``<base>/.lock`` and skips ``.tmp-*`` names in the census.
+
+These tests drive two real processes against one ``--cache-dir``:
+every stored entry must be loadable afterwards (none lost, none
+corrupted), even with eviction pressure forcing the exact interleaving
+the lock exists to prevent.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.parallel.cache import ValencyCache
+
+pytestmark = pytest.mark.skipif(
+    os.name != "posix", reason="advisory file locks are POSIX-only"
+)
+
+# Each writer stores COUNT entries under its own fingerprint, then
+# re-loads every one of them and reports the census as JSON on stdout.
+WRITER = textwrap.dedent("""
+    import json, sys
+    from repro.parallel.cache import ValencyCache
+
+    base, fingerprint, count, max_bytes = (
+        sys.argv[1], sys.argv[2], int(sys.argv[3]), int(sys.argv[4])
+    )
+    cache = ValencyCache(base, max_bytes=max_bytes)
+    body = {"decided": [[0, [0, 1]]], "complete": True, "negative": []}
+    for index in range(count):
+        cache.store(fingerprint, f"key-{index:04d}", dict(body, seq=index))
+    survived = sum(
+        1 for index in range(count)
+        if cache.load(fingerprint, f"key-{index:04d}") is not None
+    )
+    print(json.dumps({
+        "survived": survived,
+        "corrupt": cache.counters["corrupt"],
+    }))
+""")
+
+
+def run_writers(tmp_path, count, max_bytes):
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parent.parent / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    procs = [
+        subprocess.Popen(
+            [sys.executable, "-c", WRITER, str(tmp_path / "cache"),
+             fingerprint, str(count), str(max_bytes)],
+            env=env, stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+            text=True,
+        )
+        for fingerprint in ("aa" * 8, "bb" * 8)
+    ]
+    reports = []
+    for proc in procs:
+        out, err = proc.communicate(timeout=120)
+        assert proc.returncode == 0, (
+            f"writer crashed (the pre-lock bug's signature):\n{err}"
+        )
+        reports.append(json.loads(out))
+    return reports
+
+
+class TestTwoProcessRegression:
+    def test_concurrent_writers_lose_no_entries(self, tmp_path):
+        # Bound high enough that nothing is evicted: every one of the
+        # 2 x 120 stores must then survive, byte-perfect.
+        reports = run_writers(tmp_path, count=120, max_bytes=1 << 30)
+        for report in reports:
+            assert report["survived"] == 120
+            assert report["corrupt"] == 0
+        cache = ValencyCache(tmp_path / "cache")
+        stats = cache.stats()
+        assert stats["entries"] == 240
+        assert stats["quarantined"] == 0
+
+    def test_concurrent_writers_under_eviction_pressure(self, tmp_path):
+        # A tight bound forces an eviction pass inside nearly every
+        # store -- the exact window where an unlocked evictor could
+        # unlink the other process's in-flight temp file.  Entries may
+        # be legitimately evicted; what must never happen is a crashed
+        # writer or a corrupt survivor.
+        run_writers(tmp_path, count=80, max_bytes=4096)
+        cache = ValencyCache(tmp_path / "cache")
+        stats = cache.stats()
+        assert stats["quarantined"] == 0
+        # Whatever survived eviction must load cleanly.
+        for fingerprint in ("aa" * 8, "bb" * 8):
+            for index in range(80):
+                cache.load(fingerprint, f"key-{index:04d}")
+        assert cache.counters["corrupt"] == 0
+
+    def test_no_tmp_litter_after_both_writers_exit(self, tmp_path):
+        run_writers(tmp_path, count=40, max_bytes=1 << 30)
+        litter = [
+            p for p in (tmp_path / "cache").rglob("*")
+            if p.is_file() and p.name.startswith(".tmp-")
+        ]
+        assert litter == []
+
+
+class TestLockMechanics:
+    def test_census_skips_in_flight_temp_files(self, tmp_path):
+        cache = ValencyCache(tmp_path / "cache", max_bytes=1 << 30)
+        cache.store("cc" * 8, "key-0", {"complete": True})
+        shard = next(
+            p for p in cache.root.iterdir() if p.is_dir()
+        )
+        # Another writer's in-flight temp file, as mkstemp names it.
+        (shard / ".tmp-abcdef12.json").write_text("{}", encoding="utf-8")
+        entries = [path.name for path, _ in cache._entries()]
+        assert all(not name.startswith(".tmp-") for name in entries)
+        stats = cache.stats()
+        assert stats["entries"] == 1
+
+    def test_eviction_never_unlinks_a_temp_file(self, tmp_path):
+        cache = ValencyCache(tmp_path / "cache", max_bytes=1)
+        cache.store("dd" * 8, "key-0", {"complete": True})
+        shard = cache.root / ("dd" * 8)[:2]
+        tmp = shard / ".tmp-feedface.json"
+        tmp.write_text("{}", encoding="utf-8")
+        cache.store("dd" * 8, "key-1", {"complete": True})  # evicts
+        assert tmp.exists()
+
+    def test_lock_marker_survives_clear(self, tmp_path):
+        cache = ValencyCache(tmp_path / "cache")
+        cache.store("ee" * 8, "key-0", {"complete": True})
+        cache.clear()
+        assert (cache.base / ".lock").exists()
+        leftovers = [
+            p for p in cache.base.rglob("*")
+            if p.is_file() and p.name != ".lock"
+        ]
+        assert leftovers == []
+
+    def test_write_lock_excludes_a_second_holder(self, tmp_path):
+        import fcntl
+
+        cache = ValencyCache(tmp_path / "cache")
+        with cache._write_lock():
+            fd = os.open(cache.base / ".lock", os.O_RDWR)
+            try:
+                with pytest.raises(OSError):
+                    fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+            finally:
+                os.close(fd)
+        # Released on exit: a fresh holder succeeds.
+        fd = os.open(cache.base / ".lock", os.O_RDWR)
+        try:
+            fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+        finally:
+            os.close(fd)

@@ -217,3 +217,67 @@ def test_untraced_runs_write_no_files(tmp_path, capsys):
     rc = main(["adversary", "tas:2"])
     assert rc == 0
     assert list(tmp_path.iterdir()) == []
+
+
+# -- journals from a newer writer ---------------------------------------------
+
+def _future_journal(tmp_path, version=99):
+    path = tmp_path / "future.jsonl"
+    record = {
+        "v": version, "t": 0.0, "run": "r", "type": "event",
+        "name": "adversary.outcome", "parent": None, "data": {},
+    }
+    path.write_text(json.dumps(record) + "\n", encoding="utf-8")
+    return path
+
+
+def test_stats_on_newer_schema_is_one_line_and_na(tmp_path, capsys):
+    assert main(["stats", str(_future_journal(tmp_path))]) == 1
+    out = capsys.readouterr().out
+    assert "journal schema v99 > supported v1" in out.splitlines()[0]
+    assert "n/a" in out
+    # Not misdiagnosed as corruption or a torn tail.
+    assert "torn" not in out
+    assert "error:" not in out
+
+
+def test_trace_on_newer_schema_is_one_line_and_na(tmp_path, capsys):
+    assert main(["trace", str(_future_journal(tmp_path))]) == 1
+    out = capsys.readouterr().out
+    assert "journal schema v2 > supported v1" not in out  # exact version
+    assert "journal schema v99 > supported v1" in out.splitlines()[0]
+    assert "n/a" in out
+
+
+def test_newer_schema_mid_file_is_still_the_version_verdict(
+    tmp_path, capsys
+):
+    path = tmp_path / "mixed.jsonl"
+    good = {
+        "v": 1, "t": 0.0, "run": "r", "type": "event",
+        "name": "x", "parent": None, "data": {},
+    }
+    future = dict(good, v=2)
+    path.write_text(
+        json.dumps(good) + "\n" + json.dumps(future) + "\n",
+        encoding="utf-8",
+    )
+    assert main(["trace", str(path)]) == 1
+    out = capsys.readouterr().out
+    assert "journal schema v2 > supported v1 (line 2)" in out
+
+
+def test_schema_too_new_carries_both_versions():
+    from repro.obs import SchemaTooNew, validate_record
+
+    import pytest
+
+    with pytest.raises(SchemaTooNew) as excinfo:
+        validate_record({"v": 7, "type": "event"}, line=3)
+    assert excinfo.value.found == 7
+    assert excinfo.value.supported == 1
+    # Survives the worker-boundary pickle round trip like every error.
+    import pickle
+
+    clone = pickle.loads(pickle.dumps(excinfo.value))
+    assert (clone.found, clone.supported) == (7, 1)

@@ -232,7 +232,13 @@ class TestHousekeeping:
         victim.rename(victim.with_suffix(".corrupt"))
         removed = cache.clear()
         assert removed > 0
-        leftovers = [p for p in cache.base.rglob("*") if p.is_file()]
+        # The advisory .lock marker is what serialized the clear against
+        # concurrent writers; everything else must be gone.
+        leftovers = [
+            p
+            for p in cache.base.rglob("*")
+            if p.is_file() and p.name != ".lock"
+        ]
         assert leftovers == []
         assert cache.stats()["entries"] == 0
 
@@ -283,7 +289,9 @@ class TestHousekeeping:
         assert main(["cache", "clear", "--cache-dir", str(cache_dir)]) == 0
         assert "cleared" in capsys.readouterr().out
         files = [
-            p for p in ValencyCache(cache_dir).base.rglob("*") if p.is_file()
+            p
+            for p in ValencyCache(cache_dir).base.rglob("*")
+            if p.is_file() and p.name != ".lock"
         ]
         assert files == []
 

@@ -413,3 +413,99 @@ class TestSigkillResume:
         )
         assert resumed.status == "certificate"
         assert to_json(resumed.certificate) == to_json(reference)
+
+
+class TestConcurrentOpenRefused:
+    """Satellite: two live writers on one journal path are refused.
+
+    The journal format tolerates exactly one torn *final* line; two
+    interleaved appenders would produce interior tears indistinguishable
+    from corruption.  The writer lock turns that silent hazard into a
+    clean ``ResilienceError`` (CLI: one-line ``error: ...``, exit 1).
+    """
+
+    def test_second_open_is_refused_with_holder_pid(self, tmp_path):
+        from repro.errors import ResilienceError
+
+        path = tmp_path / "busy.ckpt"
+        first = CheckpointJournal(path, protocol="rounds:3", n=3)
+        try:
+            with pytest.raises(
+                ResilienceError, match=rf"pid {os.getpid()}"
+            ) as excinfo:
+                CheckpointJournal(path, protocol="rounds:3", n=3)
+            assert "concurrent use would tear it" in str(excinfo.value)
+        finally:
+            first.close()
+
+    def test_resume_read_of_a_live_journal_is_refused(self, tmp_path):
+        from repro.errors import ResilienceError
+
+        path = tmp_path / "live.ckpt"
+        writer = CheckpointJournal(path, protocol="rounds:3", n=3)
+        writer.record({"answer": True, "witness": [0]})
+        try:
+            with pytest.raises(ResilienceError, match="still being written"):
+                load_checkpoint(path)
+        finally:
+            writer.close()
+
+    def test_close_releases_the_lock_for_the_next_run(self, tmp_path):
+        path = tmp_path / "relay.ckpt"
+        make_journal(path, ENTRIES)  # opens and closes
+        again = CheckpointJournal(
+            path, protocol="rounds:3", n=3, entries=list(ENTRIES)
+        )
+        again.close()
+        assert load_checkpoint(path).queries == ENTRIES
+
+    def test_stale_lock_file_of_a_dead_writer_does_not_block(
+        self, tmp_path
+    ):
+        # A SIGKILLed writer leaves the .lock file behind, but the OS
+        # dropped its flock with the process -- the file alone must
+        # never wedge the path.
+        path = tmp_path / "orphan.ckpt"
+        make_journal(path, ENTRIES)
+        lock = Path(f"{path}.lock")
+        assert lock.exists()
+        lock.write_text("999999\n")  # a pid that is long gone
+        journal = CheckpointJournal(path, protocol="rounds:3", n=3)
+        journal.close()
+        assert load_checkpoint(path) is not None
+
+    def test_cli_resume_against_a_held_journal_exits_1_cleanly(
+        self, tmp_path
+    ):
+        path = tmp_path / "held.ckpt"
+        env = dict(os.environ)
+        src = str(Path(__file__).resolve().parent.parent / "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        holder = subprocess.Popen(
+            [sys.executable, "-c", HOLD_SCRIPT, str(path)],
+            env=env, stdout=subprocess.PIPE, text=True,
+        )
+        try:
+            assert holder.stdout.readline().strip() == "held"
+            result = subprocess.run(
+                [sys.executable, "-m", "repro", "adversary", "rounds:2",
+                 "--resume", str(path)],
+                env=env, capture_output=True, text=True, timeout=60,
+            )
+            assert result.returncode == 1
+            assert "error: checkpoint journal" in result.stdout
+            assert "another process" in result.stdout
+            assert "Traceback" not in result.stderr
+        finally:
+            holder.terminate()
+            holder.wait(timeout=10)
+
+
+HOLD_SCRIPT = """
+import sys, time
+from repro.resilience import CheckpointJournal
+
+journal = CheckpointJournal(sys.argv[1], protocol="rounds:2", n=2)
+print("held", flush=True)
+time.sleep(60)
+"""

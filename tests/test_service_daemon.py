@@ -1,0 +1,319 @@
+"""End-to-end daemon lifecycle: HTTP in, ledgered certificates out.
+
+The tentpole's acceptance tests: a real ``repro serve`` process on an
+ephemeral port takes a zoo-specimen job over HTTP and its ledgered
+certificate is byte-identical to a direct CLI run of the same spec;
+a SIGTERM mid-job plus a restart resumes the interrupted job from its
+live checkpoint journal to the byte-identical certificate (the PR 6
+kill-resume guarantee, now across daemon generations).
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parent.parent
+ZOO_DIR = REPO / "corpus" / "zoo"
+
+#: A checked-in specimen whose adversary run ends in a certificate.
+CERT_SPECIMEN = "928be78d6868a31d"
+
+pytestmark = pytest.mark.skipif(
+    os.name != "posix", reason="daemon lifecycle uses POSIX signals"
+)
+
+
+def daemon_env():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = (
+        str(REPO / "src") + os.pathsep + env.get("PYTHONPATH", "")
+    )
+    env["REPRO_ZOO_DIR"] = str(ZOO_DIR)
+    return env
+
+
+def start_daemon(run_dir, *extra):
+    log = open(run_dir.parent / "daemon.log", "a")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "start",
+         "--run-dir", str(run_dir), *extra],
+        env=daemon_env(), stdout=log, stderr=subprocess.STDOUT,
+        cwd=run_dir.parent,
+    )
+    deadline = time.monotonic() + 30.0
+    while time.monotonic() < deadline:
+        if proc.poll() is not None:
+            log.close()
+            raise AssertionError(
+                "daemon died at startup:\n"
+                + (run_dir.parent / "daemon.log").read_text()
+            )
+        try:
+            info = json.loads(
+                (run_dir / "daemon.pid").read_text(encoding="utf-8")
+            )
+            if info.get("port"):
+                log.close()
+                return proc, info["port"]
+        except (OSError, ValueError):
+            pass
+        time.sleep(0.01)
+    raise AssertionError("daemon never wrote its pidfile")
+
+
+def http_json(port, path, payload=None, timeout=10):
+    url = f"http://127.0.0.1:{port}{path}"
+    if payload is None:
+        request = urllib.request.Request(url)
+    else:
+        request = urllib.request.Request(
+            url, data=json.dumps(payload).encode("utf-8"),
+            headers={"Content-Type": "application/json"},
+        )
+    with urllib.request.urlopen(request, timeout=timeout) as response:
+        return response.status, json.loads(response.read().decode("utf-8"))
+
+
+def poll_job(port, key, timeout=120.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        _, job = http_json(port, f"/jobs/{key}")
+        if job["state"] not in ("queued", "running"):
+            return job
+        time.sleep(0.05)
+    raise AssertionError(f"job {key} never finished")
+
+
+class TestDaemonLifecycle:
+    def test_zoo_job_over_http_matches_direct_cli_byte_for_byte(
+        self, tmp_path
+    ):
+        run_dir = tmp_path / "serve"
+        proc, port = start_daemon(run_dir)
+        try:
+            status, health = http_json(port, "/health")
+            assert status == 200 and health["ok"]
+            assert health["pid"] == proc.pid
+
+            # Bad submissions are 400s with reasons, not dead jobs.
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                http_json(port, "/jobs", {"kind": "adversary",
+                                          "spec": "nonsense:2"})
+            assert excinfo.value.code == 400
+
+            status, accepted = http_json(
+                port, "/jobs",
+                {"kind": "adversary", "spec": f"zoo:{CERT_SPECIMEN}"},
+            )
+            assert status == 202
+            job = poll_job(port, accepted["job_key"])
+            assert job["state"] == "certified"
+            assert job["exit_code"] == 0
+            (result,) = job["results"]
+
+            # The ledgered certificate is byte-identical to what the
+            # one-shot CLI writes for the same spec.
+            out = tmp_path / "direct.json"
+            direct = subprocess.run(
+                [sys.executable, "-m", "repro", "adversary",
+                 f"zoo:{CERT_SPECIMEN}", "--out", str(out)],
+                env=daemon_env(), capture_output=True, text=True,
+                cwd=tmp_path, timeout=120,
+            )
+            assert direct.returncode == 0, direct.stdout
+            assert result["certificate"] == out.read_text(encoding="utf-8")
+
+            # Graceful stop via the CLI: clean exit, pidfile gone.
+            stop = subprocess.run(
+                [sys.executable, "-m", "repro", "serve", "stop",
+                 "--run-dir", str(run_dir)],
+                env=daemon_env(), capture_output=True, text=True,
+                timeout=60,
+            )
+            assert stop.returncode == 0, stop.stdout
+            assert proc.wait(timeout=30) == 0
+            assert not (run_dir / "daemon.pid").exists()
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=10)
+
+    def test_sigterm_mid_job_then_restart_resumes_byte_identical(
+        self, tmp_path
+    ):
+        from repro.core.serialize import to_json
+        from repro.faults import run_adversary_guarded
+        from repro.model.system import System
+        from repro.protocols.consensus import CommitAdoptRounds
+
+        params = {"max_configs": 100_000, "max_depth": 60}
+        reference = run_adversary_guarded(
+            System(CommitAdoptRounds(4)), spec="rounds:4",
+            kernel="compiled", **params,
+        )
+        assert reference.status == "certificate"
+
+        run_dir = tmp_path / "serve"
+        proc, port = start_daemon(run_dir, "--drain-grace", "0")
+        try:
+            _, accepted = http_json(
+                port, "/jobs",
+                {"kind": "adversary", "spec": "rounds:4",
+                 "params": params},
+            )
+            key = accepted["job_key"]
+            checkpoint = run_dir / "checkpoints" / f"{key}.ckpt"
+
+            # The PR 6 harness: wait for the live journal to show real
+            # progress, then pull the plug.  drain-grace 0 means the
+            # daemon exits without waiting the job out.
+            deadline = time.monotonic() + 60.0
+            while time.monotonic() < deadline:
+                if (
+                    checkpoint.exists()
+                    and checkpoint.read_text().count("\n") >= 3
+                ):
+                    break
+                time.sleep(0.002)
+            proc.send_signal(signal.SIGTERM)
+            assert proc.wait(timeout=30) == 0
+            assert not (run_dir / "daemon.pid").exists()
+
+            # The journal survived the kill as a resumable file.
+            assert checkpoint.exists()
+
+            proc, port = start_daemon(run_dir, "--drain-grace", "0")
+            job = poll_job(port, key)
+            assert job["state"] == "certified"
+            (result,) = job["results"]
+            assert result["certificate"] == to_json(reference.certificate)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=10)
+
+    def test_status_and_restart_cli_when_nothing_runs(self, tmp_path):
+        run_dir = tmp_path / "serve"
+        status = subprocess.run(
+            [sys.executable, "-m", "repro", "serve", "status",
+             "--run-dir", str(run_dir)],
+            env=daemon_env(), capture_output=True, text=True, timeout=60,
+        )
+        assert status.returncode == 1
+        assert "no" in status.stdout
+
+        stop = subprocess.run(
+            [sys.executable, "-m", "repro", "serve", "stop",
+             "--run-dir", str(run_dir)],
+            env=daemon_env(), capture_output=True, text=True, timeout=60,
+        )
+        assert stop.returncode == 1
+        assert "error: no daemon running" in stop.stdout
+
+    def test_in_process_run_loop_merges_config_and_drains(self, tmp_path):
+        # The whole daemon lifecycle without a subprocess: run() on the
+        # main thread (where its signal handlers are legal), a helper
+        # thread driving HTTP, the persisted config steering the job.
+        import threading
+
+        from repro.errors import ServiceError
+        from repro.service.daemon import (
+            Daemon,
+            load_config,
+            read_pidfile,
+            save_config,
+            status,
+            stop,
+        )
+
+        run_dir = tmp_path / "serve"
+        save_config(run_dir, {"kernel": "interp", "max_configs": 50_000})
+        save_config(run_dir, {"max_configs": None})  # null resets
+        assert load_config(run_dir) == {"kernel": "interp"}
+        with pytest.raises(ServiceError, match="unknown configure keys"):
+            save_config(run_dir, {"frobnicate": 1})
+
+        assert status(run_dir)["running"] is False
+        with pytest.raises(ServiceError, match="no daemon running"):
+            stop(run_dir)
+
+        failures = []
+
+        def drive():
+            try:
+                port = None
+                deadline = time.monotonic() + 30
+                while time.monotonic() < deadline:
+                    info = read_pidfile(run_dir)
+                    if info and info["port"]:
+                        port = info["port"]
+                        break
+                    time.sleep(0.01)
+                assert port, "daemon never wrote its pidfile"
+                _, accepted = http_json(
+                    port, "/jobs", {"kind": "adversary", "spec": "rounds:2"}
+                )
+                job = poll_job(port, accepted["job_key"], timeout=60)
+                assert job["state"] == "certified"
+                snap = status(run_dir)
+                assert snap["running"] is True
+                assert snap["pid"] == os.getpid()
+                assert snap["jobs"]["certified"] == 1
+                http_json(port, "/shutdown", {})
+            except BaseException as exc:
+                failures.append(exc)
+                # Unstick run(): its own SIGTERM handler is installed.
+                os.kill(os.getpid(), signal.SIGTERM)
+
+        driver = threading.Thread(target=drive, daemon=True)
+        driver.start()
+        daemon = Daemon(run_dir, job_workers=1, drain_grace=10.0)
+        assert daemon.run() == 0
+        driver.join(timeout=30)
+        assert failures == []
+        assert not (run_dir / "daemon.pid").exists()
+
+        # The persisted kernel=interp default steered the job.
+        from repro.service import ResultLedger
+
+        (row,) = ResultLedger(run_dir / "ledger.sqlite").results()
+        assert row["engine"] == "interp"
+
+        # A second run() while one is "alive" is refused: fake it with
+        # a pidfile naming this very process.
+        (run_dir / "daemon.pid").write_text(
+            json.dumps({"pid": os.getpid(), "port": 1}), encoding="utf-8"
+        )
+        with pytest.raises(ServiceError, match="already running"):
+            Daemon(run_dir).run()
+        (run_dir / "daemon.pid").unlink()
+
+    def test_configure_persists_and_is_validated(self, tmp_path):
+        run_dir = tmp_path / "serve"
+        good = subprocess.run(
+            [sys.executable, "-m", "repro", "serve", "configure",
+             "--run-dir", str(run_dir), "max_configs=5000",
+             "kernel=interp"],
+            env=daemon_env(), capture_output=True, text=True, timeout=60,
+        )
+        assert good.returncode == 0
+        config = json.loads(
+            (run_dir / "config.json").read_text(encoding="utf-8")
+        )
+        assert config == {"max_configs": 5000, "kernel": "interp"}
+
+        bad = subprocess.run(
+            [sys.executable, "-m", "repro", "serve", "configure",
+             "--run-dir", str(run_dir), "frobnicate=1"],
+            env=daemon_env(), capture_output=True, text=True, timeout=60,
+        )
+        assert bad.returncode == 1
+        assert "unknown configure keys" in bad.stdout

@@ -1,0 +1,230 @@
+"""The result ledger: schema versioning, the state contract, provenance.
+
+The job-state machine must mirror the CLI exit-code contract exactly
+(0/2/3/1 <-> certified/violation/partial/error), a ledger written by a
+newer service must be refused cleanly, and the export must speak the
+``BENCH_*.json`` shape the CI gates already parse.
+"""
+
+import json
+import sqlite3
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.service import (
+    EXIT_BY_STATE,
+    JOB_STATES,
+    LEDGER_SCHEMA_VERSION,
+    STATE_BY_EXIT,
+    ResultLedger,
+)
+
+
+@pytest.fixture
+def ledger(tmp_path):
+    return ResultLedger(tmp_path / "ledger.sqlite")
+
+
+class TestStateContract:
+    def test_states_mirror_the_exit_code_contract(self):
+        assert STATE_BY_EXIT == {
+            0: "certified", 2: "violation", 3: "partial", 1: "error",
+        }
+        assert EXIT_BY_STATE == {
+            "certified": 0, "violation": 2, "partial": 3, "error": 1,
+        }
+        for state in STATE_BY_EXIT.values():
+            assert state in JOB_STATES
+
+    @pytest.mark.parametrize("exit_code", [0, 2, 3, 1])
+    def test_finish_maps_each_exit_code(self, ledger, exit_code):
+        key = ledger.submit_job("adversary", "rounds:2")
+        ledger.mark_running(key)
+        state = ledger.finish_job(key, exit_code, "done")
+        assert state == STATE_BY_EXIT[exit_code]
+        job = ledger.job(key)
+        assert job["state"] == state
+        assert job["exit_code"] == exit_code
+        assert job["finished_at"] is not None
+
+    @pytest.mark.parametrize("exit_code", [-1, 4, 42, 127])
+    def test_exit_codes_outside_the_contract_are_refused(
+        self, ledger, exit_code
+    ):
+        key = ledger.submit_job("adversary", "rounds:2")
+        with pytest.raises(ServiceError, match="0/2/3/1"):
+            ledger.finish_job(key, exit_code)
+
+    def test_unknown_state_filter_is_refused(self, ledger):
+        with pytest.raises(ServiceError, match="unknown job state"):
+            ledger.jobs(state="done")
+
+
+class TestJobLifecycle:
+    def test_submit_records_params_and_checkpoint(self, ledger):
+        key = ledger.submit_job(
+            "adversary", "rounds:3",
+            params={"max_depth": 9}, checkpoint="/tmp/x.ckpt",
+        )
+        job = ledger.job(key)
+        assert job["state"] == "queued"
+        assert job["params"] == {"max_depth": 9}
+        assert job["checkpoint"] == "/tmp/x.ckpt"
+        assert job["attempts"] == 0
+
+    def test_mark_running_counts_attempts(self, ledger):
+        key = ledger.submit_job("fuzz", "generated")
+        ledger.mark_running(key)
+        ledger.mark_running(key)
+        assert ledger.job(key)["attempts"] == 2
+
+    def test_requeue_interrupted_preserves_checkpoints(self, ledger):
+        interrupted = ledger.submit_job(
+            "adversary", "rounds:3", checkpoint="/tmp/a.ckpt"
+        )
+        finished = ledger.submit_job("adversary", "rounds:2")
+        ledger.mark_running(interrupted)
+        ledger.mark_running(finished)
+        ledger.finish_job(finished, 0)
+        assert ledger.requeue_interrupted() == [interrupted]
+        job = ledger.job(interrupted)
+        assert job["state"] == "queued"
+        assert job["checkpoint"] == "/tmp/a.ckpt"
+        # The finished job is untouched.
+        assert ledger.job(finished)["state"] == "certified"
+
+    def test_pending_jobs_in_submission_order(self, ledger):
+        keys = [ledger.submit_job("absint", "rounds:2") for _ in range(3)]
+        assert [j["job_key"] for j in ledger.pending_jobs()] == keys
+
+    def test_missing_job_is_none(self, ledger):
+        assert ledger.job("no-such-key") is None
+
+
+class TestResults:
+    def test_provenance_round_trips(self, ledger):
+        key = ledger.submit_job("adversary", "rounds:2")
+        ledger.add_result(
+            key, kind="adversary", protocol="rounds:2", exit_code=0,
+            protocol_digest="abc123", n=2, registers=1, engine="compiled",
+            workers=2, por=True, incremental=False, seed=7,
+            certificate='{"kind": "cert"}', witness=[0, 1, 0],
+            metrics={"oracle.queries": 5}, trace_journal="/tmp/t.jsonl",
+            elapsed=1.25,
+        )
+        row = ledger.results(job_key=key)[0]
+        assert row["protocol_digest"] == "abc123"
+        assert row["registers"] == 1
+        assert (row["por"], row["incremental"]) == (1, 0)
+        assert json.loads(row["witness"]) == [0, 1, 0]
+        assert json.loads(row["metrics"]) == {"oracle.queries": 5}
+        assert row["certificate"] == '{"kind": "cert"}'
+
+    def test_filters_compose(self, ledger):
+        a = ledger.submit_job("adversary", "rounds:2")
+        b = ledger.submit_job("absint", "rounds:3")
+        ledger.add_result(a, kind="adversary", protocol="rounds:2",
+                          exit_code=0)
+        ledger.add_result(b, kind="absint", protocol="rounds:3",
+                          exit_code=0)
+        assert len(ledger.results()) == 2
+        assert len(ledger.results(kind="absint")) == 1
+        assert len(ledger.results(protocol="rounds:2")) == 1
+        assert ledger.results(job_key=b)[0]["kind"] == "absint"
+
+    def test_trend_aggregates_per_protocol_engine(self, ledger):
+        key = ledger.submit_job("adversary", "rounds:2")
+        for exit_code, elapsed in ((0, 2.0), (0, 1.0), (3, 5.0)):
+            ledger.add_result(
+                key, kind="adversary", protocol="rounds:2",
+                exit_code=exit_code, engine="compiled", elapsed=elapsed,
+                registers=1 if exit_code == 0 else None,
+            )
+        (row,) = ledger.trend()
+        assert row["runs"] == 3
+        assert row["certified"] == 2
+        assert row["partials"] == 1
+        assert row["best_elapsed"] == 1.0
+        assert row["last_elapsed"] == 5.0  # latest row, not best
+        assert row["registers"] == 1  # latest certificate's count
+
+
+class TestExport:
+    def test_export_speaks_the_bench_shape(self, ledger):
+        key = ledger.submit_job("adversary", "rounds:2")
+        ledger.mark_running(key)
+        ledger.finish_job(key, 0)
+        ledger.add_result(key, kind="adversary", protocol="rounds:2",
+                          exit_code=0, engine="compiled", elapsed=0.5,
+                          registers=1)
+        payload = ledger.export(bench="service")
+        assert payload["bench"] == "service"
+        assert payload["schema_version"] == LEDGER_SCHEMA_VERSION
+        assert payload["jobs"]["certified"] == 1
+        (result,) = payload["results"]
+        assert result["workload"] == "rounds:2"
+        assert result["engine"] == "compiled"
+        assert result["certified"] == 1
+        # Every value is JSON-native and flat, like every BENCH file.
+        assert json.loads(json.dumps(payload)) == payload
+        for value in result.values():
+            assert value is None or isinstance(value, (bool, int, float, str))
+
+
+class TestSchemaVersioning:
+    def test_fresh_ledger_is_current(self, ledger):
+        assert ledger.schema_version() == LEDGER_SCHEMA_VERSION
+
+    def test_reopen_is_idempotent(self, tmp_path):
+        path = tmp_path / "ledger.sqlite"
+        key = ResultLedger(path).submit_job("absint", "rounds:2")
+        reopened = ResultLedger(path)
+        assert reopened.job(key) is not None
+        assert reopened.schema_version() == LEDGER_SCHEMA_VERSION
+
+    def test_newer_schema_is_refused_cleanly(self, tmp_path):
+        path = tmp_path / "future.sqlite"
+        ResultLedger(path)
+        with sqlite3.connect(path) as conn:
+            conn.execute(
+                "UPDATE meta SET value = ? WHERE key = 'schema_version'",
+                (str(LEDGER_SCHEMA_VERSION + 5),),
+            )
+        with pytest.raises(ServiceError, match=r"schema v6 > supported v1"):
+            ResultLedger(path)
+
+    def test_older_schema_without_migration_is_refused(self, tmp_path):
+        path = tmp_path / "ancient.sqlite"
+        ResultLedger(path)
+        with sqlite3.connect(path) as conn:
+            conn.execute(
+                "UPDATE meta SET value = '0' WHERE key = 'schema_version'"
+            )
+        with pytest.raises(ServiceError, match="no migration"):
+            ResultLedger(path)
+
+    def test_migration_chain_upgrades_one_version_at_a_time(
+        self, tmp_path, monkeypatch
+    ):
+        import repro.service.db as db
+
+        path = tmp_path / "old.sqlite"
+        ResultLedger(path)
+        with sqlite3.connect(path) as conn:
+            conn.execute(
+                "UPDATE meta SET value = '0' WHERE key = 'schema_version'"
+            )
+        monkeypatch.setitem(
+            db.MIGRATIONS, 0,
+            ["CREATE TABLE IF NOT EXISTS migrated_marker (x INTEGER)"],
+        )
+        ledger = ResultLedger(path)
+        assert ledger.schema_version() == LEDGER_SCHEMA_VERSION
+        with sqlite3.connect(path) as conn:
+            tables = {
+                row[0] for row in conn.execute(
+                    "SELECT name FROM sqlite_master WHERE type = 'table'"
+                )
+            }
+        assert "migrated_marker" in tables

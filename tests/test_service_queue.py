@@ -1,0 +1,169 @@
+"""The job queue: validation at the door, the contract at the exit.
+
+In-process tests (no daemon, no HTTP): submissions are validated
+before a row exists, every job kind ends in a terminal state mapped
+from its exit code, failures become ``error`` rows instead of dead
+threads, and drain/recover implement the graceful-restart story.
+"""
+
+import time
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.service import JobQueue, ResultLedger, validate_submission
+from repro.service.queue import DEFAULT_PARAMS
+
+
+def wait_terminal(ledger, key, timeout=60.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        job = ledger.job(key)
+        if job["state"] not in ("queued", "running"):
+            return job
+        time.sleep(0.02)
+    raise AssertionError(f"job {key} never reached a terminal state")
+
+
+@pytest.fixture
+def queue(tmp_path):
+    ledger = ResultLedger(tmp_path / "ledger.sqlite")
+    q = JobQueue(ledger, tmp_path, job_workers=1)
+    q.start()
+    yield q
+    q.drain(grace=30.0)
+
+
+class TestValidation:
+    def test_defaults_are_merged_per_submission(self):
+        job = validate_submission(
+            {"kind": "adversary", "spec": "rounds:2",
+             "params": {"max_depth": 5}}
+        )
+        assert job["params"] == {"max_depth": 5}
+        assert "max_depth" in DEFAULT_PARAMS
+
+    @pytest.mark.parametrize("payload,match", [
+        ("not-a-dict", "JSON object"),
+        ({"kind": "bake", "spec": "rounds:2"}, "unknown job kind"),
+        ({"kind": "adversary"}, "need a protocol 'spec'"),
+        ({"kind": "adversary", "spec": "nonsense:2"}, "unknown protocol family"),
+        ({"kind": "adversary", "spec": "rounds:x"}, "bad protocol spec"),
+        ({"kind": "adversary", "spec": "rounds:2", "params": []},
+         "'params' must be"),
+        ({"kind": "adversary", "spec": "rounds:2",
+          "params": {"frobnicate": 1}}, "unknown job params"),
+    ])
+    def test_bad_submissions_are_refused_at_the_door(self, payload, match):
+        with pytest.raises(ServiceError, match=match):
+            validate_submission(payload)
+
+    def test_fuzz_jobs_need_no_spec(self):
+        assert validate_submission({"kind": "fuzz"})["spec"] == "generated"
+
+
+class TestExecution:
+    def test_adversary_job_certifies_and_ledgers_the_certificate(
+        self, queue
+    ):
+        from repro.core.serialize import to_json
+        from repro.core.theorem import space_lower_bound
+        from repro.model.system import System
+        from repro.protocols.consensus import CommitAdoptRounds
+
+        key = queue.submit({"kind": "adversary", "spec": "rounds:2"})
+        job = wait_terminal(queue.ledger, key)
+        assert job["state"] == "certified"
+        assert job["exit_code"] == 0
+        (row,) = queue.ledger.results(job_key=key)
+        reference = to_json(space_lower_bound(System(CommitAdoptRounds(2))))
+        assert row["certificate"] == reference
+        assert row["protocol_digest"]
+        assert row["trace_journal"].endswith(f"{key}.jsonl")
+
+    def test_violating_protocol_maps_to_violation_with_witness(
+        self, queue
+    ):
+        key = queue.submit(
+            {"kind": "adversary", "spec": "split-brain:3"}
+        )
+        job = wait_terminal(queue.ledger, key)
+        assert job["state"] == "violation"
+        assert job["exit_code"] == 2
+        (row,) = queue.ledger.results(job_key=key)
+        assert row["exit_code"] == 2
+
+    def test_budget_exhaustion_maps_to_partial(self, queue):
+        key = queue.submit({
+            "kind": "adversary", "spec": "rounds:3",
+            "params": {"budget": 10},
+        })
+        job = wait_terminal(queue.ledger, key)
+        assert job["state"] == "partial"
+        assert job["exit_code"] == 3
+
+    def test_absint_job_runs_statically(self, queue):
+        key = queue.submit({"kind": "absint", "spec": "rounds:2"})
+        job = wait_terminal(queue.ledger, key)
+        assert job["state"] == "certified"
+        (row,) = queue.ledger.results(job_key=key)
+        assert row["kind"] == "absint"
+        assert row["certificate"]
+
+    def test_fuzz_job_ledgers_the_campaign_journal(self, queue):
+        from pathlib import Path
+
+        key = queue.submit({
+            "kind": "fuzz",
+            "params": {"seed": 3, "count": 2, "mutants": 1,
+                       "max_configs": 2000, "max_depth": 12},
+        })
+        job = wait_terminal(queue.ledger, key)
+        assert job["state"] == "certified"  # honest engines agree
+        assert "explored" in job["detail"]
+        (row,) = queue.ledger.results(job_key=key)
+        assert row["kind"] == "fuzz"
+        assert row["protocol"] == "fuzz:seed=3"
+        assert row["protocol_digest"]
+        assert Path(row["trace_journal"]).exists()
+
+    def test_runtime_failure_becomes_an_error_row(self, queue):
+        # Valid at the door, broken at run time: the spec row is
+        # rewritten underneath the job (simulating e.g. a zoo specimen
+        # deleted between submit and run).
+        key = queue.ledger.submit_job("adversary", "zoo:feedfacedeadbeef")
+        queue._tasks.put(key)
+        job = wait_terminal(queue.ledger, key)
+        assert job["state"] == "error"
+        assert job["exit_code"] == 1
+        assert "zoo" in job["detail"] or "spec" in job["detail"]
+        (row,) = queue.ledger.results(job_key=key)
+        assert row["exit_code"] == 1
+
+
+class TestLifecycle:
+    def test_drain_refuses_new_submissions(self, tmp_path):
+        ledger = ResultLedger(tmp_path / "l.sqlite")
+        q = JobQueue(ledger, tmp_path)
+        q.start()
+        assert q.drain(grace=5.0) is True
+        with pytest.raises(ServiceError, match="shutting down"):
+            q.submit({"kind": "absint", "spec": "rounds:2"})
+
+    def test_recover_requeues_interrupted_jobs(self, tmp_path):
+        ledger = ResultLedger(tmp_path / "l.sqlite")
+        # A previous daemon died mid-job: the row is still 'running'.
+        key = ledger.submit_job("absint", "rounds:2")
+        ledger.mark_running(key)
+        q = JobQueue(ledger, tmp_path)
+        assert q.recover() == [key]
+        q.start()
+        job = wait_terminal(ledger, key)
+        assert job["state"] == "certified"
+        assert job["attempts"] == 2  # the lost attempt plus the rerun
+        q.drain(grace=30.0)
+
+    def test_snapshot_reports_queue_shape(self, queue):
+        snap = queue.snapshot()
+        assert snap["job_workers"] == 1
+        assert snap["draining"] is False
